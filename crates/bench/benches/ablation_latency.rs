@@ -1,0 +1,56 @@
+//! §IV-A latency-independence claim: "The proposed policies do not rely on
+//! the specific latencies used. We have verified that the proposed
+//! policies perform well for different latencies including pure functional
+//! cache simulation."
+//!
+//! This ablation re-runs the showcase mixes under QBS with halved and
+//! doubled memory latency and under a pure functional model (all levels
+//! cost one cycle, so throughput differences come from miss *counts*
+//! alone).
+//!
+//! Reproduction target: QBS's gain is positive at every latency point and
+//! grows with the memory penalty; even the functional model shows a gain
+//! (from eliminated misses), confirming the mechanism is not a timing
+//! artifact.
+
+use tla_bench::BenchEnv;
+use tla_cpu::{CoreModelConfig, Latencies};
+use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_types::stats;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Ablation — latency independence (§IV-A)");
+
+    let mixes = env.showcase_mixes();
+    let points = [
+        ("memory 75", Latencies { memory: 75, ..Default::default() }),
+        ("memory 150 (paper)", Latencies::default()),
+        ("memory 300", Latencies { memory: 300, ..Default::default() }),
+        ("functional (all 1)", Latencies { l1: 1, l2: 1, llc: 1, memory: 1 }),
+    ];
+
+    let mut t = Table::new(&["latency model", "QBS vs inclusive", "miss reduction"]);
+    for (label, lat) in points {
+        let cfg = env.cfg.clone().core_model(CoreModelConfig {
+            latencies: lat,
+            ..Default::default()
+        });
+        let suites = run_mix_suite(
+            &cfg,
+            &mixes,
+            &[PolicySpec::baseline(), PolicySpec::qbs()],
+            None,
+        );
+        let g = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
+        let red = stats::mean(suites[1].miss_reduction_pct(&suites[0])).unwrap();
+        t.add_row(vec![
+            label.to_string(),
+            format!("{:+.1}%", (g - 1.0) * 100.0),
+            format!("{red:+.1}%"),
+        ]);
+        eprintln!("[ablation_latency] {label} done");
+    }
+    println!("\nQBS gain across latency models (12 showcase mixes)\n{t}");
+    println!("expected shape: positive throughput gain everywhere, growing with the\nmemory penalty; miss reduction roughly constant (it is latency-free)");
+}

@@ -1,0 +1,58 @@
+//! Figure 10: scalability of the TLA mechanisms to different core-cache:
+//! LLC ratios (1 MB, 2 MB, 4 MB and 8 MB LLCs; L2:LLC ratios 1:2 to 1:16).
+//!
+//! Reproduction target: the smaller the LLC, the bigger the inclusion
+//! problem and the bigger every remedy's gain; QBS tracks non-inclusive
+//! performance at every ratio; TLH-L1 falls behind at 1:2 (hot lines
+//! serviced by the L2 suffer inclusion victims that L1 hints cannot see)
+//! while TLH-L1-L2 recovers it.
+
+use tla_bench::{fmt_norm, BenchEnv};
+use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_types::stats;
+
+const LLC_SIZES_MB: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figure 10 — scalability across cache ratios");
+
+    let mixes = if env.full {
+        env.all_mixes()
+    } else {
+        env.showcase_mixes()
+    };
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::tlh_l1_l2(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+
+    let mut t = Table::new(&[
+        "L2:LLC",
+        "TLH-L1",
+        "TLH-L1-L2",
+        "QBS",
+        "Non-Inclusive",
+        "Exclusive",
+    ]);
+    for (i, mb) in LLC_SIZES_MB.iter().enumerate() {
+        eprintln!("[fig10] LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
+        let suites = run_mix_suite(&env.cfg, &mixes, &specs, Some(mb * 1024 * 1024));
+        let mut row = vec![format!("1:{}", 2 * mb)];
+        for suite in &suites[1..] {
+            let g = stats::geomean(suite.normalized_throughput(&suites[0]))
+                .unwrap_or(0.0);
+            row.push(fmt_norm(g));
+        }
+        t.add_row(row);
+    }
+    println!(
+        "\nFigure 10 — geomean throughput vs inclusive, per LLC size ({} mixes)\n{t}",
+        mixes.len()
+    );
+    println!("expected shape: every column's gain shrinks as the ratio grows toward 1:16;\nQBS ~ non-inclusive at every ratio; TLH-L1-L2 >= TLH-L1 with the gap widest at 1:2");
+}

@@ -1,0 +1,54 @@
+//! Figure 11: scalability of QBS to larger CMPs (2, 4 and 8 cores sharing
+//! the LLC).
+//!
+//! The paper creates 100 random 4-core and 8-core workloads; more cores
+//! sharing one LLC means more contention, more inclusion victims and
+//! bigger QBS gains.
+//!
+//! Reproduction target: QBS's geomean gain grows with core count and
+//! stays at non-inclusive performance.
+
+use tla_bench::BenchEnv;
+use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_types::stats;
+use tla_workloads::random_mixes;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figure 11 — scalability with core count");
+
+    // The 2-core population is the 105-pair sweep; 4- and 8-core
+    // populations are random draws as in §V-G.
+    let count = if env.full { 100 } else { 30 };
+    let populations = vec![
+        ("2 cores", env.all_mixes()),
+        ("4 cores", random_mixes(4, count, env.cfg.seed_value())),
+        ("8 cores", random_mixes(8, count, env.cfg.seed_value())),
+    ];
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+    ];
+
+    let mut t = Table::new(&["CMP", "mixes", "QBS", "Non-Inclusive", "max QBS"]);
+    for (label, mixes) in &populations {
+        eprintln!("[fig11] {label}: {} mixes", mixes.len());
+        // §V-G keeps the 1:4 hierarchy as cores scale: the LLC grows with
+        // the core count (2 MB per 2 cores at full scale).
+        let cores = mixes[0].cores();
+        let llc = cores / 2 * 2 * 1024 * 1024;
+        let suites = run_mix_suite(&env.cfg, mixes, &specs, Some(llc));
+        let qbs = suites[1].normalized_throughput(&suites[0]);
+        let ni = suites[2].normalized_throughput(&suites[0]);
+        t.add_row(vec![
+            label.to_string(),
+            mixes.len().to_string(),
+            format!("{:.3}", stats::geomean(qbs.iter().copied()).unwrap_or(0.0)),
+            format!("{:.3}", stats::geomean(ni.iter().copied()).unwrap_or(0.0)),
+            format!("{:.3}", qbs.iter().copied().fold(f64::MIN, f64::max)),
+        ]);
+    }
+    println!("\nFigure 11 — QBS vs core count (throughput vs inclusive)\n{t}");
+    println!("expected shape: QBS's gain grows with core count (more LLC contention)\nand tracks non-inclusive at every width");
+}

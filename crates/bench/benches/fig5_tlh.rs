@@ -1,0 +1,111 @@
+//! Figure 5: performance of Temporal Locality Hints.
+//!
+//! Per-mix bars for TLH-IL1 / TLH-DL1 / TLH-L1 / TLH-L2 / TLH-L1-L2
+//! against non-inclusion, the 105-mix s-curve, the hint-fraction
+//! sensitivity study (1/2/10/20 % of L1 hits), and the TLH traffic blow-up
+//! the paper uses to motivate ECI/QBS.
+//!
+//! Reproduction target: TLH benefits concentrate in CCF+LLCT/LLCF mixes;
+//! homogeneous CCF or LLCT/LLCF-only mixes gain nothing; TLH-L1 bridges
+//! most of the inclusive->non-inclusive gap, TLH-L2 roughly half.
+
+use tla_bench::{bar_table, print_s_curve, BenchEnv};
+use tla_sim::{run_mix_suite, MixRun, PolicySpec, Table};
+use tla_types::stats;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figure 5 — Temporal Locality Hints");
+
+    let showcase = env.showcase_mixes();
+    let all = env.all_mixes();
+    let mut mixes = showcase.clone();
+    mixes.extend(all.iter().cloned());
+
+    // Table II header, as the paper prints alongside this figure.
+    let mut t2 = Table::new(&["mix", "apps", "category"]);
+    for m in &showcase {
+        t2.add_row(vec![
+            m.name.clone(),
+            m.apps.iter().map(|a| a.short_name()).collect::<Vec<_>>().join(", "),
+            m.category_label(),
+        ]);
+    }
+    println!("\nTable II — workload mixes\n{t2}");
+
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_il1(),
+        PolicySpec::tlh_dl1(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::tlh_l2(),
+        PolicySpec::tlh_l1_l2(),
+        PolicySpec::non_inclusive(),
+    ];
+    eprintln!("[fig5] running {} specs x {} mixes", specs.len(), mixes.len());
+    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+
+    let n = showcase.len();
+    let series: Vec<(&str, Vec<f64>, Vec<f64>)> = suites[1..]
+        .iter()
+        .map(|s| {
+            let (sc, al) = tla_bench::split_series(s, &suites[0], n);
+            (s.spec.name.as_str(), sc, al)
+        })
+        .collect();
+    println!(
+        "Figure 5 — throughput normalized to the inclusive baseline\n{}",
+        bar_table(&showcase, &series)
+    );
+
+    // S-curve over the 105 mixes, sorted by non-inclusive performance.
+    let ni = &series.last().expect("non-inclusive is last").2;
+    let tlh_l1 = &series[2].2;
+    let tlh_l2 = &series[3].2;
+    print_s_curve(
+        "Figure 5 s-curve (105 mixes)",
+        &all,
+        ni,
+        &[("TLH-L1", tlh_l1), ("TLH-L2", tlh_l2), ("Non-Inclusive", ni)],
+    );
+
+    // Gap bridged: (policy - 1) / (non-inclusive - 1) on the geomean.
+    let gm = |v: &[f64]| stats::geomean(v.iter().copied()).unwrap_or(1.0);
+    let gap = gm(ni) - 1.0;
+    if gap > 0.0 {
+        println!("\ngap to non-inclusive bridged (geomean over 105):");
+        for (label, _, al) in &series[..series.len() - 1] {
+            println!("  {label:10} {:5.1}%", (gm(al) - 1.0) / gap * 100.0);
+        }
+    }
+
+    // Hint-fraction sensitivity (over the showcase mixes).
+    println!("\nTLH-L1 hint-fraction sensitivity (geomean over 12 mixes):");
+    let base12 = &suites[0].runs[..n];
+    for p in [0.01, 0.02, 0.10, 0.20, 1.0] {
+        let spec = PolicySpec::tlh_l1_filtered(p);
+        let vals: Vec<f64> = showcase
+            .iter()
+            .zip(base12)
+            .map(|(mix, b)| {
+                let r = MixRun::new(&env.cfg, &mix.apps).spec(&spec).run();
+                r.throughput() / b.throughput()
+            })
+            .collect();
+        println!("  {:>4.0}% of hits  ->  {:.3}", p * 100.0, stats::geomean(vals).unwrap());
+    }
+
+    // TLH traffic: extra LLC requests per LLC demand access.
+    let hints: u64 = suites[3].runs[n..].iter().map(|r| r.global.tlh_hints).sum();
+    let hints_l2: u64 = suites[4].runs[n..].iter().map(|r| r.global.tlh_hints).sum();
+    let llc_acc: u64 = suites[0].runs[n..]
+        .iter()
+        .flat_map(|r| r.threads.iter())
+        .map(|t| t.stats.llc_accesses)
+        .sum();
+    println!(
+        "\nLLC request amplification: TLH-L1 {:.0}x, TLH-L2 {:.1}x (paper: ~600x and ~8x)",
+        1.0 + hints as f64 / llc_acc as f64,
+        1.0 + hints_l2 as f64 / llc_acc as f64,
+    );
+}

@@ -1,0 +1,89 @@
+//! Figure 7: performance of Query Based Selection.
+//!
+//! Per-mix bars for QBS applied at each cache level, the 105-mix s-curve
+//! against non-inclusion, and the query-limit sensitivity sweep
+//! (1/2/4/8 queries per miss).
+//!
+//! Reproduction target: QBS-IL1 > QBS-DL1 on average, QBS-L1 additive of
+//! both, QBS-L1-L2 approaches (the paper: slightly exceeds) non-inclusive
+//! performance, and one or two queries capture nearly all of the benefit.
+
+use tla_bench::{bar_table, print_s_curve, BenchEnv};
+use tla_sim::{run_mix_suite, MixRun, PolicySpec};
+use tla_types::stats;
+
+fn main() {
+    let env = BenchEnv::from_env();
+    env.banner("Figure 7 — Query Based Selection");
+
+    let showcase = env.showcase_mixes();
+    let all = env.all_mixes();
+    let mut mixes = showcase.clone();
+    mixes.extend(all.iter().cloned());
+
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::qbs_il1(),
+        PolicySpec::qbs_dl1(),
+        PolicySpec::qbs_l1(),
+        PolicySpec::qbs_l2(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+    ];
+    eprintln!("[fig7] running {} specs x {} mixes", specs.len(), mixes.len());
+    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+
+    let n = showcase.len();
+    let series: Vec<(&str, Vec<f64>, Vec<f64>)> = suites[1..]
+        .iter()
+        .map(|s| {
+            let (sc, al) = tla_bench::split_series(s, &suites[0], n);
+            (s.spec.name.as_str(), sc, al)
+        })
+        .collect();
+    println!(
+        "\nFigure 7 — throughput normalized to the inclusive baseline\n{}",
+        bar_table(&showcase, &series)
+    );
+
+    let ni = &series[5].2;
+    let qbs = &series[4].2;
+    print_s_curve(
+        "Figure 7 s-curve (105 mixes)",
+        &all,
+        ni,
+        &[("QBS", qbs), ("Non-Inclusive", ni)],
+    );
+
+    let gm = |v: &[f64]| stats::geomean(v.iter().copied()).unwrap_or(1.0);
+    println!(
+        "\ngeomean: QBS {:+.1}%, non-inclusive {:+.1}% (paper: +6.5% vs +6.1%)",
+        (gm(qbs) - 1.0) * 100.0,
+        (gm(ni) - 1.0) * 100.0
+    );
+
+    // Query-limit sensitivity (paper: 1/2/4/8 queries give 6.2/6.5/6.6/6.6%).
+    println!("\nquery-limit sensitivity (geomean over 12 showcase mixes):");
+    let base12 = &suites[0].runs[..n];
+    for q in [1usize, 2, 4, 8] {
+        let spec = PolicySpec::qbs_limited(q);
+        let vals: Vec<f64> = showcase
+            .iter()
+            .zip(base12)
+            .map(|(mix, b)| {
+                MixRun::new(&env.cfg, &mix.apps).spec(&spec).run().throughput() / b.throughput()
+            })
+            .collect();
+        println!("  {q} queries -> {:.3}", stats::geomean(vals).unwrap());
+    }
+
+    // Query traffic: like ECI, proportional to LLC misses.
+    let queries: u64 = suites[5].runs[n..].iter().map(|r| r.global.qbs_queries).sum();
+    let rejections: u64 = suites[5].runs[n..].iter().map(|r| r.global.qbs_rejections).sum();
+    let evictions: u64 = suites[5].runs[n..].iter().map(|r| r.global.llc_evictions).sum();
+    println!(
+        "\nQBS traffic: {:.2} queries per LLC eviction, {:.1}% of queried candidates rejected",
+        queries as f64 / evictions.max(1) as f64,
+        rejections as f64 / queries.max(1) as f64 * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks of the simulator's hot paths: raw cache
+//! access throughput per replacement policy, hierarchy access under each
+//! TLA policy, and end-to-end simulation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tla_cache::{CacheConfig, Policy, SetAssocCache};
+use tla_core::{CacheHierarchy, HierarchyConfig, TlaPolicy};
+use tla_sim::{MixRun, SimConfig};
+use tla_types::{AccessKind, CoreId, LineAddr};
+use tla_workloads::SpecApp;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_access");
+    g.throughput(Throughput::Elements(1));
+    for policy in [Policy::Lru, Policy::Nru, Policy::Srrip, Policy::Plru, Policy::Random] {
+        g.bench_with_input(
+            BenchmarkId::new("touch_fill", policy.to_string()),
+            &policy,
+            |b, &policy| {
+                let cfg = CacheConfig::new("bench", 256 * 1024, 16, policy).unwrap();
+                let mut cache = SetAssocCache::new(cfg);
+                let mut i = 0u64;
+                b.iter(|| {
+                    let line = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % 8192);
+                    if !cache.touch(line) {
+                        cache.fill(line, false);
+                    }
+                    i += 1;
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hierarchy_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy_access");
+    g.throughput(Throughput::Elements(1));
+    for (label, tla) in [
+        ("baseline", TlaPolicy::baseline()),
+        ("tlh_l1", TlaPolicy::tlh_l1()),
+        ("eci", TlaPolicy::eci()),
+        ("qbs", TlaPolicy::qbs()),
+    ] {
+        g.bench_function(BenchmarkId::new("policy", label), |b| {
+            let cfg = HierarchyConfig::scaled(2, 8).tla(tla);
+            let mut h = CacheHierarchy::new(&cfg);
+            let mut i = 0u64;
+            b.iter(|| {
+                let core = CoreId::new((i % 2) as usize);
+                let line = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % 16384);
+                h.access(core, line, AccessKind::Load);
+                i += 1;
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("mix_25k_instr_per_thread", |b| {
+        let cfg = SimConfig::scaled_down().instructions(25_000);
+        b.iter(|| {
+            MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum])
+                .policy(TlaPolicy::qbs())
+                .run()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_hierarchy_access,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! Shared harness utilities for the figure/table benches.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation. Because the substrate is a simulator rather than the
+//! authors' testbed, the *shape* of each result (who wins, by roughly what
+//! factor, where crossovers fall) is the reproduction target, not the
+//! absolute numbers.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `TLA_FULL=1` — full fidelity: scale-1 caches, every sweep over all
+//!   105 mixes, longer windows. Hours of runtime.
+//! * `TLA_MEASURE=<n>` — measured instructions per thread
+//!   (default 300 000).
+//! * `TLA_WARMUP=<n>` — warm-up instructions per thread
+//!   (default 800 000).
+//! * `TLA_SCALE=<1|2|4|8>` — cache scale divisor (default 8).
+
+use tla_sim::{SimConfig, SuiteResult, Table};
+use tla_types::stats;
+use tla_workloads::{all_two_core_mixes, table2_mixes, Mix};
+
+/// Harness configuration resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchEnv {
+    /// The simulation configuration every run starts from.
+    pub cfg: SimConfig,
+    /// Whether `TLA_FULL` was requested.
+    pub full: bool,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl BenchEnv {
+    /// Reads the environment and builds the base configuration.
+    pub fn from_env() -> Self {
+        let full = std::env::var("TLA_FULL").is_ok_and(|v| v == "1");
+        let scale = env_u64("TLA_SCALE", if full { 1 } else { 8 });
+        let measure = env_u64("TLA_MEASURE", if full { 2_000_000 } else { 300_000 });
+        let warmup = env_u64("TLA_WARMUP", if full { 4_000_000 } else { 800_000 });
+        let cfg = SimConfig::paper()
+            .with_scale(scale)
+            .instructions(measure)
+            .warmup(warmup);
+        BenchEnv { cfg, full }
+    }
+
+    /// The 12 showcase mixes of Table II.
+    pub fn showcase_mixes(&self) -> Vec<Mix> {
+        table2_mixes()
+    }
+
+    /// The mix population for s-curves and `All(105)` averages: all 105
+    /// pairs (always — the s-curve is the point of those figures).
+    pub fn all_mixes(&self) -> Vec<Mix> {
+        all_two_core_mixes()
+    }
+
+    /// Prints the standard bench banner.
+    pub fn banner(&self, what: &str) {
+        eprintln!("[tla-bench] {what}");
+        eprintln!(
+            "[tla-bench] scale=1/{}  measure={}  warmup={}  full={}",
+            self.cfg.scale(),
+            self.cfg.instruction_quota(),
+            self.cfg.warmup_quota(),
+            self.full
+        );
+    }
+}
+
+impl Default for BenchEnv {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Formats a normalized-throughput value the way the paper's bar charts
+/// read (1.00 = baseline).
+pub fn fmt_norm(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// Builds the per-mix bar table the figures print: one row per showcase
+/// mix plus the `All(n)` geomean row over `all` results.
+///
+/// `series` pairs a label with (per-showcase-mix values, all-mix values).
+pub fn bar_table(
+    showcase: &[Mix],
+    series: &[(&str, Vec<f64>, Vec<f64>)],
+) -> Table {
+    let mut headers = vec!["mix"];
+    for (label, _, _) in series {
+        headers.push(label);
+    }
+    let mut t = Table::new(&headers);
+    for (i, mix) in showcase.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", mix.name, mix.category_label())];
+        for (_, vals, _) in series {
+            row.push(fmt_norm(vals[i]));
+        }
+        t.add_row(row);
+    }
+    let mut row = vec![format!("All({})", series[0].2.len())];
+    for (_, _, all) in series {
+        row.push(fmt_norm(
+            stats::geomean(all.iter().copied()).unwrap_or(0.0),
+        ));
+    }
+    t.add_row(row);
+    t
+}
+
+/// Prints an s-curve (sorted per-mix series) as deciles, the textual
+/// equivalent of the paper's s-curve plots. Series must share the mix
+/// population; each is sorted by the *reference* series' values (the
+/// paper sorts by non-inclusive performance).
+pub fn print_s_curve(title: &str, mixes: &[Mix], reference: &[f64], series: &[(&str, &[f64])]) {
+    println!("\n{title} (sorted by reference — deciles)");
+    let mut idx: Vec<usize> = (0..mixes.len()).collect();
+    idx.sort_by(|&a, &b| reference[a].partial_cmp(&reference[b]).unwrap());
+    let mut headers = vec!["percentile"];
+    for (label, _) in series {
+        headers.push(label);
+    }
+    let mut t = Table::new(&headers);
+    for pct in [0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+        let k = ((pct as f64 / 100.0) * (mixes.len() - 1) as f64).round() as usize;
+        let mut row = vec![format!("p{pct:<3} ({})", mixes[idx[k]].name)];
+        for (_, vals) in series {
+            row.push(fmt_norm(vals[idx[k]]));
+        }
+        t.add_row(row);
+    }
+    print!("{t}");
+}
+
+/// Extracts the normalized-throughput series of `suite` against
+/// `baseline`, split into (showcase values, all values) given that the
+/// suite ran over showcase ++ all concatenated. Convenience for benches
+/// that run one suite over both populations at once.
+pub fn split_series(
+    suite: &SuiteResult,
+    baseline: &SuiteResult,
+    n_showcase: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let all = suite.normalized_throughput(baseline);
+    (all[..n_showcase].to_vec(), all[n_showcase..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Do not set env vars (tests share the process env); just check
+        // the default path produces a valid config.
+        let env = BenchEnv::from_env();
+        assert!(env.cfg.instruction_quota() > 0);
+        assert_eq!(env.showcase_mixes().len(), 12);
+        assert_eq!(env.all_mixes().len(), 105);
+    }
+
+    #[test]
+    fn bar_table_shapes() {
+        let mixes = table2_mixes();
+        let series = vec![(
+            "QBS",
+            vec![1.0; 12],
+            vec![1.05; 105],
+        )];
+        let t = bar_table(&mixes, &series);
+        assert_eq!(t.len(), 13); // 12 mixes + All row
+        let s = t.to_string();
+        assert!(s.contains("All(105)"));
+        assert!(s.contains("1.050"));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_norm(1.2345), "1.234");
+        assert_eq!(fmt_pct(3.21), "+3.2%");
+    }
+}

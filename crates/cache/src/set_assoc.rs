@@ -1,0 +1,576 @@
+//! The set-associative cache structure.
+
+use crate::config::CacheConfig;
+use crate::line::{CoreBitmap, LineState};
+use crate::replacement::Replacer;
+use tla_types::{CoreId, LineAddr};
+
+/// A line displaced from a cache by a fill or an explicit eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Address of the displaced line.
+    pub addr: LineAddr,
+    /// Whether it was dirty (needs a write-back to the next level).
+    pub dirty: bool,
+    /// Directory bits the line carried (meaningful for the LLC).
+    pub cores: CoreBitmap,
+}
+
+/// Hit/miss counters for one cache, split by demand vs. prefetch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand lookups (ifetch/load/store).
+    pub demand_accesses: u64,
+    /// Demand lookups that missed.
+    pub demand_misses: u64,
+    /// Prefetch lookups.
+    pub prefetch_accesses: u64,
+    /// Prefetch lookups that missed.
+    pub prefetch_misses: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Valid lines displaced (by fills or invalidations).
+    pub evictions: u64,
+    /// Displaced lines that were dirty.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Demand hit count.
+    pub fn demand_hits(&self) -> u64 {
+        self.demand_accesses - self.demand_misses
+    }
+}
+
+/// A set-associative cache holding line metadata only (the simulator is
+/// trace-driven; no data payloads are modelled).
+///
+/// Replacement bookkeeping is delegated to a [`Replacer`]; the hierarchy
+/// layer drives inclusion, back-invalidation and the TLA policies through
+/// the explicit [`SetAssocCache::victim_order`] / [`SetAssocCache::evict_way`] /
+/// [`SetAssocCache::fill_way`] API, while simple uses go through
+/// [`SetAssocCache::touch`] and [`SetAssocCache::fill`].
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    cfg: CacheConfig,
+    lines: Vec<LineState>,
+    repl: Replacer,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with deterministic replacement seeded from the
+    /// cache name.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let seed = cfg
+            .name()
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            });
+        Self::with_seed(cfg, seed)
+    }
+
+    /// Creates an empty cache with an explicit replacement seed (only the
+    /// Random policy consumes it).
+    pub fn with_seed(cfg: CacheConfig, seed: u64) -> Self {
+        let repl = Replacer::new(cfg.policy(), cfg.sets(), seed);
+        let lines = vec![LineState::INVALID; cfg.sets() * cfg.ways()];
+        SetAssocCache {
+            cfg,
+            lines,
+            repl,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the hit/miss counters (cache contents are kept). Used when
+    /// freezing per-thread statistics after warm-up.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// The set index `line` maps to.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        self.cfg.set_of(line)
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let ways = self.cfg.ways();
+        set * ways..(set + 1) * ways
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        self.lines[self.set_range(set)]
+            .iter()
+            .position(|l| l.valid && l.addr == line)
+    }
+
+    /// Checks for presence without touching replacement state or counters —
+    /// the primitive a QBS query uses.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Looks `line` up as a demand access, updating replacement state and
+    /// counters. Returns `true` on a hit.
+    pub fn touch(&mut self, line: LineAddr) -> bool {
+        self.lookup(line, true)
+    }
+
+    /// Looks `line` up as a prefetch access (counted separately). Returns
+    /// `true` on a hit.
+    pub fn touch_prefetch(&mut self, line: LineAddr) -> bool {
+        self.lookup(line, false)
+    }
+
+    fn lookup(&mut self, line: LineAddr, demand: bool) -> bool {
+        let set = self.set_of(line);
+        let hit_way = self.find(line);
+        if demand {
+            self.stats.demand_accesses += 1;
+        } else {
+            self.stats.prefetch_accesses += 1;
+        }
+        match hit_way {
+            Some(way) => {
+                let range = self.set_range(set);
+                self.repl.on_hit(set, &mut self.lines[range], way);
+                true
+            }
+            None => {
+                if demand {
+                    self.stats.demand_misses += 1;
+                } else {
+                    self.stats.prefetch_misses += 1;
+                }
+                self.repl.on_miss(set);
+                false
+            }
+        }
+    }
+
+    /// Promotes `line` toward MRU if present (a TLH or QBS replacement-state
+    /// update). Returns `true` if the line was present.
+    pub fn promote(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        match self.find(line) {
+            Some(way) => {
+                let range = self.set_range(set);
+                self.repl.promote(set, &mut self.lines[range], way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks `line` dirty if present. Returns `true` if the line was present.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        match self.find(line) {
+            Some(way) => {
+                let idx = set * self.cfg.ways() + way;
+                self.lines[idx].dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills `line` choosing the victim with the cache's own policy
+    /// (invalid ways first). Returns the displaced line, if any.
+    ///
+    /// The hierarchy uses this for core caches; the LLC under TLA policies
+    /// uses the explicit [`SetAssocCache::victim_order`] path instead.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.fill_with_cores(line, dirty, CoreBitmap::EMPTY)
+    }
+
+    /// [`SetAssocCache::fill`] that also sets the LLC directory bits of the
+    /// new line.
+    pub fn fill_with_cores(
+        &mut self,
+        line: LineAddr,
+        dirty: bool,
+        cores: CoreBitmap,
+    ) -> Option<Evicted> {
+        debug_assert!(
+            self.find(line).is_none(),
+            "fill of already-present line {line:?}"
+        );
+        let set = self.set_of(line);
+        let way = match self.invalid_way(set) {
+            Some(w) => w,
+            None => {
+                let range = self.set_range(set);
+                
+                self
+                    .repl
+                    .victim(set, &self.lines[range])
+                    .expect("full set must have a victim")
+            }
+        };
+        let evicted = self.evict_way(set, way);
+        self.fill_way(set, way, line, dirty, cores);
+        evicted
+    }
+
+    /// First invalid way of `set`, if any.
+    pub fn invalid_way(&self, set: usize) -> Option<usize> {
+        self.lines[self.set_range(set)]
+            .iter()
+            .position(|l| !l.valid)
+    }
+
+    /// Valid ways of `set` in eviction-priority order (element 0 = victim,
+    /// element 1 = ECI's "next LRU line", ...), with their line addresses.
+    pub fn victim_order(&mut self, set: usize) -> Vec<(usize, LineAddr)> {
+        let range = self.set_range(set);
+        let lines = &self.lines[range.clone()];
+        self.repl
+            .order(set, lines)
+            .into_iter()
+            .map(|w| (w, lines[w].addr))
+            .collect()
+    }
+
+    /// Evicts the line in (`set`, `way`) if valid, returning it. Updates
+    /// eviction/writeback counters and lets the policy age the set.
+    pub fn evict_way(&mut self, set: usize, way: usize) -> Option<Evicted> {
+        let range = self.set_range(set);
+        let idx = range.start + way;
+        if !self.lines[idx].valid {
+            return None;
+        }
+        let lr = range.clone();
+        self.repl.on_evict(set, &mut self.lines[lr], way);
+        let l = self.lines[idx];
+        self.lines[idx] = LineState::INVALID;
+        self.stats.evictions += 1;
+        if l.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(Evicted {
+            addr: l.addr,
+            dirty: l.dirty,
+            cores: l.cores,
+        })
+    }
+
+    /// Fills `line` into an explicit (`set`, `way`) slot, which must be
+    /// invalid (evict first).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the slot is still valid or the line maps elsewhere.
+    pub fn fill_way(
+        &mut self,
+        set: usize,
+        way: usize,
+        line: LineAddr,
+        dirty: bool,
+        cores: CoreBitmap,
+    ) {
+        debug_assert_eq!(self.set_of(line), set, "line filled into wrong set");
+        let range = self.set_range(set);
+        let idx = range.start + way;
+        debug_assert!(!self.lines[idx].valid, "fill into occupied way");
+        self.lines[idx] = LineState {
+            addr: line,
+            valid: true,
+            dirty,
+            cores,
+            tag: false,
+            repl: 0,
+        };
+        self.stats.fills += 1;
+        let lr = range.clone();
+        self.repl.on_fill(set, &mut self.lines[lr], way);
+    }
+
+    /// Invalidates `line` if present, returning its state (dirtiness matters
+    /// to the caller: back-invalidated dirty lines must be written back).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<Evicted> {
+        let set = self.set_of(line);
+        let way = self.find(line)?;
+        self.evict_way(set, way)
+    }
+
+    /// Sets the policy tag bit of `line` if present. Returns `true` if the
+    /// line was present.
+    pub fn set_tag(&mut self, line: LineAddr, tag: bool) -> bool {
+        let set = self.set_of(line);
+        match self.find(line) {
+            Some(way) => {
+                self.lines[set * self.cfg.ways() + way].tag = tag;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads and clears the policy tag bit of `line`. Returns the previous
+    /// value, or `None` if the line is absent.
+    pub fn take_tag(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_of(line);
+        let way = self.find(line)?;
+        let idx = set * self.cfg.ways() + way;
+        let old = self.lines[idx].tag;
+        self.lines[idx].tag = false;
+        Some(old)
+    }
+
+    /// Adds `core` to the directory bits of `line` (LLC bookkeeping).
+    /// Returns `true` if the line was present.
+    pub fn add_sharer(&mut self, line: LineAddr, core: CoreId) -> bool {
+        let set = self.set_of(line);
+        match self.find(line) {
+            Some(way) => {
+                let idx = set * self.cfg.ways() + way;
+                self.lines[idx].cores.insert(core);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the directory bits of `line` (after the cores were
+    /// invalidated, e.g. by an ECI message). Returns `true` if the line was
+    /// present.
+    pub fn clear_sharers(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        match self.find(line) {
+            Some(way) => {
+                self.lines[set * self.cfg.ways() + way].cores = CoreBitmap::EMPTY;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Directory bits of `line`, if present.
+    pub fn sharers(&self, line: LineAddr) -> Option<CoreBitmap> {
+        let set = self.set_of(line);
+        self.find(line)
+            .map(|way| self.lines[set * self.cfg.ways() + way].cores)
+    }
+
+    /// Number of valid lines currently held (O(capacity); for tests and
+    /// reports, not the hot path).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over all valid lines (for invariant checks in tests).
+    pub fn iter_valid(&self) -> impl Iterator<Item = &LineState> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::Policy;
+
+    fn small(policy: Policy, sets: usize, ways: usize) -> SetAssocCache {
+        SetAssocCache::new(CacheConfig::with_sets("t", sets, ways, policy).unwrap())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(Policy::Lru, 4, 2);
+        let l = LineAddr::new(5);
+        assert!(!c.touch(l));
+        c.fill(l, false);
+        assert!(c.touch(l));
+        assert_eq!(c.stats().demand_accesses, 2);
+        assert_eq!(c.stats().demand_misses, 1);
+        assert_eq!(c.stats().demand_hits(), 1);
+    }
+
+    #[test]
+    fn fill_evicts_lru_line() {
+        let mut c = small(Policy::Lru, 1, 2);
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(1), false);
+        c.touch(LineAddr::new(0)); // 1 is now LRU
+        let ev = c.fill(LineAddr::new(2), false).unwrap();
+        assert_eq!(ev.addr, LineAddr::new(1));
+        assert!(!ev.dirty);
+        assert!(c.probe(LineAddr::new(0)));
+        assert!(c.probe(LineAddr::new(2)));
+        assert!(!c.probe(LineAddr::new(1)));
+    }
+
+    #[test]
+    fn dirty_line_reports_writeback() {
+        let mut c = small(Policy::Lru, 1, 1);
+        c.fill(LineAddr::new(0), true);
+        let ev = c.fill(LineAddr::new(1), false).unwrap();
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn mark_dirty_after_fill() {
+        let mut c = small(Policy::Lru, 1, 1);
+        c.fill(LineAddr::new(0), false);
+        assert!(c.mark_dirty(LineAddr::new(0)));
+        assert!(!c.mark_dirty(LineAddr::new(9)));
+        let ev = c.fill(LineAddr::new(1), false).unwrap();
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn probe_does_not_count_or_touch() {
+        let mut c = small(Policy::Lru, 1, 2);
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(1), false);
+        // Probing 0 must not protect it.
+        assert!(c.probe(LineAddr::new(0)));
+        assert_eq!(c.stats().demand_accesses, 0);
+        let ev = c.fill(LineAddr::new(2), false).unwrap();
+        assert_eq!(ev.addr, LineAddr::new(0));
+    }
+
+    #[test]
+    fn promote_protects_line() {
+        let mut c = small(Policy::Lru, 1, 2);
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(1), false);
+        assert!(c.promote(LineAddr::new(0)));
+        let ev = c.fill(LineAddr::new(2), false).unwrap();
+        assert_eq!(ev.addr, LineAddr::new(1));
+        assert!(!c.promote(LineAddr::new(42)));
+    }
+
+    #[test]
+    fn victim_order_matches_policy() {
+        let mut c = small(Policy::Lru, 1, 4);
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), false);
+        }
+        c.touch(LineAddr::new(0));
+        let order = c.victim_order(0);
+        let addrs: Vec<u64> = order.iter().map(|(_, a)| a.raw()).collect();
+        assert_eq!(addrs, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn explicit_evict_fill_roundtrip() {
+        let mut c = small(Policy::Nru, 1, 2);
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(1), true);
+        let set = c.set_of(LineAddr::new(1));
+        let order = c.victim_order(set);
+        let (way, addr) = order[0];
+        let ev = c.evict_way(set, way).unwrap();
+        assert_eq!(ev.addr, addr);
+        c.fill_way(set, way, LineAddr::new(3), false, CoreBitmap::EMPTY);
+        assert!(c.probe(LineAddr::new(3)));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_returns_state() {
+        let mut c = small(Policy::Lru, 2, 2);
+        c.fill(LineAddr::new(4), true);
+        let ev = c.invalidate(LineAddr::new(4)).unwrap();
+        assert!(ev.dirty);
+        assert!(c.invalidate(LineAddr::new(4)).is_none());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn sharer_tracking() {
+        let mut c = small(Policy::Nru, 1, 2);
+        let l = LineAddr::new(0);
+        c.fill_with_cores(l, false, CoreBitmap::single(CoreId::new(0)));
+        assert!(c.add_sharer(l, CoreId::new(1)));
+        let s = c.sharers(l).unwrap();
+        assert!(s.contains(CoreId::new(0)) && s.contains(CoreId::new(1)));
+        assert!(!c.add_sharer(LineAddr::new(99), CoreId::new(0)));
+        assert!(c.sharers(LineAddr::new(99)).is_none());
+        // Eviction carries the bits out.
+        c.fill(LineAddr::new(2), false);
+        let ev = c.fill(LineAddr::new(4), false).unwrap();
+        assert!(!ev.cores.is_empty() || ev.addr != l || c.probe(l));
+    }
+
+    #[test]
+    fn tag_bit_set_and_take() {
+        let mut c = small(Policy::Lru, 1, 2);
+        let l = LineAddr::new(0);
+        assert!(!c.set_tag(l, true), "absent line cannot be tagged");
+        c.fill(l, false);
+        assert!(c.set_tag(l, true));
+        assert_eq!(c.take_tag(l), Some(true));
+        assert_eq!(c.take_tag(l), Some(false), "take clears the bit");
+        assert_eq!(c.take_tag(LineAddr::new(9)), None);
+    }
+
+    #[test]
+    fn tag_bit_cleared_by_refill() {
+        let mut c = small(Policy::Lru, 1, 1);
+        c.fill(LineAddr::new(0), false);
+        c.set_tag(LineAddr::new(0), true);
+        c.fill(LineAddr::new(1), false); // evicts 0
+        c.fill(LineAddr::new(0), false); // wait: set full; evicts 1
+        assert_eq!(c.take_tag(LineAddr::new(0)), Some(false));
+    }
+
+    #[test]
+    fn clear_sharers_empties_directory() {
+        let mut c = small(Policy::Nru, 1, 2);
+        let l = LineAddr::new(0);
+        c.fill_with_cores(l, false, CoreBitmap::single(CoreId::new(3)));
+        assert!(!c.sharers(l).unwrap().is_empty());
+        assert!(c.clear_sharers(l));
+        assert!(c.sharers(l).unwrap().is_empty());
+        assert!(!c.clear_sharers(LineAddr::new(9)));
+    }
+
+    #[test]
+    fn prefetch_counted_separately() {
+        let mut c = small(Policy::Lru, 1, 2);
+        assert!(!c.touch_prefetch(LineAddr::new(0)));
+        c.fill(LineAddr::new(0), false);
+        assert!(c.touch_prefetch(LineAddr::new(0)));
+        assert_eq!(c.stats().prefetch_accesses, 2);
+        assert_eq!(c.stats().prefetch_misses, 1);
+        assert_eq!(c.stats().demand_accesses, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small(Policy::Lru, 1, 2);
+        c.fill(LineAddr::new(0), false);
+        c.touch(LineAddr::new(0));
+        c.reset_stats();
+        assert_eq!(c.stats().demand_accesses, 0);
+        assert!(c.probe(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn lines_map_to_correct_sets() {
+        let mut c = small(Policy::Lru, 4, 2);
+        for i in 0..8u64 {
+            c.fill(LineAddr::new(i), false);
+        }
+        assert_eq!(c.occupancy(), 8);
+        for l in c.iter_valid() {
+            assert_eq!(c.set_of(l.addr), (l.addr.raw() % 4) as usize);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! A small fully-associative victim cache.
+//!
+//! §VI compares ECI/QBS against "an inclusive LLC backed by a 32-entry
+//! victim cache" (the Fletcher et al. approach): lines evicted from the LLC
+//! park here with their directory bits, inclusion back-invalidation is
+//! deferred until a line falls out of the victim cache, and an LLC miss that
+//! hits the victim cache is rescued back into the LLC.
+
+use crate::line::CoreBitmap;
+use tla_types::LineAddr;
+
+/// One parked line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimEntry {
+    /// The parked line.
+    pub addr: LineAddr,
+    /// Whether it is dirty.
+    pub dirty: bool,
+    /// Directory bits it carried when evicted from the LLC.
+    pub cores: CoreBitmap,
+}
+
+/// Fully-associative LRU victim cache.
+#[derive(Debug, Clone)]
+pub struct VictimCache {
+    entries: Vec<(VictimEntry, u64)>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    lookups: u64,
+}
+
+impl VictimCache {
+    /// Creates an empty victim cache holding up to `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "victim cache capacity must be at least 1");
+        VictimCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy in lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the victim cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Inserts a line evicted from the LLC. If the victim cache is full its
+    /// LRU entry is displaced and returned — the caller must then perform
+    /// the deferred inclusion back-invalidation for that entry.
+    pub fn insert(&mut self, entry: VictimEntry) -> Option<VictimEntry> {
+        debug_assert!(
+            !self.entries.iter().any(|(e, _)| e.addr == entry.addr),
+            "line already parked in victim cache"
+        );
+        self.stamp += 1;
+        let displaced = if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("full victim cache has entries");
+            Some(self.entries.swap_remove(lru).0)
+        } else {
+            None
+        };
+        self.entries.push((entry, self.stamp));
+        displaced
+    }
+
+    /// Removes and returns `line` if parked here (an LLC miss rescuing the
+    /// line back). Counts as a lookup.
+    pub fn take(&mut self, line: LineAddr) -> Option<VictimEntry> {
+        self.lookups += 1;
+        let pos = self.entries.iter().position(|(e, _)| e.addr == line)?;
+        self.hits += 1;
+        Some(self.entries.swap_remove(pos).0)
+    }
+
+    /// Whether `line` is parked here, without removing it.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|(e, _)| e.addr == line)
+    }
+
+    /// Marks a parked line dirty (a core wrote back while the line was
+    /// parked with deferred back-invalidation). Returns `true` if the line
+    /// was present.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        match self.entries.iter_mut().find(|(e, _)| e.addr == line) {
+            Some((e, _)) => {
+                e.dirty = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> VictimEntry {
+        VictimEntry {
+            addr: LineAddr::new(n),
+            dirty: n % 2 == 1,
+            cores: CoreBitmap::EMPTY,
+        }
+    }
+
+    #[test]
+    fn insert_then_take() {
+        let mut vc = VictimCache::new(4);
+        assert!(vc.insert(entry(1)).is_none());
+        assert_eq!(vc.len(), 1);
+        let got = vc.take(LineAddr::new(1)).unwrap();
+        assert_eq!(got.addr, LineAddr::new(1));
+        assert!(got.dirty);
+        assert!(vc.is_empty());
+        assert_eq!(vc.hits(), 1);
+        assert_eq!(vc.lookups(), 1);
+    }
+
+    #[test]
+    fn take_missing_counts_lookup() {
+        let mut vc = VictimCache::new(2);
+        assert!(vc.take(LineAddr::new(9)).is_none());
+        assert_eq!(vc.lookups(), 1);
+        assert_eq!(vc.hits(), 0);
+    }
+
+    #[test]
+    fn overflows_displace_lru() {
+        let mut vc = VictimCache::new(2);
+        vc.insert(entry(1));
+        vc.insert(entry(2));
+        let displaced = vc.insert(entry(3)).unwrap();
+        assert_eq!(displaced.addr, LineAddr::new(1));
+        assert!(vc.probe(LineAddr::new(2)));
+        assert!(vc.probe(LineAddr::new(3)));
+        assert_eq!(vc.len(), 2);
+    }
+
+    #[test]
+    fn take_refreshes_nothing_but_removal_order_respected() {
+        let mut vc = VictimCache::new(2);
+        vc.insert(entry(1));
+        vc.insert(entry(2));
+        // Rescue 1; inserting 3 then 4 should displace 2 first.
+        vc.take(LineAddr::new(1));
+        vc.insert(entry(3));
+        let displaced = vc.insert(entry(4)).unwrap();
+        assert_eq!(displaced.addr, LineAddr::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = VictimCache::new(0);
+    }
+}
+
+#[cfg(test)]
+mod dirty_tests {
+    use super::*;
+
+    #[test]
+    fn mark_dirty_on_parked_line() {
+        let mut vc = VictimCache::new(2);
+        vc.insert(VictimEntry {
+            addr: LineAddr::new(4),
+            dirty: false,
+            cores: CoreBitmap::EMPTY,
+        });
+        assert!(vc.mark_dirty(LineAddr::new(4)));
+        assert!(!vc.mark_dirty(LineAddr::new(5)));
+        let e = vc.take(LineAddr::new(4)).unwrap();
+        assert!(e.dirty, "dirty writeback must stick to the parked line");
+    }
+}

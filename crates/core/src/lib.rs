@@ -1,0 +1,63 @@
+//! Temporal Locality Aware (TLA) cache management — the paper's primary
+//! contribution.
+//!
+//! An inclusive last-level cache must back-invalidate every line it evicts
+//! from all core caches. Because core-cache hits are invisible to the LLC,
+//! the LLC replacement state of "hot" lines decays and they get evicted —
+//! becoming **inclusion victims** — even while a core is actively using
+//! them. This crate implements the paper's three remedies on top of a
+//! three-level hierarchy ([`CacheHierarchy`]):
+//!
+//! * **[Temporal Locality Hints](TlaPolicy::tlh_l1)** — core-cache hits send
+//!   a non-data hint that promotes the line in the LLC (a limit study:
+//!   hint bandwidth is not modelled).
+//! * **[Early Core Invalidation](TlaPolicy::eci)** — on each LLC miss the
+//!   *next* potential victim is invalidated early from the core caches but
+//!   kept in the LLC; a prompt re-request hits the LLC and re-derives the
+//!   line's temporal locality.
+//! * **[Query Based Selection](TlaPolicy::qbs)** — the LLC queries the core
+//!   caches before evicting; resident lines are promoted to MRU and the
+//!   next candidate is tried.
+//!
+//! The same hierarchy also models the paper's comparison points:
+//! [non-inclusive](InclusionPolicy::NonInclusive) and
+//! [exclusive](InclusionPolicy::Exclusive) hierarchies, and an inclusive
+//! LLC backed by a victim cache (§VI).
+//!
+//! # Examples
+//!
+//! Reproduce the paper's Figure 3 walkthrough — the reference pattern
+//! `a,b,a,c,a,d,a,e,…` makes `a` an inclusion victim under the baseline,
+//! while QBS preserves it:
+//!
+//! ```
+//! use tla_core::{CacheHierarchy, HierarchyConfig, InclusionPolicy, TlaPolicy};
+//! use tla_types::{AccessKind, CoreId, LineAddr};
+//!
+//! fn run(policy: TlaPolicy) -> u64 {
+//!     let cfg = HierarchyConfig::tiny_fig3().tla(policy);
+//!     let mut h = CacheHierarchy::new(&cfg);
+//!     let a = LineAddr::new(1);
+//!     let core = CoreId::new(0);
+//!     // a, b, a, c, a, d, a, e, a, f, a ...
+//!     for (i, x) in [1u64, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1].iter().enumerate() {
+//!         let _ = i;
+//!         h.access(core, LineAddr::new(*x), AccessKind::Load);
+//!     }
+//!     let _ = a;
+//!     h.per_core_stats(core).inclusion_victims_l1
+//! }
+//!
+//! assert!(run(TlaPolicy::baseline()) > 0); // 'a' suffers inclusion victims
+//! assert_eq!(run(TlaPolicy::qbs()), 0);    // QBS rescues 'a'
+//! ```
+
+mod config;
+mod hierarchy;
+mod policy;
+mod stats;
+
+pub use config::{HierarchyConfig, InclusionPolicy, VictimCacheConfig};
+pub use hierarchy::CacheHierarchy;
+pub use policy::{QbsConfig, TlaPolicy, TlhConfig};
+pub use stats::{GlobalStats, PerCoreStats};

@@ -1,0 +1,184 @@
+//! Simulation configuration.
+
+use tla_cpu::CoreModelConfig;
+
+/// Top-level simulation parameters shared by every run of an experiment.
+///
+/// `scale` divides every cache capacity (and, through
+/// [`tla_workloads::SpecApp::params`], every working set) by the same
+/// factor, preserving all capacity ratios — the quantity the paper's
+/// results depend on — while letting laptop-scale sweeps finish.
+///
+/// # Examples
+///
+/// ```
+/// use tla_sim::SimConfig;
+///
+/// let cfg = SimConfig::paper();         // full-size §IV-A hierarchy
+/// assert_eq!(cfg.scale(), 1);
+/// let fast = SimConfig::scaled_down();  // 1/8-size, same ratios
+/// assert_eq!(fast.scale(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    scale: u64,
+    instructions: u64,
+    warmup: u64,
+    core: CoreModelConfig,
+    seed: u64,
+    prefetch: bool,
+}
+
+impl SimConfig {
+    /// The paper's full-size configuration (§IV-A) with a default quota of
+    /// 1 M instructions per thread (the paper simulates 250 M; raise with
+    /// [`SimConfig::instructions`] when time allows).
+    pub fn paper() -> Self {
+        SimConfig {
+            scale: 1,
+            instructions: 1_000_000,
+            warmup: 0,
+            core: CoreModelConfig::default(),
+            seed: 0xC0FFEE,
+            prefetch: true,
+        }
+    }
+
+    /// The 1/8-scaled configuration the bench harness defaults to:
+    /// 4 KB L1I/D, 32 KB L2, 256 KB LLC — identical ratios, ~8x less work
+    /// to exercise the same number of sets.
+    pub fn scaled_down() -> Self {
+        SimConfig {
+            scale: 8,
+            ..Self::paper()
+        }
+    }
+
+    /// Sets the cache scale divisor explicitly (1, 2, 4 or 8).
+    #[must_use]
+    pub fn with_scale(mut self, scale: u64) -> Self {
+        assert!(
+            [1, 2, 4, 8].contains(&scale),
+            "scale must be 1, 2, 4 or 8 to keep geometries valid"
+        );
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the per-thread instruction quota.
+    #[must_use]
+    pub fn instructions(mut self, n: u64) -> Self {
+        assert!(n > 0, "instruction quota must be positive");
+        self.instructions = n;
+        self
+    }
+
+    /// Sets a warm-up phase: each thread first commits this many
+    /// instructions with statistics discarded, then the measured quota
+    /// starts. Inclusion-victim dynamics only reach steady state once the
+    /// slower thread has cycled the LLC a few times; the paper's 250 M
+    /// instruction runs amortize warm-up implicitly, shorter runs should
+    /// set it explicitly.
+    #[must_use]
+    pub fn warmup(mut self, n: u64) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Warm-up instructions per thread.
+    pub fn warmup_quota(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Replaces the core timing model configuration.
+    #[must_use]
+    pub fn core_model(mut self, core: CoreModelConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Sets the master seed (workload streams and policy randomness derive
+    /// from it deterministically).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the L2 stream prefetcher (Table I measures MPKI
+    /// without prefetching).
+    #[must_use]
+    pub fn prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Cache scale divisor.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Per-thread instruction quota.
+    pub fn instruction_quota(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Core timing model configuration.
+    pub fn core_config(&self) -> &CoreModelConfig {
+        &self.core
+    }
+
+    /// Master seed.
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether the prefetcher is enabled.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::scaled_down()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(SimConfig::paper().scale(), 1);
+        assert_eq!(SimConfig::scaled_down().scale(), 8);
+        assert_eq!(SimConfig::default(), SimConfig::scaled_down());
+        assert!(SimConfig::paper().prefetch_enabled());
+    }
+
+    #[test]
+    fn setters() {
+        let cfg = SimConfig::paper()
+            .with_scale(4)
+            .instructions(42)
+            .seed(9)
+            .prefetch(false);
+        assert_eq!(cfg.scale(), 4);
+        assert_eq!(cfg.instruction_quota(), 42);
+        assert_eq!(cfg.seed_value(), 9);
+        assert!(!cfg.prefetch_enabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn bad_scale_panics() {
+        let _ = SimConfig::paper().with_scale(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_quota_panics() {
+        let _ = SimConfig::paper().instructions(0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The CMP simulator: multiprogrammed runs, metrics and experiment
+//! harness.
+//!
+//! This crate glues the substrates together exactly as §IV describes:
+//! one [`tla_cpu::CoreModel`] per core driven by a
+//! [`tla_workloads::SyntheticTrace`], all sharing one
+//! [`tla_core::CacheHierarchy`]. Cores are interleaved in timestamp order
+//! (the core with the smallest local clock issues next), per-thread
+//! statistics freeze when the thread commits its instruction quota, and
+//! faster threads keep running to compete for cache space, as in §IV-B.
+//!
+//! # Examples
+//!
+//! ```
+//! use tla_sim::{MixRun, PolicySpec, SimConfig};
+//! use tla_workloads::SpecApp;
+//!
+//! let cfg = SimConfig::scaled_down().instructions(10_000);
+//! let mix = [SpecApp::Sjeng, SpecApp::Libquantum];
+//! let result = MixRun::new(&cfg, &mix).spec(&PolicySpec::qbs()).run();
+//! assert_eq!(result.threads.len(), 2);
+//! assert!(result.throughput() > 0.0);
+//! ```
+
+mod config;
+mod policyspec;
+mod report;
+mod run;
+mod runner;
+
+pub use config::SimConfig;
+pub use policyspec::PolicySpec;
+pub use report::Table;
+pub use run::{MixRun, RunResult, ThreadResult};
+pub use runner::{
+    mpki_table, normalized_throughput, run_alone, run_mix_suite, SuiteResult, Table1Row,
+};

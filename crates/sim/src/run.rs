@@ -1,0 +1,402 @@
+//! One multiprogrammed simulation run.
+
+use crate::config::SimConfig;
+use crate::policyspec::PolicySpec;
+use tla_core::{CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, PerCoreStats,
+    TlaPolicy, VictimCacheConfig};
+use tla_cpu::CoreModel;
+use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
+use tla_workloads::{SpecApp, SyntheticTrace, TraceSource};
+
+/// Frozen results of one thread (statistics collected over exactly the
+/// configured instruction quota, as in §IV-B).
+#[derive(Debug, Clone)]
+pub struct ThreadResult {
+    /// The benchmark this thread ran.
+    pub app: SpecApp,
+    /// Instructions committed before the freeze.
+    pub instructions: u64,
+    /// Cycles elapsed when the quota retired.
+    pub cycles: Cycle,
+    /// Hierarchy counters attributed to this thread at the freeze point.
+    pub stats: PerCoreStats,
+}
+
+impl ThreadResult {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Combined L1 misses per 1000 instructions.
+    pub fn l1_mpki(&self) -> f64 {
+        stats::mpki(self.stats.l1_misses(), self.instructions)
+    }
+
+    /// L2 misses per 1000 instructions.
+    pub fn l2_mpki(&self) -> f64 {
+        stats::mpki(self.stats.l2_misses, self.instructions)
+    }
+
+    /// LLC (demand) misses per 1000 instructions.
+    pub fn llc_mpki(&self) -> f64 {
+        stats::mpki(self.stats.llc_misses, self.instructions)
+    }
+}
+
+/// The outcome of one [`MixRun`].
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-thread results in core order.
+    pub threads: Vec<ThreadResult>,
+    /// Whole-hierarchy message counters over the entire run (including the
+    /// post-freeze tail of faster threads).
+    pub global: GlobalStats,
+    /// The policy configuration that produced this result.
+    pub spec_name: String,
+}
+
+impl RunResult {
+    /// Throughput: the sum of per-thread IPCs (the paper's throughput
+    /// metric, footnote 5).
+    pub fn throughput(&self) -> f64 {
+        self.threads.iter().map(ThreadResult::ipc).sum()
+    }
+
+    /// Weighted speedup given each thread's isolated IPC:
+    /// `sum(IPC_shared / IPC_alone)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone_ipc` has the wrong length.
+    pub fn weighted_speedup(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(alone_ipc.len(), self.threads.len());
+        self.threads
+            .iter()
+            .zip(alone_ipc)
+            .map(|(t, &a)| if a > 0.0 { t.ipc() / a } else { 0.0 })
+            .sum()
+    }
+
+    /// Harmonic-mean fairness metric: `N / sum(IPC_alone / IPC_shared)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alone_ipc` has the wrong length.
+    pub fn hmean_fairness(&self, alone_ipc: &[f64]) -> f64 {
+        assert_eq!(alone_ipc.len(), self.threads.len());
+        let inv: f64 = self
+            .threads
+            .iter()
+            .zip(alone_ipc)
+            .map(|(t, &a)| {
+                let ipc = t.ipc();
+                if ipc > 0.0 {
+                    a / ipc
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .sum();
+        self.threads.len() as f64 / inv
+    }
+
+    /// Total demand LLC misses across threads (within their quotas).
+    pub fn llc_misses(&self) -> u64 {
+        self.threads.iter().map(|t| t.stats.llc_misses).sum()
+    }
+
+    /// Total inclusion victims suffered across threads.
+    pub fn inclusion_victims(&self) -> u64 {
+        self.threads.iter().map(|t| t.stats.inclusion_victims()).sum()
+    }
+}
+
+/// Builder for one simulation run of a workload mix under one policy.
+///
+/// # Examples
+///
+/// ```
+/// use tla_sim::{MixRun, SimConfig};
+/// use tla_core::TlaPolicy;
+/// use tla_workloads::SpecApp;
+///
+/// let cfg = SimConfig::scaled_down().instructions(5_000);
+/// let r = MixRun::new(&cfg, &[SpecApp::DealII, SpecApp::Mcf])
+///     .policy(TlaPolicy::eci())
+///     .run();
+/// assert_eq!(r.threads[0].app, SpecApp::DealII);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixRun<'a> {
+    cfg: &'a SimConfig,
+    apps: Vec<SpecApp>,
+    spec: PolicySpec,
+    llc_capacity_full_scale: Option<usize>,
+}
+
+impl<'a> MixRun<'a> {
+    /// Prepares a run of `apps` (one per core) under the inclusive
+    /// baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new(cfg: &'a SimConfig, apps: &[SpecApp]) -> Self {
+        assert!(!apps.is_empty(), "a mix needs at least one app");
+        MixRun {
+            cfg,
+            apps: apps.to_vec(),
+            spec: PolicySpec::baseline(),
+            llc_capacity_full_scale: None,
+        }
+    }
+
+    /// Sets the whole policy configuration at once.
+    #[must_use]
+    pub fn spec(mut self, spec: &PolicySpec) -> Self {
+        self.spec = spec.clone();
+        self
+    }
+
+    /// Sets just the TLA policy (keeping the inclusive base).
+    #[must_use]
+    pub fn policy(mut self, tla: TlaPolicy) -> Self {
+        self.spec.name = tla.label();
+        self.spec.tla = tla;
+        self
+    }
+
+    /// Sets just the inclusion mode.
+    #[must_use]
+    pub fn inclusion(mut self, inclusion: InclusionPolicy) -> Self {
+        self.spec.inclusion = inclusion;
+        self
+    }
+
+    /// Overrides the LLC capacity, expressed at full (scale 1) size — e.g.
+    /// `8 * 1024 * 1024` for the paper's 8 MB point; the configured scale
+    /// divisor is applied automatically.
+    #[must_use]
+    pub fn llc_capacity_full_scale(mut self, bytes: usize) -> Self {
+        self.llc_capacity_full_scale = Some(bytes);
+        self
+    }
+
+    /// Executes the run to completion.
+    pub fn run(self) -> RunResult {
+        let n_cores = self.apps.len();
+        let scale = self.cfg.scale();
+        let mut hcfg: HierarchyConfig = HierarchyConfig::scaled(n_cores, scale as usize)
+            .inclusion_policy(self.spec.inclusion)
+            .tla(self.spec.tla)
+            .seed(self.cfg.seed_value());
+        if let Some(entries) = self.spec.victim_cache {
+            hcfg = hcfg.victim_cache(VictimCacheConfig { entries });
+        }
+        if let Some(policy) = self.spec.llc_replacement {
+            hcfg = hcfg.llc_policy(policy);
+        }
+        if let Some(bytes) = self.llc_capacity_full_scale {
+            hcfg = hcfg.llc_capacity(bytes / scale as usize);
+        }
+        if !self.cfg.prefetch_enabled() {
+            hcfg = hcfg.prefetcher(None);
+        }
+
+        let mut hier = CacheHierarchy::new(&hcfg);
+        let mut cores: Vec<CoreModel> = (0..n_cores)
+            .map(|_| CoreModel::new(*self.cfg.core_config()))
+            .collect();
+        let mut traces: Vec<SyntheticTrace> = self
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| app.trace(scale, i as u64, self.cfg.seed_value()))
+            .collect();
+        let mut last_code_line: Vec<Option<LineAddr>> = vec![None; n_cores];
+        let mut frozen: Vec<Option<ThreadResult>> = vec![None; n_cores];
+        let warmup = self.cfg.warmup_quota();
+        let quota = warmup + self.cfg.instruction_quota();
+        // Per-thread snapshot taken when the thread crosses the warm-up
+        // boundary: (cycles, stats).
+        let mut warm_mark: Vec<Option<(u64, PerCoreStats)>> =
+            vec![if warmup == 0 { Some((0, PerCoreStats::default())) } else { None }; n_cores];
+        let mut remaining = n_cores;
+
+        while remaining > 0 {
+            // Step the core with the smallest local clock so shared-LLC
+            // access order is timestamp-accurate.
+            let i = (0..n_cores)
+                .min_by_key(|&i| cores[i].now())
+                .expect("at least one core");
+            let core_id = CoreId::new(i);
+            let instr = traces[i].next_instruction();
+
+            let ifetch = if last_code_line[i] != Some(instr.code_line) {
+                last_code_line[i] = Some(instr.code_line);
+                Some(hier.access(core_id, instr.code_line, AccessKind::IFetch))
+            } else {
+                None
+            };
+            let mem = instr
+                .mem
+                .map(|m| (m.kind, hier.access(core_id, m.addr, m.kind)));
+            cores[i].step(ifetch, mem);
+
+            if warm_mark[i].is_none() && cores[i].retired() >= warmup {
+                warm_mark[i] = Some((cores[i].cycles(), *hier.per_core_stats(core_id)));
+            }
+            if frozen[i].is_none() && cores[i].retired() >= quota {
+                let (warm_cycles, warm_stats) =
+                    warm_mark[i].take().expect("warm mark precedes freeze");
+                frozen[i] = Some(ThreadResult {
+                    app: self.apps[i],
+                    instructions: cores[i].retired() - warmup,
+                    cycles: cores[i].cycles() - warm_cycles,
+                    stats: hier.per_core_stats(core_id).since(&warm_stats),
+                });
+                remaining -= 1;
+            }
+        }
+
+        RunResult {
+            threads: frozen.into_iter().map(|t| t.expect("all frozen")).collect(),
+            global: *hier.global_stats(),
+            spec_name: self.spec.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimConfig {
+        SimConfig::scaled_down().instructions(20_000)
+    }
+
+    #[test]
+    fn single_core_run_completes() {
+        let cfg = quick();
+        let r = MixRun::new(&cfg, &[SpecApp::Sjeng]).run();
+        assert_eq!(r.threads.len(), 1);
+        let t = &r.threads[0];
+        assert_eq!(t.instructions, 20_000);
+        assert!(t.ipc() > 0.0 && t.ipc() <= 4.0);
+        assert!(t.cycles > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = quick();
+        let a = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum]).run();
+        let b = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum]).run();
+        assert_eq!(a.threads[0].cycles, b.threads[0].cycles);
+        assert_eq!(a.threads[1].stats, b.threads[1].stats);
+        assert_eq!(a.global, b.global);
+    }
+
+    #[test]
+    fn thrasher_has_lower_ipc_than_ccf_app() {
+        let cfg = quick();
+        let r = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum]).run();
+        let sje = r.threads[0].ipc();
+        let lib = r.threads[1].ipc();
+        assert!(sje > lib, "sjeng {sje} should outrun libquantum {lib}");
+    }
+
+    #[test]
+    fn throughput_sums_ipcs() {
+        let cfg = quick();
+        let r = MixRun::new(&cfg, &[SpecApp::DealII, SpecApp::DealII]).run();
+        let sum = r.threads[0].ipc() + r.threads[1].ipc();
+        assert!((r.throughput() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_and_fairness_bounds() {
+        let cfg = quick();
+        let alone = MixRun::new(&cfg, &[SpecApp::Sjeng]).run().threads[0].ipc();
+        let r = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Sjeng]).run();
+        let ws = r.weighted_speedup(&[alone, alone]);
+        assert!(ws > 0.0 && ws <= 2.2, "ws = {ws}");
+        let hf = r.hmean_fairness(&[alone, alone]);
+        assert!(hf > 0.0 && hf <= 1.2, "hf = {hf}");
+    }
+
+    #[test]
+    fn llc_capacity_override_shrinks_cache() {
+        // Needs enough instructions for calculix's LLC-sized loop to wrap
+        // (capacity misses only appear after the first lap).
+        let cfg = quick().instructions(300_000);
+        // 1 MB (full-scale) LLC vs 8 MB: the smaller LLC must miss more for
+        // an LLC-fitting app.
+        let small = MixRun::new(&cfg, &[SpecApp::Calculix])
+            .llc_capacity_full_scale(1024 * 1024)
+            .run();
+        let big = MixRun::new(&cfg, &[SpecApp::Calculix])
+            .llc_capacity_full_scale(8 * 1024 * 1024)
+            .run();
+        assert!(small.llc_misses() > big.llc_misses());
+    }
+
+    #[test]
+    fn policy_spec_plumbs_through() {
+        // Long enough for mcf's streaming to fill the LLC and force
+        // evictions (QBS only acts once victims must be chosen).
+        let cfg = quick().instructions(150_000);
+        let r = MixRun::new(&cfg, &[SpecApp::Povray, SpecApp::Mcf])
+            .spec(&PolicySpec::qbs())
+            .run();
+        assert_eq!(r.spec_name, "QBS");
+        assert!(r.global.qbs_queries > 0);
+        let r = MixRun::new(&cfg, &[SpecApp::Povray, SpecApp::Mcf])
+            .spec(&PolicySpec::non_inclusive())
+            .run();
+        assert_eq!(r.global.back_invalidates, 0);
+        assert_eq!(r.inclusion_victims(), 0);
+    }
+
+    #[test]
+    fn prefetch_toggle_changes_traffic() {
+        let on = MixRun::new(&quick(), &[SpecApp::Libquantum]).run();
+        let cfg_off = quick().prefetch(false);
+        let off = MixRun::new(&cfg_off, &[SpecApp::Libquantum]).run();
+        assert!(on.global.prefetches > 0);
+        assert_eq!(off.global.prefetches, 0);
+        // Streaming benefits from the stream prefetcher.
+        assert!(on.threads[0].ipc() > off.threads[0].ipc());
+    }
+
+    #[test]
+    fn warmup_excludes_cold_misses() {
+        // dealII's working set fits its L1: with warm-up the measured LLC
+        // MPKI is ~0; without it the cold fills dominate.
+        let cold = MixRun::new(&quick(), &[SpecApp::DealII]).run();
+        let cfg = quick().warmup(60_000);
+        let warm = MixRun::new(&cfg, &[SpecApp::DealII]).run();
+        assert!(warm.threads[0].llc_mpki() < cold.threads[0].llc_mpki());
+        assert_eq!(warm.threads[0].instructions, 20_000);
+    }
+
+    #[test]
+    fn warmup_preserves_determinism() {
+        let cfg = quick().warmup(30_000);
+        let a = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Wrf]).run();
+        let b = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Wrf]).run();
+        assert_eq!(a.threads[0].stats, b.threads[0].stats);
+        assert_eq!(a.threads[1].cycles, b.threads[1].cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one app")]
+    fn empty_mix_panics() {
+        let cfg = quick();
+        let _ = MixRun::new(&cfg, &[]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Experiment helpers shared by the bench harness: isolated runs, Table I
+//! MPKI measurement, and policy suites over mix lists.
+
+use crate::config::SimConfig;
+use crate::policyspec::PolicySpec;
+use crate::run::{MixRun, RunResult, ThreadResult};
+use tla_workloads::{Mix, SpecApp};
+
+/// Runs `app` alone on a single core (for Table I and weighted speedups).
+pub fn run_alone(cfg: &SimConfig, app: SpecApp) -> ThreadResult {
+    MixRun::new(cfg, &[app]).run().threads.remove(0)
+}
+
+/// One row of Table I: isolated MPKI at each level.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The benchmark.
+    pub app: SpecApp,
+    /// Combined L1 (I+D) misses per 1000 instructions.
+    pub l1_mpki: f64,
+    /// L2 MPKI.
+    pub l2_mpki: f64,
+    /// LLC MPKI.
+    pub llc_mpki: f64,
+}
+
+/// Measures the isolated L1/L2/LLC MPKI of every benchmark with the
+/// prefetcher off, reproducing Table I ("the MPKI numbers are reported in
+/// the absence of a prefetcher").
+pub fn mpki_table(cfg: &SimConfig) -> Vec<Table1Row> {
+    let cfg = cfg.clone().prefetch(false);
+    SpecApp::ALL
+        .iter()
+        .map(|&app| {
+            let t = run_alone(&cfg, app);
+            Table1Row {
+                app,
+                l1_mpki: t.l1_mpki(),
+                l2_mpki: t.l2_mpki(),
+                llc_mpki: t.llc_mpki(),
+            }
+        })
+        .collect()
+}
+
+/// Results of one policy over a list of mixes.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// The policy that was run.
+    pub spec: PolicySpec,
+    /// Per-mix results, in the order of the input mix list.
+    pub runs: Vec<RunResult>,
+}
+
+impl SuiteResult {
+    /// Per-mix throughput normalized to the matching baseline run.
+    pub fn normalized_throughput(&self, baseline: &SuiteResult) -> Vec<f64> {
+        self.runs
+            .iter()
+            .zip(&baseline.runs)
+            .map(|(r, b)| normalized_throughput(r, b))
+            .collect()
+    }
+
+    /// Geometric-mean normalized throughput over all mixes.
+    pub fn geomean_throughput(&self, baseline: &SuiteResult) -> f64 {
+        tla_types::stats::geomean(self.normalized_throughput(baseline))
+            .expect("throughputs are positive")
+    }
+
+    /// Per-mix LLC-miss reduction relative to the baseline, in percent
+    /// (positive = fewer misses).
+    pub fn miss_reduction_pct(&self, baseline: &SuiteResult) -> Vec<f64> {
+        self.runs
+            .iter()
+            .zip(&baseline.runs)
+            .map(|(r, b)| {
+                let bm = b.llc_misses();
+                if bm == 0 {
+                    0.0
+                } else {
+                    (bm as f64 - r.llc_misses() as f64) / bm as f64 * 100.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Throughput of `run` normalized to `baseline` (1.0 = equal).
+pub fn normalized_throughput(run: &RunResult, baseline: &RunResult) -> f64 {
+    let b = baseline.throughput();
+    if b == 0.0 {
+        0.0
+    } else {
+        run.throughput() / b
+    }
+}
+
+/// Runs every `spec` over every mix in `mixes`. Results are indexed
+/// `[spec][mix]`.
+///
+/// `llc_capacity_full_scale` optionally overrides the LLC size (expressed
+/// at scale 1) for ratio sweeps.
+pub fn run_mix_suite(
+    cfg: &SimConfig,
+    mixes: &[Mix],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+) -> Vec<SuiteResult> {
+    specs
+        .iter()
+        .map(|spec| {
+            let runs = mixes
+                .iter()
+                .map(|mix| {
+                    let mut run = MixRun::new(cfg, &mix.apps).spec(spec);
+                    if let Some(bytes) = llc_capacity_full_scale {
+                        run = run.llc_capacity_full_scale(bytes);
+                    }
+                    run.run()
+                })
+                .collect();
+            SuiteResult {
+                spec: spec.clone(),
+                runs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tla_workloads::table2_mixes;
+
+    fn quick() -> SimConfig {
+        SimConfig::scaled_down().instructions(15_000)
+    }
+
+    #[test]
+    fn run_alone_returns_quota() {
+        let t = run_alone(&quick(), SpecApp::DealII);
+        assert_eq!(t.instructions, 15_000);
+        assert_eq!(t.app, SpecApp::DealII);
+    }
+
+    #[test]
+    fn mpki_table_covers_all_apps() {
+        let cfg = quick().instructions(5_000);
+        let rows = mpki_table(&cfg);
+        assert_eq!(rows.len(), 15);
+        for r in &rows {
+            assert!(r.l1_mpki >= r.l2_mpki - 1e-9, "{}: L1 >= L2", r.app);
+            assert!(r.l2_mpki >= r.llc_mpki - 1e-9, "{}: L2 >= LLC", r.app);
+        }
+    }
+
+    #[test]
+    fn suite_indexing_and_normalization() {
+        let cfg = quick().instructions(5_000);
+        let mixes = &table2_mixes()[..2];
+        let specs = vec![PolicySpec::baseline(), PolicySpec::qbs()];
+        let results = run_mix_suite(&cfg, mixes, &specs, None);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].runs.len(), 2);
+        let base = &results[0];
+        let norm = results[0].normalized_throughput(base);
+        assert!(norm.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        let g = results[1].geomean_throughput(base);
+        assert!(g > 0.5 && g < 2.0);
+        let red = results[1].miss_reduction_pct(base);
+        assert_eq!(red.len(), 2);
+    }
+}

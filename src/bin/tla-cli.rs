@@ -1,0 +1,306 @@
+//! Command-line driver for the TLA simulator.
+//!
+//! ```text
+//! tla-cli list                                   # apps, mixes, policies
+//! tla-cli table1 [options]                       # isolated MPKI table
+//! tla-cli run --mix lib,sje --policy qbs [opts]  # one run
+//! tla-cli compare --mix lib,sje [opts]           # all policies on one mix
+//!
+//! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
+//!          --llc-mb <n>  --no-prefetch
+//! ```
+
+use std::process::ExitCode;
+use tla::sim::{mpki_table, MixRun, PolicySpec, SimConfig, Table};
+use tla::workloads::{table2_mixes, SpecApp};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tla-cli <list|table1|run|compare> [options]\n\
+         \n\
+         commands:\n\
+         \x20 list                    available apps, mixes and policies\n\
+         \x20 table1                  isolated L1/L2/LLC MPKI (Table I)\n\
+         \x20 run     --mix a,b ...   one simulation run\n\
+         \x20 compare --mix a,b ...   every policy on one mix\n\
+         \n\
+         options:\n\
+         \x20 --mix <apps|MIX_nn>     comma-separated app names (see `list`)\n\
+         \x20 --policy <name>         baseline, tlh-il1, tlh-dl1, tlh-l1, tlh-l2,\n\
+         \x20                         tlh-l1-l2, eci, qbs, qbs-il1, qbs-dl1, qbs-l1,\n\
+         \x20                         qbs-l2, non-inclusive, exclusive, vc32\n\
+         \x20 --scale <1|2|4|8>       cache down-scaling (default 8)\n\
+         \x20 --measure <n>           measured instructions/thread (default 300000)\n\
+         \x20 --warmup <n>            warm-up instructions/thread (default 800000)\n\
+         \x20 --seed <n>              master seed\n\
+         \x20 --llc-mb <n>            LLC capacity in MB at full scale\n\
+         \x20 --no-prefetch           disable the stream prefetcher"
+    );
+    ExitCode::FAILURE
+}
+
+#[derive(Debug)]
+struct Options {
+    mix: Vec<SpecApp>,
+    policy: Option<PolicySpec>,
+    cfg: SimConfig,
+    llc_mb: Option<usize>,
+}
+
+fn parse_policy(name: &str) -> Option<PolicySpec> {
+    Some(match name {
+        "baseline" | "inclusive" => PolicySpec::baseline(),
+        "tlh-il1" => PolicySpec::tlh_il1(),
+        "tlh-dl1" => PolicySpec::tlh_dl1(),
+        "tlh-l1" => PolicySpec::tlh_l1(),
+        "tlh-l2" => PolicySpec::tlh_l2(),
+        "tlh-l1-l2" => PolicySpec::tlh_l1_l2(),
+        "eci" => PolicySpec::eci(),
+        "qbs" => PolicySpec::qbs(),
+        "qbs-il1" => PolicySpec::qbs_il1(),
+        "qbs-dl1" => PolicySpec::qbs_dl1(),
+        "qbs-l1" => PolicySpec::qbs_l1(),
+        "qbs-l2" => PolicySpec::qbs_l2(),
+        "non-inclusive" => PolicySpec::non_inclusive(),
+        "exclusive" => PolicySpec::exclusive(),
+        "vc32" => PolicySpec::victim_cache_32(),
+        _ => return None,
+    })
+}
+
+fn parse_mix(spec: &str) -> Option<Vec<SpecApp>> {
+    if let Some(mix) = table2_mixes().into_iter().find(|m| m.name == spec) {
+        return Some(mix.apps);
+    }
+    spec.split(',')
+        .map(|n| SpecApp::from_short_name(n.trim()))
+        .collect()
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        mix: Vec::new(),
+        policy: None,
+        cfg: SimConfig::scaled_down().warmup(800_000).instructions(300_000),
+        llc_mb: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--mix" => {
+                let v = value("--mix")?;
+                opts.mix = parse_mix(&v).ok_or_else(|| format!("unknown mix '{v}'"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                opts.policy =
+                    Some(parse_policy(&v).ok_or_else(|| format!("unknown policy '{v}'"))?);
+            }
+            "--scale" => {
+                let v: u64 = value("--scale")?.parse().map_err(|e| format!("{e}"))?;
+                opts.cfg = opts.cfg.with_scale(v);
+            }
+            "--measure" => {
+                let v: u64 = value("--measure")?.parse().map_err(|e| format!("{e}"))?;
+                opts.cfg = opts.cfg.instructions(v);
+            }
+            "--warmup" => {
+                let v: u64 = value("--warmup")?.parse().map_err(|e| format!("{e}"))?;
+                opts.cfg = opts.cfg.warmup(v);
+            }
+            "--seed" => {
+                let v: u64 = value("--seed")?.parse().map_err(|e| format!("{e}"))?;
+                opts.cfg = opts.cfg.seed(v);
+            }
+            "--llc-mb" => {
+                let v: usize = value("--llc-mb")?.parse().map_err(|e| format!("{e}"))?;
+                opts.llc_mb = Some(v);
+            }
+            "--no-prefetch" => {
+                opts.cfg = opts.cfg.prefetch(false);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn print_run(opts: &Options, spec: &PolicySpec) -> f64 {
+    let mut run = MixRun::new(&opts.cfg, &opts.mix).spec(spec);
+    if let Some(mb) = opts.llc_mb {
+        run = run.llc_capacity_full_scale(mb * 1024 * 1024);
+    }
+    let r = run.run();
+    println!("policy: {}", spec.name);
+    let mut t = Table::new(&["core", "app", "IPC", "L1 MPKI", "L2 MPKI", "LLC MPKI", "victims"]);
+    for (i, th) in r.threads.iter().enumerate() {
+        t.add_row(vec![
+            i.to_string(),
+            th.app.short_name().to_string(),
+            format!("{:.3}", th.ipc()),
+            format!("{:.2}", th.l1_mpki()),
+            format!("{:.2}", th.l2_mpki()),
+            format!("{:.2}", th.llc_mpki()),
+            th.stats.inclusion_victims().to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "throughput {:.3}; back-inv {}, ECI msgs {}, QBS queries {}, TLHs {}, snoops {}\n",
+        r.throughput(),
+        r.global.back_invalidates,
+        r.global.eci_invalidates,
+        r.global.qbs_queries,
+        r.global.tlh_hints,
+        r.global.snoop_probes,
+    );
+    r.throughput()
+}
+
+fn cmd_list() -> ExitCode {
+    println!("apps (SPEC CPU2006 models):");
+    for app in SpecApp::ALL {
+        println!("  {:4} {:10} ({})", app.short_name(), format!("{app:?}"), app.category());
+    }
+    println!("\nmixes (Table II):");
+    for m in table2_mixes() {
+        println!("  {m}");
+    }
+    println!("\npolicies: baseline tlh-il1 tlh-dl1 tlh-l1 tlh-l2 tlh-l1-l2 eci qbs");
+    println!("          qbs-il1 qbs-dl1 qbs-l1 qbs-l2 non-inclusive exclusive vc32");
+    ExitCode::SUCCESS
+}
+
+fn cmd_table1(opts: &Options) -> ExitCode {
+    let mut t = Table::new(&["app", "category", "L1 MPKI", "L2 MPKI", "LLC MPKI"]);
+    for r in mpki_table(&opts.cfg) {
+        t.add_row(vec![
+            r.app.short_name().to_string(),
+            r.app.category().to_string(),
+            format!("{:.2}", r.l1_mpki),
+            format!("{:.2}", r.l2_mpki),
+            format!("{:.2}", r.llc_mpki),
+        ]);
+    }
+    print!("{t}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Options) -> ExitCode {
+    if opts.mix.is_empty() {
+        eprintln!("run: --mix is required");
+        return ExitCode::FAILURE;
+    }
+    let spec = opts.policy.clone().unwrap_or_else(PolicySpec::baseline);
+    print_run(opts, &spec);
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(opts: &Options) -> ExitCode {
+    if opts.mix.is_empty() {
+        eprintln!("compare: --mix is required");
+        return ExitCode::FAILURE;
+    }
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::tlh_l2(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+    let mut baseline = None;
+    for spec in &specs {
+        let tp = print_run(opts, spec);
+        let base = *baseline.get_or_insert(tp);
+        println!("  -> {:+.1}% vs baseline\n", (tp / base - 1.0) * 100.0);
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let opts = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "table1" => cmd_table1(&opts),
+        "run" => cmd_run(&opts),
+        "compare" => cmd_compare(&opts),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_parse() {
+        for name in [
+            "baseline", "tlh-il1", "tlh-dl1", "tlh-l1", "tlh-l2", "tlh-l1-l2",
+            "eci", "qbs", "qbs-il1", "qbs-dl1", "qbs-l1", "qbs-l2",
+            "non-inclusive", "exclusive", "vc32",
+        ] {
+            assert!(parse_policy(name).is_some(), "{name} must parse");
+        }
+        assert!(parse_policy("bogus").is_none());
+        assert_eq!(parse_policy("inclusive").unwrap().name, "Inclusive");
+    }
+
+    #[test]
+    fn mixes_parse_by_name_and_by_apps() {
+        let m = parse_mix("MIX_10").unwrap();
+        assert_eq!(m, vec![SpecApp::Libquantum, SpecApp::Sjeng]);
+        let m = parse_mix("lib, sje").unwrap();
+        assert_eq!(m, vec![SpecApp::Libquantum, SpecApp::Sjeng]);
+        assert!(parse_mix("nope,sje").is_none());
+    }
+
+    #[test]
+    fn options_parse_and_validate() {
+        let args: Vec<String> = [
+            "--mix", "MIX_00", "--policy", "qbs", "--scale", "4", "--measure",
+            "1000", "--warmup", "2000", "--seed", "5", "--llc-mb", "4",
+            "--no-prefetch",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.mix.len(), 2);
+        assert_eq!(o.policy.as_ref().unwrap().name, "QBS");
+        assert_eq!(o.cfg.scale(), 4);
+        assert_eq!(o.cfg.instruction_quota(), 1000);
+        assert_eq!(o.cfg.warmup_quota(), 2000);
+        assert_eq!(o.cfg.seed_value(), 5);
+        assert!(!o.cfg.prefetch_enabled());
+        assert_eq!(o.llc_mb, Some(4));
+    }
+
+    #[test]
+    fn bad_options_error() {
+        let bad = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v).unwrap_err()
+        };
+        assert!(bad(&["--mix"]).contains("--mix"));
+        assert!(bad(&["--policy", "bogus"]).contains("unknown policy"));
+        assert!(bad(&["--whatever"]).contains("unknown option"));
+        assert!(bad(&["--mix", "xyz"]).contains("unknown mix"));
+    }
+}
