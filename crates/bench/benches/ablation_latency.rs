@@ -24,10 +24,30 @@ fn main() {
 
     let mixes = env.showcase_mixes();
     let points = [
-        ("memory 75", Latencies { memory: 75, ..Default::default() }),
+        (
+            "memory 75",
+            Latencies {
+                memory: 75,
+                ..Default::default()
+            },
+        ),
         ("memory 150 (paper)", Latencies::default()),
-        ("memory 300", Latencies { memory: 300, ..Default::default() }),
-        ("functional (all 1)", Latencies { l1: 1, l2: 1, llc: 1, memory: 1 }),
+        (
+            "memory 300",
+            Latencies {
+                memory: 300,
+                ..Default::default()
+            },
+        ),
+        (
+            "functional (all 1)",
+            Latencies {
+                l1: 1,
+                l2: 1,
+                llc: 1,
+                memory: 1,
+            },
+        ),
     ];
 
     let mut t = Table::new(&["latency model", "QBS vs inclusive", "miss reduction"]);
@@ -49,7 +69,7 @@ fn main() {
             format!("{:+.1}%", (g - 1.0) * 100.0),
             format!("{red:+.1}%"),
         ]);
-        eprintln!("[ablation_latency] {label} done");
+        tla_bench::bench_progress!("ablation_latency", "{label} done");
     }
     println!("\nQBS gain across latency models (12 showcase mixes)\n{t}");
     println!("expected shape: positive throughput gain everywhere, growing with the\nmemory penalty; miss reduction roughly constant (it is latency-free)");

@@ -19,22 +19,22 @@ fn main() {
 
     let mixes = env.showcase_mixes();
     let mut t = Table::new(&["LLC replacement", "QBS", "Non-Inclusive"]);
-    for policy in [Policy::Nru, Policy::Lru, Policy::Srrip, Policy::Drrip, Policy::Dip] {
-        eprintln!("[ablation_repl] {policy}");
+    for policy in [
+        Policy::Nru,
+        Policy::Lru,
+        Policy::Srrip,
+        Policy::Drrip,
+        Policy::Dip,
+    ] {
+        tla_bench::bench_progress!("ablation_repl", "{policy}");
         let specs = [
             PolicySpec::baseline().with_llc_replacement(policy),
             PolicySpec::qbs().with_llc_replacement(policy),
             PolicySpec::non_inclusive().with_llc_replacement(policy),
         ];
         let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
-        let qbs = stats::geomean(
-            suites[1].normalized_throughput(&suites[0]),
-        )
-        .unwrap();
-        let ni = stats::geomean(
-            suites[2].normalized_throughput(&suites[0]),
-        )
-        .unwrap();
+        let qbs = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
+        let ni = stats::geomean(suites[2].normalized_throughput(&suites[0])).unwrap();
         t.add_row(vec![
             policy.to_string(),
             format!("{:+.1}%", (qbs - 1.0) * 100.0),

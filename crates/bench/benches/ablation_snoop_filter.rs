@@ -27,7 +27,11 @@ fn main() {
     ];
     let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
 
-    let mut t = Table::new(&["configuration", "throughput vs inclusive", "snoop probes / 1k instr"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "throughput vs inclusive",
+        "snoop probes / 1k instr",
+    ]);
     for suite in &suites {
         let g = stats::geomean(suite.normalized_throughput(&suites[0])).unwrap();
         let probes: u64 = suite.runs.iter().map(|r| r.global.snoop_probes).sum();

@@ -20,7 +20,7 @@ fn main() {
         PolicySpec::eci(),
         PolicySpec::qbs(),
     ];
-    eprintln!("[ablation_vc] {} specs x {} mixes", specs.len(), all.len());
+    tla_bench::bench_progress!("ablation_vc", "{} specs x {} mixes", specs.len(), all.len());
     let suites = run_mix_suite(&env.cfg, &all, &specs, None);
 
     let mut t = Table::new(&["configuration", "vs inclusive (geomean)", "paper"]);
@@ -33,9 +33,16 @@ fn main() {
             paper[i].to_string(),
         ]);
     }
-    println!("\n§VI — victim cache vs TLA policies over {} mixes\n{t}", all.len());
+    println!(
+        "\n§VI — victim cache vs TLA policies over {} mixes\n{t}",
+        all.len()
+    );
 
-    let rescues: u64 = suites[1].runs.iter().map(|r| r.global.victim_cache_rescues).sum();
+    let rescues: u64 = suites[1]
+        .runs
+        .iter()
+        .map(|r| r.global.victim_cache_rescues)
+        .sum();
     println!("victim-cache rescues across the sweep: {rescues}");
     println!("expected shape: VC-32 << ECI < QBS");
 }

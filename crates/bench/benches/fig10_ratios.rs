@@ -40,12 +40,11 @@ fn main() {
         "Exclusive",
     ]);
     for (i, mb) in LLC_SIZES_MB.iter().enumerate() {
-        eprintln!("[fig10] LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
+        tla_bench::bench_progress!("fig10", "LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
         let suites = run_mix_suite(&env.cfg, &mixes, &specs, Some(mb * 1024 * 1024));
         let mut row = vec![format!("1:{}", 2 * mb)];
         for suite in &suites[1..] {
-            let g = stats::geomean(suite.normalized_throughput(&suites[0]))
-                .unwrap_or(0.0);
+            let g = stats::geomean(suite.normalized_throughput(&suites[0])).unwrap_or(0.0);
             row.push(fmt_norm(g));
         }
         t.add_row(row);

@@ -33,7 +33,7 @@ fn main() {
 
     let mut t = Table::new(&["CMP", "mixes", "QBS", "Non-Inclusive", "max QBS"]);
     for (label, mixes) in &populations {
-        eprintln!("[fig11] {label}: {} mixes", mixes.len());
+        tla_bench::bench_progress!("fig11", "{label}: {} mixes", mixes.len());
         // §V-G keeps the 1:4 hierarchy as cores scale: the LLC grows with
         // the core count (2 MB per 2 cores at full scale).
         let cores = mixes[0].cores();

@@ -36,7 +36,7 @@ fn main() {
         "max Non-Incl",
     ]);
     for (i, mb) in LLC_SIZES_MB.iter().enumerate() {
-        eprintln!("[fig2] LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
+        tla_bench::bench_progress!("fig2", "LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
         let suites = run_mix_suite(&env.cfg, &mixes, &specs, Some(mb * 1024 * 1024));
         let ni = suites[1].normalized_throughput(&suites[0]);
         let ex = suites[2].normalized_throughput(&suites[0]);
@@ -53,5 +53,7 @@ fn main() {
         "\nFigure 2 — geomean throughput vs inclusive baseline ({} mixes)\n{t}",
         mixes.len()
     );
-    println!("expected shape: gains shrink monotonically as the LLC grows; exclusive >= non-inclusive");
+    println!(
+        "expected shape: gains shrink monotonically as the LLC grows; exclusive >= non-inclusive"
+    );
 }

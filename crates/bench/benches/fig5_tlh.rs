@@ -27,7 +27,11 @@ fn main() {
     for m in &showcase {
         t2.add_row(vec![
             m.name.clone(),
-            m.apps.iter().map(|a| a.short_name()).collect::<Vec<_>>().join(", "),
+            m.apps
+                .iter()
+                .map(|a| a.short_name())
+                .collect::<Vec<_>>()
+                .join(", "),
             m.category_label(),
         ]);
     }
@@ -42,7 +46,12 @@ fn main() {
         PolicySpec::tlh_l1_l2(),
         PolicySpec::non_inclusive(),
     ];
-    eprintln!("[fig5] running {} specs x {} mixes", specs.len(), mixes.len());
+    tla_bench::bench_progress!(
+        "fig5",
+        "running {} specs x {} mixes",
+        specs.len(),
+        mixes.len()
+    );
     let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
 
     let n = showcase.len();
@@ -66,7 +75,11 @@ fn main() {
         "Figure 5 s-curve (105 mixes)",
         &all,
         ni,
-        &[("TLH-L1", tlh_l1), ("TLH-L2", tlh_l2), ("Non-Inclusive", ni)],
+        &[
+            ("TLH-L1", tlh_l1),
+            ("TLH-L2", tlh_l2),
+            ("Non-Inclusive", ni),
+        ],
     );
 
     // Gap bridged: (policy - 1) / (non-inclusive - 1) on the geomean.
@@ -92,7 +105,11 @@ fn main() {
                 r.throughput() / b.throughput()
             })
             .collect();
-        println!("  {:>4.0}% of hits  ->  {:.3}", p * 100.0, stats::geomean(vals).unwrap());
+        println!(
+            "  {:>4.0}% of hits  ->  {:.3}",
+            p * 100.0,
+            stats::geomean(vals).unwrap()
+        );
     }
 
     // TLH traffic: extra LLC requests per LLC demand access.

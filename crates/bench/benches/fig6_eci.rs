@@ -23,7 +23,12 @@ fn main() {
         PolicySpec::eci(),
         PolicySpec::non_inclusive(),
     ];
-    eprintln!("[fig6] running {} specs x {} mixes", specs.len(), mixes.len());
+    tla_bench::bench_progress!(
+        "fig6",
+        "running {} specs x {} mixes",
+        specs.len(),
+        mixes.len()
+    );
     let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
 
     let n = showcase.len();
@@ -60,12 +65,18 @@ fn main() {
 
     // Back-invalidate traffic blow-up (§V-B: less than 50% extra on
     // average, relative to a small base).
-    let base_inv: u64 = suites[0].runs[n..].iter().map(|r| r.global.back_invalidates).sum();
+    let base_inv: u64 = suites[0].runs[n..]
+        .iter()
+        .map(|r| r.global.back_invalidates)
+        .sum();
     let eci_inv: u64 = suites[1].runs[n..]
         .iter()
         .map(|r| r.global.back_invalidates + r.global.eci_invalidates)
         .sum();
-    let rescues: u64 = suites[1].runs[n..].iter().map(|r| r.global.eci_rescues).sum();
+    let rescues: u64 = suites[1].runs[n..]
+        .iter()
+        .map(|r| r.global.eci_rescues)
+        .sum();
     println!(
         "back-invalidate traffic: baseline {base_inv}, ECI {eci_inv} ({:+.0}%), hot-line rescues {rescues}",
         (eci_inv as f64 / base_inv.max(1) as f64 - 1.0) * 100.0

@@ -30,7 +30,12 @@ fn main() {
         PolicySpec::qbs(),
         PolicySpec::non_inclusive(),
     ];
-    eprintln!("[fig7] running {} specs x {} mixes", specs.len(), mixes.len());
+    tla_bench::bench_progress!(
+        "fig7",
+        "running {} specs x {} mixes",
+        specs.len(),
+        mixes.len()
+    );
     let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
 
     let n = showcase.len();
@@ -71,16 +76,29 @@ fn main() {
             .iter()
             .zip(base12)
             .map(|(mix, b)| {
-                MixRun::new(&env.cfg, &mix.apps).spec(&spec).run().throughput() / b.throughput()
+                MixRun::new(&env.cfg, &mix.apps)
+                    .spec(&spec)
+                    .run()
+                    .throughput()
+                    / b.throughput()
             })
             .collect();
         println!("  {q} queries -> {:.3}", stats::geomean(vals).unwrap());
     }
 
     // Query traffic: like ECI, proportional to LLC misses.
-    let queries: u64 = suites[5].runs[n..].iter().map(|r| r.global.qbs_queries).sum();
-    let rejections: u64 = suites[5].runs[n..].iter().map(|r| r.global.qbs_rejections).sum();
-    let evictions: u64 = suites[5].runs[n..].iter().map(|r| r.global.llc_evictions).sum();
+    let queries: u64 = suites[5].runs[n..]
+        .iter()
+        .map(|r| r.global.qbs_queries)
+        .sum();
+    let rejections: u64 = suites[5].runs[n..]
+        .iter()
+        .map(|r| r.global.qbs_rejections)
+        .sum();
+    let evictions: u64 = suites[5].runs[n..]
+        .iter()
+        .map(|r| r.global.llc_evictions)
+        .sum();
     println!(
         "\nQBS traffic: {:.2} queries per LLC eviction, {:.1}% of queried candidates rejected",
         queries as f64 / evictions.max(1) as f64,

@@ -23,7 +23,12 @@ fn main() {
         PolicySpec::non_inclusive(),
         PolicySpec::exclusive(),
     ];
-    eprintln!("[fig8] running {} specs x {} mixes", specs.len(), all.len());
+    tla_bench::bench_progress!(
+        "fig8",
+        "running {} specs x {} mixes",
+        specs.len(),
+        all.len()
+    );
     let suites = run_mix_suite(&env.cfg, &all, &specs, None);
 
     let mut t = Table::new(&["policy", "avg LLC miss reduction", "paper"]);
@@ -44,7 +49,10 @@ fn main() {
             paper[i].to_string(),
         ]);
     }
-    println!("\nFigure 8 — average LLC miss reduction over {} mixes\n{t}", all.len());
+    println!(
+        "\nFigure 8 — average LLC miss reduction over {} mixes\n{t}",
+        all.len()
+    );
 
     print_s_curve(
         "Figure 8 s-curve: QBS LLC miss reduction % (105 mixes)",

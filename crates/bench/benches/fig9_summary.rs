@@ -8,9 +8,9 @@
 //!     small capacity edge.
 
 use tla_bench::BenchEnv;
+use tla_core::TlaPolicy;
 use tla_sim::{run_mix_suite, PolicySpec, Table};
 use tla_types::stats;
-use tla_core::TlaPolicy;
 
 fn main() {
     let env = BenchEnv::from_env();
@@ -21,7 +21,7 @@ fn main() {
     // (a) on the inclusive base.
     let mut specs_a = vec![PolicySpec::baseline()];
     specs_a.extend(PolicySpec::figure9_set());
-    eprintln!("[fig9a] {} specs x {} mixes", specs_a.len(), all.len());
+    tla_bench::bench_progress!("fig9a", "{} specs x {} mixes", specs_a.len(), all.len());
     let suites_a = run_mix_suite(&env.cfg, &all, &specs_a, None);
 
     let gm = |v: Vec<f64>| stats::geomean(v).unwrap_or(1.0);
@@ -43,7 +43,7 @@ fn main() {
         PolicySpec::on_non_inclusive(TlaPolicy::qbs()),
         PolicySpec::exclusive(),
     ];
-    eprintln!("[fig9b] {} specs x {} mixes", specs_b.len(), all.len());
+    tla_bench::bench_progress!("fig9b", "{} specs x {} mixes", specs_b.len(), all.len());
     let suites_b = run_mix_suite(&env.cfg, &all, &specs_b, None);
 
     let mut t = Table::new(&["policy", "vs non-inclusive (geomean)"]);

@@ -1,81 +1,103 @@
-//! Criterion micro-benchmarks of the simulator's hot paths: raw cache
-//! access throughput per replacement policy, hierarchy access under each
-//! TLA policy, and end-to-end simulation rate.
+//! Micro-benchmarks of the simulator's hot paths: raw cache access
+//! throughput per replacement policy, hierarchy access under each TLA
+//! policy (with and without a telemetry sink), and end-to-end simulation
+//! rate. Timed with the in-repo [`tla_bench::time_it`] harness.
+//!
+//! `TLA_BENCH_MS=<n>` sets the per-benchmark measuring time
+//! (default 200 ms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tla_bench::{bench_progress, time_it, Measurement};
 use tla_cache::{CacheConfig, Policy, SetAssocCache};
 use tla_core::{CacheHierarchy, HierarchyConfig, TlaPolicy};
 use tla_sim::{MixRun, SimConfig};
+use tla_telemetry::NullSink;
 use tla_types::{AccessKind, CoreId, LineAddr};
 use tla_workloads::SpecApp;
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_access");
-    g.throughput(Throughput::Elements(1));
-    for policy in [Policy::Lru, Policy::Nru, Policy::Srrip, Policy::Plru, Policy::Random] {
-        g.bench_with_input(
-            BenchmarkId::new("touch_fill", policy.to_string()),
-            &policy,
-            |b, &policy| {
-                let cfg = CacheConfig::new("bench", 256 * 1024, 16, policy).unwrap();
-                let mut cache = SetAssocCache::new(cfg);
-                let mut i = 0u64;
-                b.iter(|| {
-                    let line = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % 8192);
-                    if !cache.touch(line) {
-                        cache.fill(line, false);
-                    }
-                    i += 1;
-                });
-            },
-        );
-    }
-    g.finish();
+fn target_millis() -> u64 {
+    std::env::var("TLA_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
 }
 
-fn bench_hierarchy_access(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy_access");
-    g.throughput(Throughput::Elements(1));
-    for (label, tla) in [
+fn bench_cache_access(ms: u64) -> Vec<Measurement> {
+    [
+        Policy::Lru,
+        Policy::Nru,
+        Policy::Srrip,
+        Policy::Plru,
+        Policy::Random,
+    ]
+    .iter()
+    .map(|&policy| {
+        let cfg = CacheConfig::new("bench", 256 * 1024, 16, policy).unwrap();
+        let mut cache = SetAssocCache::new(cfg);
+        let mut i = 0u64;
+        let m = time_it(&format!("cache_access/touch_fill/{policy}"), ms, || {
+            let line = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % 8192);
+            if !cache.touch(line) {
+                cache.fill(line, false);
+            }
+            i += 1;
+        });
+        black_box(cache.occupancy());
+        m
+    })
+    .collect()
+}
+
+fn bench_hierarchy_access(ms: u64, with_sink: bool) -> Vec<Measurement> {
+    let suffix = if with_sink { "+sink" } else { "" };
+    [
         ("baseline", TlaPolicy::baseline()),
         ("tlh_l1", TlaPolicy::tlh_l1()),
         ("eci", TlaPolicy::eci()),
         ("qbs", TlaPolicy::qbs()),
-    ] {
-        g.bench_function(BenchmarkId::new("policy", label), |b| {
-            let cfg = HierarchyConfig::scaled(2, 8).tla(tla);
-            let mut h = CacheHierarchy::new(&cfg);
-            let mut i = 0u64;
-            b.iter(|| {
+    ]
+    .iter()
+    .map(|&(label, tla)| {
+        let cfg = HierarchyConfig::scaled(2, 8).tla(tla);
+        let mut h = CacheHierarchy::new(&cfg);
+        if with_sink {
+            h.set_sink(NullSink);
+        }
+        let mut i = 0u64;
+        let m = time_it(
+            &format!("hierarchy_access/policy/{label}{suffix}"),
+            ms,
+            || {
                 let core = CoreId::new((i % 2) as usize);
                 let line = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % 16384);
                 h.access(core, line, AccessKind::Load);
                 i += 1;
-            });
-        });
+            },
+        );
+        black_box(h.global_stats().back_invalidates);
+        m
+    })
+    .collect()
+}
+
+fn bench_end_to_end(ms: u64) -> Measurement {
+    let cfg = SimConfig::scaled_down().instructions(25_000);
+    time_it("end_to_end/mix_25k_instr_per_thread", ms, || {
+        let r = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum])
+            .policy(TlaPolicy::qbs())
+            .run();
+        black_box(r.throughput());
+    })
+}
+
+fn main() {
+    let ms = target_millis();
+    bench_progress!("micro_cache", "measuring {ms} ms per benchmark");
+    let mut results = bench_cache_access(ms);
+    results.extend(bench_hierarchy_access(ms, false));
+    results.extend(bench_hierarchy_access(ms, true));
+    results.push(bench_end_to_end(ms));
+    for m in &results {
+        println!("{}", m.line());
     }
-    g.finish();
 }
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(50_000));
-    g.bench_function("mix_25k_instr_per_thread", |b| {
-        let cfg = SimConfig::scaled_down().instructions(25_000);
-        b.iter(|| {
-            MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Libquantum])
-                .policy(TlaPolicy::qbs())
-                .run()
-        });
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_cache_access,
-    bench_hierarchy_access,
-    bench_end_to_end
-);
-criterion_main!(benches);

@@ -48,6 +48,10 @@ fn main() {
     }
     println!(
         "category check: {}",
-        if ok { "all apps in profile" } else { "see notes above" }
+        if ok {
+            "all apps in profile"
+        } else {
+            "see notes above"
+        }
     );
 }

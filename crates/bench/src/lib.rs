@@ -15,6 +15,7 @@
 //! * `TLA_WARMUP=<n>` — warm-up instructions per thread
 //!   (default 800 000).
 //! * `TLA_SCALE=<1|2|4|8>` — cache scale divisor (default 8).
+//! * `TLA_QUIET=1` — silence [`bench_progress!`] lines on stderr.
 
 use tla_sim::{SimConfig, SuiteResult, Table};
 use tla_types::stats;
@@ -63,9 +64,10 @@ impl BenchEnv {
 
     /// Prints the standard bench banner.
     pub fn banner(&self, what: &str) {
-        eprintln!("[tla-bench] {what}");
-        eprintln!(
-            "[tla-bench] scale=1/{}  measure={}  warmup={}  full={}",
+        bench_progress!("tla-bench", "{what}");
+        bench_progress!(
+            "tla-bench",
+            "scale=1/{}  measure={}  warmup={}  full={}",
             self.cfg.scale(),
             self.cfg.instruction_quota(),
             self.cfg.warmup_quota(),
@@ -74,9 +76,110 @@ impl BenchEnv {
     }
 }
 
+/// Whether `TLA_QUIET` asks the benches to keep stderr clean (set and not
+/// `0`).
+pub fn quiet() -> bool {
+    std::env::var("TLA_QUIET").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Prints one `[tag] message` progress line to stderr unless `TLA_QUIET`
+/// is set. Drop-in replacement for the benches' ad-hoc `eprintln!` calls
+/// so scripted runs can silence them uniformly.
+///
+/// ```
+/// tla_bench::bench_progress!("fig5", "running {} mixes", 105);
+/// ```
+#[macro_export]
+macro_rules! bench_progress {
+    ($tag:expr, $($arg:tt)*) => {
+        if !$crate::quiet() {
+            eprintln!("[{}] {}", $tag, format_args!($($arg)*));
+        }
+    };
+}
+
 impl Default for BenchEnv {
     fn default() -> Self {
         Self::from_env()
+    }
+}
+
+/// One timed micro-benchmark result from [`time_it`].
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations actually executed during the measured phase.
+    pub iters: u64,
+    /// Wall-clock nanoseconds spent in the measured phase.
+    pub nanos: u128,
+}
+
+impl Measurement {
+    /// Mean cost of one iteration in nanoseconds.
+    pub fn nanos_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            0.0
+        } else {
+            self.nanos as f64 / self.iters as f64
+        }
+    }
+
+    /// Iterations per second (millions).
+    pub fn m_iters_per_sec(&self) -> f64 {
+        let ns = self.nanos_per_iter();
+        if ns == 0.0 {
+            0.0
+        } else {
+            1e3 / ns
+        }
+    }
+
+    /// One `name  ns/iter  Miter/s` report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} {:>12.1} ns/iter {:>10.2} Miter/s",
+            self.name,
+            self.nanos_per_iter(),
+            self.m_iters_per_sec()
+        )
+    }
+}
+
+/// Times `op` for roughly `target_millis` of wall clock and returns a
+/// [`Measurement`] — the offline stand-in for criterion.
+///
+/// The batch size is first calibrated (doubling until one batch costs a
+/// measurable slice of the target) so `Instant` overhead stays far below
+/// the work being timed; the calibration doubles as warm-up.
+pub fn time_it(name: &str, target_millis: u64, mut op: impl FnMut()) -> Measurement {
+    let target = std::time::Duration::from_millis(target_millis.max(1));
+    let mut batch: u64 = 1;
+    loop {
+        let t0 = std::time::Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        if t0.elapsed() * 20 >= target || batch >= 1 << 30 {
+            break;
+        }
+        batch *= 2;
+    }
+    let mut iters = 0u64;
+    let mut nanos = 0u128;
+    let start = std::time::Instant::now();
+    while start.elapsed() < target {
+        let t0 = std::time::Instant::now();
+        for _ in 0..batch {
+            op();
+        }
+        nanos += t0.elapsed().as_nanos();
+        iters += batch;
+    }
+    Measurement {
+        name: name.to_string(),
+        iters,
+        nanos,
     }
 }
 
@@ -95,10 +198,7 @@ pub fn fmt_pct(x: f64) -> String {
 /// mix plus the `All(n)` geomean row over `all` results.
 ///
 /// `series` pairs a label with (per-showcase-mix values, all-mix values).
-pub fn bar_table(
-    showcase: &[Mix],
-    series: &[(&str, Vec<f64>, Vec<f64>)],
-) -> Table {
+pub fn bar_table(showcase: &[Mix], series: &[(&str, Vec<f64>, Vec<f64>)]) -> Table {
     let mut headers = vec!["mix"];
     for (label, _, _) in series {
         headers.push(label);
@@ -113,9 +213,7 @@ pub fn bar_table(
     }
     let mut row = vec![format!("All({})", series[0].2.len())];
     for (_, _, all) in series {
-        row.push(fmt_norm(
-            stats::geomean(all.iter().copied()).unwrap_or(0.0),
-        ));
+        row.push(fmt_norm(stats::geomean(all.iter().copied()).unwrap_or(0.0)));
     }
     t.add_row(row);
     t
@@ -175,11 +273,7 @@ mod tests {
     #[test]
     fn bar_table_shapes() {
         let mixes = table2_mixes();
-        let series = vec![(
-            "QBS",
-            vec![1.0; 12],
-            vec![1.05; 105],
-        )];
+        let series = vec![("QBS", vec![1.0; 12], vec![1.05; 105])];
         let t = bar_table(&mixes, &series);
         assert_eq!(t.len(), 13); // 12 mixes + All row
         let s = t.to_string();
@@ -191,5 +285,32 @@ mod tests {
     fn formatting() {
         assert_eq!(fmt_norm(1.2345), "1.234");
         assert_eq!(fmt_pct(3.21), "+3.2%");
+    }
+
+    #[test]
+    fn time_it_counts_iterations() {
+        let mut n = 0u64;
+        let m = time_it("noop", 5, || n += 1);
+        // Calibration/warm-up runs `op` too, so n counts at least iters.
+        assert!(n >= m.iters);
+        assert!(m.iters > 0);
+        assert!(m.nanos_per_iter() >= 0.0);
+        assert!(m.line().contains("noop"));
+    }
+
+    #[test]
+    fn quiet_reads_env() {
+        // Tests share the process env; restore whatever was there.
+        let saved = std::env::var("TLA_QUIET").ok();
+        std::env::remove_var("TLA_QUIET");
+        assert!(!quiet());
+        std::env::set_var("TLA_QUIET", "0");
+        assert!(!quiet());
+        std::env::set_var("TLA_QUIET", "1");
+        assert!(quiet());
+        match saved {
+            Some(v) => std::env::set_var("TLA_QUIET", v),
+            None => std::env::remove_var("TLA_QUIET"),
+        }
     }
 }

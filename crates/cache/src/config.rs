@@ -40,7 +40,10 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroWays => write!(f, "associativity must be at least 1"),
             ConfigError::PlruNeedsPow2Ways { ways } => {
-                write!(f, "tree PLRU requires power-of-two associativity, got {ways}")
+                write!(
+                    f,
+                    "tree PLRU requires power-of-two associativity, got {ways}"
+                )
             }
         }
     }

@@ -88,11 +88,9 @@ impl StreamPrefetcher {
         self.trainings += 1;
         self.stamp += 1;
         let region = line.raw() / REGION_LINES;
-        if let Some(s) = self
-            .streams
-            .iter_mut()
-            .find(|s| s.region == region || s.region == region.wrapping_sub(1) || s.region == region + 1)
-        {
+        if let Some(s) = self.streams.iter_mut().find(|s| {
+            s.region == region || s.region == region.wrapping_sub(1) || s.region == region + 1
+        }) {
             s.lru = self.stamp;
             let delta = line.raw() as i64 - s.last_line.raw() as i64;
             if delta != 0 {
@@ -199,7 +197,7 @@ mod tests {
         miss(&mut p, 0); // stream A (region 0)
         miss(&mut p, 1000); // stream B (region 15)
         miss(&mut p, 2000); // displaces A (LRU)
-        // Re-touching stream A's region allocates fresh (no training left).
+                            // Re-touching stream A's region allocates fresh (no training left).
         miss(&mut p, 1);
         let out = miss(&mut p, 2);
         assert!(out.is_empty(), "displaced stream must retrain from scratch");

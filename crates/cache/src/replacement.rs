@@ -15,9 +15,8 @@
 //! cores approve one.
 
 use crate::line::LineState;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
+use tla_rng::SmallRng;
 
 /// Maximum re-reference prediction value for the 2-bit RRIP policies.
 const RRPV_MAX: u64 = 3;
@@ -164,9 +163,9 @@ impl Replacer {
             Policy::Brrip => lines[way].repl = self.brrip_insert_rrpv(),
             Policy::Drrip => {
                 let srrip_mode = match set_idx % DUEL_MODULUS {
-                    0 => true,                // SRRIP leader set
-                    1 => false,               // BRRIP leader set
-                    _ => self.psel >= 0,      // follower sets
+                    0 => true,           // SRRIP leader set
+                    1 => false,          // BRRIP leader set
+                    _ => self.psel >= 0, // follower sets
                 };
                 lines[way].repl = if srrip_mode {
                     RRPV_MAX - 1

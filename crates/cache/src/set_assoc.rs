@@ -62,12 +62,9 @@ impl SetAssocCache {
     /// Creates an empty cache with deterministic replacement seeded from the
     /// cache name.
     pub fn new(cfg: CacheConfig) -> Self {
-        let seed = cfg
-            .name()
-            .bytes()
-            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-            });
+        let seed = cfg.name().bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
         Self::with_seed(cfg, seed)
     }
 
@@ -214,9 +211,8 @@ impl SetAssocCache {
             Some(w) => w,
             None => {
                 let range = self.set_range(set);
-                
-                self
-                    .repl
+
+                self.repl
                     .victim(set, &self.lines[range])
                     .expect("full set must have a victim")
             }

@@ -313,13 +313,7 @@ impl fmt::Display for HierarchyConfig {
         write!(
             f,
             "{} cores, {} / {} / {} / {}, {} LLC, {}",
-            self.num_cores,
-            self.l1i,
-            self.l1d,
-            self.l2,
-            self.llc,
-            self.inclusion,
-            self.tla
+            self.num_cores, self.l1i, self.l1d, self.l2, self.llc, self.inclusion, self.tla
         )
     }
 }

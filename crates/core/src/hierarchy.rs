@@ -9,10 +9,33 @@
 use crate::config::{HierarchyConfig, InclusionPolicy};
 use crate::policy::{QbsConfig, TlaPolicy};
 use crate::stats::{GlobalStats, PerCoreStats};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use tla_cache::{CoreBitmap, SetAssocCache, StreamPrefetcher, VictimCache, VictimEntry};
-use tla_types::{AccessKind, CoreId, DataSource, LineAddr};
+use tla_rng::SmallRng;
+use tla_telemetry::{EventKind, TelemetryEvent, TelemetrySink};
+use tla_types::{AccessKind, CacheLevel, CoreId, DataSource, LineAddr};
+
+/// The hierarchy's (optional) telemetry sink.
+///
+/// A newtype so [`CacheHierarchy`] keeps its derived `Debug`/`Clone`:
+/// clones of a hierarchy start with no sink (collectors are run-scoped,
+/// not state), and `Debug` shows only whether a sink is installed.
+#[derive(Default)]
+struct SinkSlot(Option<Box<dyn TelemetrySink>>);
+
+impl std::fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("SinkSlot(installed)"),
+            None => f.write_str("SinkSlot(none)"),
+        }
+    }
+}
+
+impl Clone for SinkSlot {
+    fn clone(&self) -> Self {
+        SinkSlot(None)
+    }
+}
 
 /// The private caches and prefetcher of one core.
 #[derive(Debug, Clone)]
@@ -27,7 +50,9 @@ impl CoreCaches {
     /// Whether any of the selected levels holds `line` — the answer a QBS
     /// query gets back from this core.
     fn holds(&self, line: LineAddr, l1i: bool, l1d: bool, l2: bool) -> bool {
-        (l1i && self.l1i.probe(line)) || (l1d && self.l1d.probe(line)) || (l2 && self.l2.probe(line))
+        (l1i && self.l1i.probe(line))
+            || (l1d && self.l1d.probe(line))
+            || (l2 && self.l2.probe(line))
     }
 }
 
@@ -48,6 +73,11 @@ pub struct CacheHierarchy {
     rng: SmallRng,
     /// Reusable buffer for prefetcher output.
     pf_buf: Vec<LineAddr>,
+    /// Installed telemetry sink, if any.
+    sink: SinkSlot,
+    /// Global instruction clock stamped onto telemetry events; advanced by
+    /// the driver via [`CacheHierarchy::set_now`].
+    now_instr: u64,
 }
 
 impl CacheHierarchy {
@@ -55,8 +85,14 @@ impl CacheHierarchy {
     pub fn new(cfg: &HierarchyConfig) -> Self {
         let cores = (0..cfg.num_cores())
             .map(|i| CoreCaches {
-                l1i: SetAssocCache::with_seed(cfg.l1i().clone(), cfg.seed_value() ^ (i as u64) << 1),
-                l1d: SetAssocCache::with_seed(cfg.l1d().clone(), cfg.seed_value() ^ (i as u64) << 2),
+                l1i: SetAssocCache::with_seed(
+                    cfg.l1i().clone(),
+                    cfg.seed_value() ^ (i as u64) << 1,
+                ),
+                l1d: SetAssocCache::with_seed(
+                    cfg.l1d().clone(),
+                    cfg.seed_value() ^ (i as u64) << 2,
+                ),
                 l2: SetAssocCache::with_seed(cfg.l2().clone(), cfg.seed_value() ^ (i as u64) << 3),
                 prefetcher: cfg.prefetcher_config().map(StreamPrefetcher::new),
             })
@@ -73,6 +109,8 @@ impl CacheHierarchy {
             global: GlobalStats::default(),
             rng: SmallRng::seed_from_u64(cfg.seed_value().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             pf_buf: Vec::with_capacity(8),
+            sink: SinkSlot::default(),
+            now_instr: 0,
         }
     }
 
@@ -101,9 +139,62 @@ impl CacheHierarchy {
         &self.global
     }
 
+    /// Demand counters of every core, in core order (for telemetry
+    /// snapshots).
+    pub fn all_per_core_stats(&self) -> &[PerCoreStats] {
+        &self.per_core
+    }
+
     /// Whether `line` is currently resident in the LLC (tests/inspection).
     pub fn llc_holds(&self, line: LineAddr) -> bool {
         self.llc.probe(line)
+    }
+
+    /// Number of sets in the LLC (for sizing set-resolved telemetry
+    /// collectors).
+    pub fn llc_sets(&self) -> usize {
+        self.llc.config().sets()
+    }
+
+    /// Installs a telemetry sink; every policy-relevant event is delivered
+    /// to it until [`CacheHierarchy::take_sink`] removes it. With no sink
+    /// installed the event path is a single branch.
+    pub fn set_sink(&mut self, sink: impl TelemetrySink + 'static) {
+        self.sink = SinkSlot(Some(Box::new(sink)));
+    }
+
+    /// Removes and returns the installed sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TelemetrySink>> {
+        self.sink.0.take()
+    }
+
+    /// Whether a telemetry sink is installed.
+    pub fn has_sink(&self) -> bool {
+        self.sink.0.is_some()
+    }
+
+    /// Advances the instruction clock stamped onto telemetry events.
+    /// Drivers call this with the total instructions committed across all
+    /// cores; standalone use of the hierarchy can ignore it (events are
+    /// then stamped 0).
+    pub fn set_now(&mut self, instr: u64) {
+        self.now_instr = instr;
+    }
+
+    /// Delivers `event` to the sink, if one is installed. Call sites that
+    /// must *compute* context (e.g. a set index) guard on
+    /// [`CacheHierarchy::has_sink`] first so disabled telemetry stays free.
+    #[inline]
+    fn emit(&mut self, event: TelemetryEvent) {
+        if let Some(sink) = self.sink.0.as_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// A [`TelemetryEvent`] stamped with the current instruction clock.
+    #[inline]
+    fn event(&self, kind: EventKind) -> TelemetryEvent {
+        TelemetryEvent::global(kind, self.now_instr)
     }
 
     /// Whether `line` is currently resident in any cache of `core`.
@@ -184,6 +275,11 @@ impl CacheHierarchy {
         // Issue the prefetches into the L2.
         for pl in pf_lines.drain(..) {
             self.global.prefetches += 1;
+            self.emit(
+                self.event(EventKind::Prefetch)
+                    .with_core(core)
+                    .with_level(CacheLevel::L2),
+            );
             self.prefetch(core, pl);
         }
         self.pf_buf = pf_lines;
@@ -220,6 +316,14 @@ impl CacheHierarchy {
                 // An early-invalidated line was re-referenced in time: ECI
                 // derived its temporal locality (a "hot line rescue").
                 self.global.eci_rescues += 1;
+                if self.has_sink() {
+                    let set = self.llc.set_of(line) as u32;
+                    self.emit(
+                        self.event(EventKind::EciRescue)
+                            .with_core(core)
+                            .with_set(set),
+                    );
+                }
             }
             self.llc.add_sharer(line, core);
             return DataSource::Llc;
@@ -236,6 +340,7 @@ impl CacheHierarchy {
         if let Some(vc) = self.victim.as_mut() {
             if let Some(entry) = vc.take(line) {
                 self.global.victim_cache_rescues += 1;
+                self.emit(self.event(EventKind::VictimCacheRescue).with_core(core));
                 let mut cores = entry.cores;
                 cores.insert(core);
                 self.insert_into_llc(line, entry.dirty, cores);
@@ -282,6 +387,11 @@ impl CacheHierarchy {
             .evict_way(set, way)
             .expect("victim way must be valid");
         self.global.llc_evictions += 1;
+        self.emit(
+            self.event(EventKind::LlcEviction)
+                .with_level(CacheLevel::Llc)
+                .with_set(set as u32),
+        );
         if ev.dirty {
             self.global.llc_writebacks += 1;
         }
@@ -304,14 +414,26 @@ impl CacheHierarchy {
     /// the core caches; rejected candidates are promoted to MRU. Returns the
     /// index into `order` of the line to evict.
     fn qbs_select(&mut self, order: &[(usize, LineAddr)], cfg: QbsConfig) -> usize {
+        // All candidates share one set; resolve it once for telemetry.
+        let set = if self.has_sink() {
+            order.first().map(|&(_, l)| self.llc.set_of(l) as u32)
+        } else {
+            None
+        };
         for (i, &(_, cand)) in order.iter().enumerate() {
             // `i` queries have been issued so far, one per prior candidate.
             if i >= cfg.max_queries {
                 // Query budget exhausted: evict this candidate unqueried.
                 self.global.qbs_limit_hits += 1;
+                if let Some(s) = set {
+                    self.emit(self.event(EventKind::QbsLimitHit).with_set(s));
+                }
                 return i;
             }
             self.global.qbs_queries += 1;
+            if let Some(s) = set {
+                self.emit(self.event(EventKind::QbsQuery).with_set(s));
+            }
             let resident = self
                 .cores
                 .iter()
@@ -320,6 +442,9 @@ impl CacheHierarchy {
                 return i;
             }
             self.global.qbs_rejections += 1;
+            if let Some(s) = set {
+                self.emit(self.event(EventKind::QbsRejection).with_set(s));
+            }
             self.llc.promote(cand);
             if cfg.invalidate_on_query {
                 // "Modified QBS" (§V-E footnote 6): also evict the rejected
@@ -330,6 +455,9 @@ impl CacheHierarchy {
         // Every line in the set is resident in a core cache (only possible
         // with toy geometries): fall back to the original victim.
         self.global.qbs_limit_hits += 1;
+        if let Some(s) = set {
+            self.emit(self.event(EventKind::QbsLimitHit).with_set(s));
+        }
         0
     }
 
@@ -340,8 +468,20 @@ impl CacheHierarchy {
         let Some(sharers) = self.llc.sharers(target) else {
             return;
         };
+        let set = if self.has_sink() {
+            Some(self.llc.set_of(target) as u32)
+        } else {
+            None
+        };
         for c in sharers.iter() {
             self.global.eci_invalidates += 1;
+            if let Some(s) = set {
+                self.emit(
+                    self.event(EventKind::EciInvalidate)
+                        .with_core(c)
+                        .with_set(s),
+                );
+            }
             self.invalidate_in_core(c, target, false);
         }
         self.llc.clear_sharers(target);
@@ -375,8 +515,22 @@ impl CacheHierarchy {
     /// Back-invalidates `line` from the caches of every core in `cores`,
     /// counting inclusion victims.
     fn back_invalidate(&mut self, line: LineAddr, cores: CoreBitmap) {
+        // `set_of` is pure index arithmetic, valid even though the line has
+        // already left the LLC.
+        let set = if self.has_sink() {
+            Some(self.llc.set_of(line) as u32)
+        } else {
+            None
+        };
         for c in cores.iter() {
             self.global.back_invalidates += 1;
+            if let Some(s) = set {
+                self.emit(
+                    self.event(EventKind::BackInvalidate)
+                        .with_core(c)
+                        .with_set(s),
+                );
+            }
             self.invalidate_in_core(c, line, true);
         }
     }
@@ -519,7 +673,11 @@ impl CacheHierarchy {
                 // the line (this core's L1s — the L2 is non-inclusive of
                 // them — or, for shared lines, another core) it stays
                 // core-side; dirtiness transfers to a surviving copy.
-                if self.cores.iter().any(|cc| cc.holds(ev.addr, true, true, true)) {
+                if self
+                    .cores
+                    .iter()
+                    .any(|cc| cc.holds(ev.addr, true, true, true))
+                {
                     if ev.dirty {
                         let ci = core.index();
                         let cc = &mut self.cores[ci];
@@ -569,12 +727,10 @@ impl CacheHierarchy {
                 if self.llc.touch_prefetch(line) {
                     self.llc.add_sharer(line, core);
                 } else {
-                    let rescued = self
-                        .victim
-                        .as_mut()
-                        .and_then(|vc| vc.take(line));
+                    let rescued = self.victim.as_mut().and_then(|vc| vc.take(line));
                     if let Some(entry) = rescued {
                         self.global.victim_cache_rescues += 1;
+                        self.emit(self.event(EventKind::VictimCacheRescue).with_core(core));
                         let mut cores = entry.cores;
                         cores.insert(core);
                         self.insert_into_llc(line, entry.dirty, cores);
@@ -610,11 +766,23 @@ impl CacheHierarchy {
         if !eligible {
             return;
         }
-        if cfg.probability < 1.0 && self.rng.gen::<f64>() >= cfg.probability {
+        if cfg.probability < 1.0 && self.rng.gen_f64() >= cfg.probability {
             return;
         }
         self.per_core[core.index()].tlh_hints += 1;
         self.global.tlh_hints += 1;
+        let level = if from_l2 {
+            CacheLevel::L2
+        } else if is_ifetch {
+            CacheLevel::L1I
+        } else {
+            CacheLevel::L1D
+        };
+        self.emit(
+            self.event(EventKind::TlhHint)
+                .with_core(core)
+                .with_level(level),
+        );
         self.llc.promote(line);
     }
 
@@ -632,10 +800,7 @@ impl CacheHierarchy {
         for (i, cc) in self.cores.iter().enumerate() {
             for cache in [&cc.l1i, &cc.l1d, &cc.l2] {
                 for l in cache.iter_valid() {
-                    let in_vc = self
-                        .victim
-                        .as_ref()
-                        .is_some_and(|vc| vc.probe(l.addr));
+                    let in_vc = self.victim.as_ref().is_some_and(|vc| vc.probe(l.addr));
                     if !self.llc.probe(l.addr) && !in_vc {
                         return Some((CoreId::new(i), l.addr));
                     }
@@ -731,7 +896,10 @@ mod tests {
         let mut h = tiny(TlaPolicy::Baseline);
         fig3_pattern(&mut h);
         let s = h.per_core_stats(CoreId::new(0));
-        assert!(s.inclusion_victims_l1 > 0, "hot line 'a' must be victimized");
+        assert!(
+            s.inclusion_victims_l1 > 0,
+            "hot line 'a' must be victimized"
+        );
         assert!(h.global_stats().back_invalidates > 0);
         assert_eq!(h.find_inclusion_violation(), None);
     }
@@ -794,7 +962,6 @@ mod tests {
             load(&mut h, 0, x);
         }
         assert!(!h.llc_holds(LineAddr::new(1)));
-        assert!(h.core_holds(CoreId::new(0), LineAddr::new(1)) || true);
         // The L1 copy (if capacity allowed) was not invalidated; with a
         // 2-entry L1 line 1 fell out by capacity, but no back-invalidate
         // message was ever sent.
@@ -841,9 +1008,8 @@ mod tests {
 
     #[test]
     fn qbs_query_limit_forces_eviction() {
-        let mut h = CacheHierarchy::new(
-            &HierarchyConfig::tiny_fig3().tla(TlaPolicy::qbs_limited(1)),
-        );
+        let mut h =
+            CacheHierarchy::new(&HierarchyConfig::tiny_fig3().tla(TlaPolicy::qbs_limited(1)));
         fig3_pattern(&mut h);
         let g = h.global_stats();
         // With a 1-query limit QBS sometimes evicts unqueried candidates.
@@ -1036,8 +1202,7 @@ mod tests {
 
     #[test]
     fn inclusive_invariant_random_storm() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let mut rng = tla_rng::SmallRng::seed_from_u64(42);
         for tla in [
             TlaPolicy::baseline(),
             TlaPolicy::tlh_l1(),
@@ -1047,7 +1212,7 @@ mod tests {
             let cfg = HierarchyConfig::tiny_fig3().cores(2).tla(tla);
             let mut h = CacheHierarchy::new(&cfg);
             for _ in 0..500 {
-                let core = rng.gen_range(0..2);
+                let core = rng.gen_range(0usize..2);
                 let line = rng.gen_range(0..16u64);
                 let kind = if rng.gen_bool(0.3) {
                     AccessKind::Store
@@ -1081,7 +1246,10 @@ mod tests {
         };
         let base = run(TlaPolicy::baseline());
         let qbs = run(TlaPolicy::qbs());
-        assert_eq!(base, qbs, "QBS on a non-inclusive base changes nothing here");
+        assert_eq!(
+            base, qbs,
+            "QBS on a non-inclusive base changes nothing here"
+        );
     }
 
     #[test]
@@ -1102,8 +1270,7 @@ mod tests {
 
     #[test]
     fn exclusive_mode_with_prefetcher_keeps_invariant() {
-        let cfg = HierarchyConfig::scaled(2, 8)
-            .inclusion_policy(InclusionPolicy::Exclusive);
+        let cfg = HierarchyConfig::scaled(2, 8).inclusion_policy(InclusionPolicy::Exclusive);
         let mut h = CacheHierarchy::new(&cfg);
         for i in 0..2000u64 {
             load(&mut h, (i % 2) as usize, i / 2); // two interleaved streams
@@ -1197,14 +1364,13 @@ mod tests {
 
     #[test]
     fn exclusive_invariant_random_storm() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(43);
+        let mut rng = tla_rng::SmallRng::seed_from_u64(43);
         let cfg = HierarchyConfig::tiny_fig3()
             .cores(2)
             .inclusion_policy(InclusionPolicy::Exclusive);
         let mut h = CacheHierarchy::new(&cfg);
         for _ in 0..500 {
-            let core = rng.gen_range(0..2);
+            let core = rng.gen_range(0usize..2);
             let line = rng.gen_range(0..16u64);
             h.access(CoreId::new(core), LineAddr::new(line), AccessKind::Load);
             assert_eq!(h.find_exclusion_violation(), None);

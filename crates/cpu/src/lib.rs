@@ -437,7 +437,15 @@ mod tests {
         assert_eq!(cfg.width, 4);
         assert_eq!(cfg.rob_entries, 128);
         assert_eq!(cfg.mshrs, 32);
-        assert_eq!(cfg.latencies, Latencies { l1: 1, l2: 10, llc: 24, memory: 150 });
+        assert_eq!(
+            cfg.latencies,
+            Latencies {
+                l1: 1,
+                l2: 10,
+                llc: 24,
+                memory: 150
+            }
+        );
     }
 
     #[test]
@@ -450,72 +458,85 @@ mod tests {
     }
 }
 
+// Randomized invariant tests: deterministic seeded streams stand in for
+// the proptest strategies the offline workspace cannot depend on.
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use tla_rng::SmallRng;
 
-    fn mem_op() -> impl Strategy<Value = Option<(AccessKind, DataSource)>> {
-        prop_oneof![
-            3 => Just(None),
-            1 => (
-                prop_oneof![Just(AccessKind::Load), Just(AccessKind::Store)],
-                prop_oneof![
-                    Just(DataSource::L1),
-                    Just(DataSource::L2),
-                    Just(DataSource::Llc),
-                    Just(DataSource::Memory)
-                ],
-            )
-                .prop_map(Some),
-        ]
+    const SOURCES: [DataSource; 4] = [
+        DataSource::L1,
+        DataSource::L2,
+        DataSource::Llc,
+        DataSource::Memory,
+    ];
+
+    fn mem_op(rng: &mut SmallRng) -> Option<(AccessKind, DataSource)> {
+        // 3:1 in favour of non-memory instructions, like real traces.
+        if rng.gen_range(0u32..4) < 3 {
+            return None;
+        }
+        let kind = if rng.gen_bool(0.5) {
+            AccessKind::Load
+        } else {
+            AccessKind::Store
+        };
+        Some((kind, SOURCES[rng.gen_range(0usize..4)]))
     }
 
-    fn ifetch() -> impl Strategy<Value = Option<DataSource>> {
-        prop_oneof![
-            8 => Just(None),
-            1 => prop_oneof![
-                Just(DataSource::L1),
-                Just(DataSource::L2),
-                Just(DataSource::Llc),
-                Just(DataSource::Memory)
-            ].prop_map(Some),
-        ]
+    fn ifetch(rng: &mut SmallRng) -> Option<DataSource> {
+        if rng.gen_range(0u32..9) < 8 {
+            None
+        } else {
+            Some(SOURCES[rng.gen_range(0usize..4)])
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// Retire times never go backwards and `now()` is monotone for any
-        /// instruction stream.
-        #[test]
-        fn timing_is_monotone(stream in prop::collection::vec((ifetch(), mem_op()), 1..500)) {
+    /// Retire times never go backwards and `now()` is monotone for any
+    /// instruction stream.
+    #[test]
+    fn timing_is_monotone() {
+        for case in 0..48u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0DE_0000 + case);
+            let len = rng.gen_range(1usize..500);
             let mut c = CoreModel::new(CoreModelConfig::default());
             let mut last_retire = 0;
             let mut last_now = 0;
-            for (f, m) in stream {
+            for _ in 0..len {
+                let (f, m) = (ifetch(&mut rng), mem_op(&mut rng));
                 let r = c.step(f, m);
-                prop_assert!(r >= last_retire);
-                prop_assert!(c.now() >= last_now);
+                assert!(r >= last_retire, "case {case}: retire went backwards");
+                assert!(c.now() >= last_now, "case {case}: now went backwards");
                 last_retire = r;
                 last_now = c.now();
             }
         }
+    }
 
-        /// IPC is bounded by the fetch width for any stream.
-        #[test]
-        fn ipc_bounded_by_width(stream in prop::collection::vec((ifetch(), mem_op()), 50..500)) {
+    /// IPC is bounded by the fetch width for any stream.
+    #[test]
+    fn ipc_bounded_by_width() {
+        for case in 0..48u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0DE_1000 + case);
+            let len = rng.gen_range(50usize..500);
             let mut c = CoreModel::new(CoreModelConfig::default());
-            for (f, m) in stream {
+            for _ in 0..len {
+                let (f, m) = (ifetch(&mut rng), mem_op(&mut rng));
                 c.step(f, m);
             }
-            prop_assert!(c.ipc() <= c.config().width as f64 + 1e-9);
-            prop_assert!(c.retired() > 0);
+            assert!(c.ipc() <= c.config().width as f64 + 1e-9, "case {case}");
+            assert!(c.retired() > 0, "case {case}");
         }
+    }
 
-        /// Inserting extra memory loads can only slow a stream down.
-        #[test]
-        fn extra_misses_never_speed_up(n in 50usize..300, every in 2usize..20) {
+    /// Inserting extra memory loads can only slow a stream down.
+    #[test]
+    fn extra_misses_never_speed_up() {
+        for case in 0..48u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0DE_2000 + case);
+            let n = rng.gen_range(50usize..300);
+            let every = rng.gen_range(2usize..20);
             let mut fast = CoreModel::new(CoreModelConfig::default());
             let mut slow = CoreModel::new(CoreModelConfig::default());
             for i in 0..n {
@@ -527,7 +548,10 @@ mod proptests {
                 };
                 slow.step(None, m);
             }
-            prop_assert!(slow.cycles() >= fast.cycles());
+            assert!(
+                slow.cycles() >= fast.cycles(),
+                "case {case}: n={n} every={every}"
+            );
         }
     }
 }

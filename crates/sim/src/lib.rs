@@ -30,8 +30,9 @@ mod runner;
 
 pub use config::SimConfig;
 pub use policyspec::PolicySpec;
-pub use report::Table;
-pub use run::{MixRun, RunResult, ThreadResult};
+pub use report::{Table, TableError};
+pub use run::{MixRun, RunResult, RunTelemetry, ThreadResult};
 pub use runner::{
     mpki_table, normalized_throughput, run_alone, run_mix_suite, SuiteResult, Table1Row,
 };
+pub use tla_telemetry::{RunReport, Window};

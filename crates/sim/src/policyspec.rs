@@ -36,7 +36,11 @@ impl PolicySpec {
 
     /// The inclusive baseline.
     pub fn baseline() -> Self {
-        Self::new("Inclusive", InclusionPolicy::Inclusive, TlaPolicy::baseline())
+        Self::new(
+            "Inclusive",
+            InclusionPolicy::Inclusive,
+            TlaPolicy::baseline(),
+        )
     }
 
     /// Non-inclusive hierarchy (no back-invalidates).
@@ -50,7 +54,11 @@ impl PolicySpec {
 
     /// Exclusive hierarchy (LLC holds only core-cache victims).
     pub fn exclusive() -> Self {
-        Self::new("Exclusive", InclusionPolicy::Exclusive, TlaPolicy::baseline())
+        Self::new(
+            "Exclusive",
+            InclusionPolicy::Exclusive,
+            TlaPolicy::baseline(),
+        )
     }
 
     /// TLH from the L1 instruction cache.
@@ -75,7 +83,11 @@ impl PolicySpec {
 
     /// TLH from every level.
     pub fn tlh_l1_l2() -> Self {
-        Self::new("TLH-L1-L2", InclusionPolicy::Inclusive, TlaPolicy::tlh_l1_l2())
+        Self::new(
+            "TLH-L1-L2",
+            InclusionPolicy::Inclusive,
+            TlaPolicy::tlh_l1_l2(),
+        )
     }
 
     /// TLH-L1 with only a fraction of hits sending hints.
@@ -198,7 +210,14 @@ mod tests {
         let names: Vec<&str> = set.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["TLH-L1", "TLH-L2", "ECI", "QBS", "Non-Inclusive", "Exclusive"]
+            vec![
+                "TLH-L1",
+                "TLH-L2",
+                "ECI",
+                "QBS",
+                "Non-Inclusive",
+                "Exclusive"
+            ]
         );
     }
 }

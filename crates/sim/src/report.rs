@@ -33,14 +33,25 @@ impl Table {
     ///
     /// # Panics
     ///
-    /// Panics if the row width differs from the header width.
+    /// Panics if the row width differs from the header width; CLI paths
+    /// should prefer [`Table::try_add_row`].
     pub fn add_row(&mut self, cells: Vec<String>) {
-        assert_eq!(
-            cells.len(),
-            self.headers.len(),
-            "row width must match header"
-        );
+        self.try_add_row(cells)
+            .expect("row width must match header");
+    }
+
+    /// Appends one row, rejecting (and returning) rows whose width does
+    /// not match the header width.
+    pub fn try_add_row(&mut self, cells: Vec<String>) -> Result<(), TableError> {
+        if cells.len() != self.headers.len() {
+            return Err(TableError::WidthMismatch {
+                expected: self.headers.len(),
+                got: cells.len(),
+                cells,
+            });
+        }
         self.rows.push(cells);
+        Ok(())
     }
 
     /// Number of data rows.
@@ -53,6 +64,33 @@ impl Table {
         self.rows.is_empty()
     }
 }
+
+/// A rejected [`Table`] mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The row had the wrong number of cells; the offending row is
+    /// returned so the caller can log or repair it.
+    WidthMismatch {
+        /// Header width.
+        expected: usize,
+        /// Offered row width.
+        got: usize,
+        /// The rejected cells.
+        cells: Vec<String>,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::WidthMismatch { expected, got, .. } => {
+                write!(f, "table row has {got} cells, header has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -106,5 +144,21 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new(&["a", "b"]);
         t.add_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn try_add_row_rejects_without_panicking() {
+        let mut t = Table::new(&["a", "b"]);
+        assert!(t.try_add_row(vec!["1".into(), "2".into()]).is_ok());
+        let err = t.try_add_row(vec!["only-one".into()]).unwrap_err();
+        let TableError::WidthMismatch {
+            expected,
+            got,
+            cells,
+        } = &err;
+        assert_eq!((*expected, *got), (2, 1));
+        assert_eq!(cells, &vec!["only-one".to_string()]);
+        assert!(err.to_string().contains("1 cells"));
+        assert_eq!(t.len(), 1);
     }
 }

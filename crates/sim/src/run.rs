@@ -2,9 +2,15 @@
 
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
-use tla_core::{CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, PerCoreStats,
-    TlaPolicy, VictimCacheConfig};
+use tla_core::{
+    CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, PerCoreStats, TlaPolicy,
+    VictimCacheConfig,
+};
 use tla_cpu::CoreModel;
+use tla_telemetry::{
+    ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, RunReport, SetHistogramReport,
+    SharedSink, ThreadReport, Window, WindowedSeries,
+};
 use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
 use tla_workloads::{SpecApp, SyntheticTrace, TraceSource};
 
@@ -112,7 +118,10 @@ impl RunResult {
 
     /// Total inclusion victims suffered across threads.
     pub fn inclusion_victims(&self) -> u64 {
-        self.threads.iter().map(|t| t.stats.inclusion_victims()).sum()
+        self.threads
+            .iter()
+            .map(|t| t.stats.inclusion_victims())
+            .sum()
     }
 }
 
@@ -189,6 +198,23 @@ impl<'a> MixRun<'a> {
 
     /// Executes the run to completion.
     pub fn run(self) -> RunResult {
+        self.execute(None).0
+    }
+
+    /// Executes the run with telemetry collection: event totals, per-set
+    /// eviction/inclusion-victim histograms and — when `window` is set — a
+    /// windowed time series closed every `window` committed instructions
+    /// (summed across cores).
+    ///
+    /// Collection spans the whole run including warm-up (the time series
+    /// is precisely what makes the warm-up transient visible); the
+    /// [`RunResult`] keeps its usual measured-phase semantics.
+    pub fn run_instrumented(self, window: Option<u64>) -> (RunResult, RunTelemetry) {
+        let (result, telemetry) = self.execute(Some(window));
+        (result, telemetry.expect("telemetry was requested"))
+    }
+
+    fn execute(self, telemetry: Option<Option<u64>>) -> (RunResult, Option<RunTelemetry>) {
         let n_cores = self.apps.len();
         let scale = self.cfg.scale();
         let mut hcfg: HierarchyConfig = HierarchyConfig::scaled(n_cores, scale as usize)
@@ -209,6 +235,21 @@ impl<'a> MixRun<'a> {
         }
 
         let mut hier = CacheHierarchy::new(&hcfg);
+
+        // Telemetry collectors. The counting sink and histogram hang off
+        // the hierarchy's event stream; the windowed series is driven from
+        // the loop below off the cumulative counters.
+        let counts = SharedSink::new(CountingSink::default());
+        let histogram = SharedSink::new(PerSetHistogram::new(hier.llc_sets()));
+        let mut series = telemetry.and_then(|w| w).map(WindowedSeries::new);
+        if telemetry.is_some() {
+            hier.set_sink(
+                MultiSink::new()
+                    .with(counts.clone())
+                    .with(histogram.clone()),
+            );
+        }
+
         let mut cores: Vec<CoreModel> = (0..n_cores)
             .map(|_| CoreModel::new(*self.cfg.core_config()))
             .collect();
@@ -224,9 +265,16 @@ impl<'a> MixRun<'a> {
         let quota = warmup + self.cfg.instruction_quota();
         // Per-thread snapshot taken when the thread crosses the warm-up
         // boundary: (cycles, stats).
-        let mut warm_mark: Vec<Option<(u64, PerCoreStats)>> =
-            vec![if warmup == 0 { Some((0, PerCoreStats::default())) } else { None }; n_cores];
+        let mut warm_mark: Vec<Option<(u64, PerCoreStats)>> = vec![
+            if warmup == 0 {
+                Some((0, PerCoreStats::default()))
+            } else {
+                None
+            };
+            n_cores
+        ];
         let mut remaining = n_cores;
+        let mut total_instr: u64 = 0;
 
         while remaining > 0 {
             // Step the core with the smallest local clock so shared-LLC
@@ -248,6 +296,16 @@ impl<'a> MixRun<'a> {
                 .map(|m| (m.kind, hier.access(core_id, m.addr, m.kind)));
             cores[i].step(ifetch, mem);
 
+            // One instruction committed; advance the telemetry clock so the
+            // *next* iteration's events carry the right timestamp.
+            total_instr += 1;
+            if telemetry.is_some() {
+                hier.set_now(total_instr);
+                if let Some(series) = series.as_mut() {
+                    series.observe(total_instr, hier.all_per_core_stats(), hier.global_stats());
+                }
+            }
+
             if warm_mark[i].is_none() && cores[i].retired() >= warmup {
                 warm_mark[i] = Some((cores[i].cycles(), *hier.per_core_stats(core_id)));
             }
@@ -264,12 +322,100 @@ impl<'a> MixRun<'a> {
             }
         }
 
-        RunResult {
+        let collected = telemetry.map(|_| {
+            if let Some(series) = series.as_mut() {
+                series.finish(total_instr, hier.all_per_core_stats(), hier.global_stats());
+            }
+            hier.take_sink();
+            RunTelemetry {
+                window_size: series.as_ref().map(WindowedSeries::window_size),
+                windows: series.map(WindowedSeries::take).unwrap_or_default(),
+                set_histogram: histogram.with(|h| SetHistogramReport::from(h)),
+                event_totals: counts.with(CountingSink::nonzero),
+            }
+        });
+
+        let result = RunResult {
             threads: frozen.into_iter().map(|t| t.expect("all frozen")).collect(),
             global: *hier.global_stats(),
             spec_name: self.spec.name.clone(),
-        }
+        };
+        (result, collected)
     }
+
+    /// Label of this run's mix, e.g. `"lib+sje"`.
+    pub fn mix_label(&self) -> String {
+        let names: Vec<&str> = self.apps.iter().map(|a| a.short_name()).collect();
+        names.join("+")
+    }
+
+    /// Executes the run with telemetry and packages everything into a
+    /// machine-readable [`RunReport`] (config echo, final stats, time
+    /// series, histograms) ready for JSON output.
+    pub fn run_report(self, window: Option<u64>) -> (RunResult, RunReport) {
+        let mix = self.mix_label();
+        let config = self.config_echo();
+        let spec_name = self.spec.name.clone();
+        let apps = self.apps.clone();
+        let (result, telemetry) = self.run_instrumented(window);
+        let report = RunReport {
+            mix,
+            policy: spec_name,
+            config,
+            threads: apps
+                .iter()
+                .zip(&result.threads)
+                .map(|(app, t)| ThreadReport {
+                    app: app.short_name().to_string(),
+                    instructions: t.instructions,
+                    cycles: t.cycles,
+                    stats: t.stats,
+                })
+                .collect(),
+            global: result.global,
+            event_totals: telemetry.event_totals,
+            window_size: telemetry.window_size,
+            windows: telemetry.windows,
+            set_histogram: Some(telemetry.set_histogram),
+        };
+        (result, report)
+    }
+
+    /// Echo of every knob that shaped this run, for report provenance.
+    fn config_echo(&self) -> ConfigEcho {
+        let mut echo = ConfigEcho::new()
+            .with("cores", self.apps.len())
+            .with("scale", self.cfg.scale())
+            .with("instructions", self.cfg.instruction_quota())
+            .with("warmup", self.cfg.warmup_quota())
+            .with("seed", self.cfg.seed_value())
+            .with("prefetch", self.cfg.prefetch_enabled())
+            .with("inclusion", format!("{:?}", self.spec.inclusion))
+            .with("tla_policy", self.spec.tla.label());
+        if let Some(entries) = self.spec.victim_cache {
+            echo.set("victim_cache_entries", entries);
+        }
+        if let Some(policy) = self.spec.llc_replacement {
+            echo.set("llc_replacement", format!("{policy:?}"));
+        }
+        if let Some(bytes) = self.llc_capacity_full_scale {
+            echo.set("llc_capacity_full_scale", bytes);
+        }
+        echo
+    }
+}
+
+/// Telemetry collected by [`MixRun::run_instrumented`].
+#[derive(Debug, Clone)]
+pub struct RunTelemetry {
+    /// Window size in instructions, when a time series was requested.
+    pub window_size: Option<u64>,
+    /// Windowed counter deltas, oldest first (empty without a window).
+    pub windows: Vec<Window>,
+    /// Per-LLC-set eviction / inclusion-victim histograms.
+    pub set_histogram: SetHistogramReport,
+    /// Total events per kind over the whole run (kinds that fired).
+    pub event_totals: Vec<(EventKind, u64)>,
 }
 
 #[cfg(test)]
@@ -398,5 +544,54 @@ mod tests {
     fn empty_mix_panics() {
         let cfg = quick();
         let _ = MixRun::new(&cfg, &[]);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_run() {
+        // Telemetry must be observation-only: counters identical with the
+        // sink installed and without.
+        let cfg = quick();
+        let plain = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Mcf])
+            .spec(&PolicySpec::qbs())
+            .run();
+        let (instr, telemetry) = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Mcf])
+            .spec(&PolicySpec::qbs())
+            .run_instrumented(Some(5_000));
+        assert_eq!(plain.global, instr.global);
+        assert_eq!(plain.threads[0].stats, instr.threads[0].stats);
+        assert_eq!(plain.threads[1].cycles, instr.threads[1].cycles);
+        assert!(
+            telemetry.windows.len() >= 2,
+            "got {}",
+            telemetry.windows.len()
+        );
+        assert_eq!(telemetry.window_size, Some(5_000));
+    }
+
+    #[test]
+    fn run_report_carries_windows_and_histograms() {
+        // Long enough for libquantum's streaming to fill the scaled-down
+        // LLC and force evictions into the histogram.
+        let cfg = quick().instructions(300_000);
+        let run =
+            MixRun::new(&cfg, &[SpecApp::Libquantum, SpecApp::Sjeng]).spec(&PolicySpec::qbs());
+        assert_eq!(run.mix_label(), "lib+sje");
+        let (result, report) = run.run_report(Some(50_000));
+        assert_eq!(report.mix, "lib+sje");
+        assert_eq!(report.policy, "QBS");
+        assert_eq!(report.threads.len(), 2);
+        assert_eq!(report.global, result.global);
+        assert_eq!(report.config.get("cores").and_then(|v| v.as_u64()), Some(2));
+        assert!(report.windows.len() >= 2, "got {}", report.windows.len());
+        // Windows are deltas: their instruction spans tile the run.
+        for pair in report.windows.windows(2) {
+            assert_eq!(pair[0].end_instr, pair[1].start_instr);
+        }
+        let hist = report.set_histogram.as_ref().unwrap();
+        assert!(hist.evictions.iter().map(|&e| e as u64).sum::<u64>() > 0);
+        // The report survives a JSON round trip byte-for-byte.
+        let text = report.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
     }
 }

@@ -1,0 +1,168 @@
+//! Telemetry event vocabulary.
+
+use std::fmt;
+use tla_types::{CacheLevel, CoreId};
+
+/// The kind of a policy-relevant hierarchy event.
+///
+/// One variant per counter the paper argues with (§IV–§VI): the LLC
+/// eviction/back-invalidate pipeline, the three TLA mechanisms, the
+/// prefetcher and the victim cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A line was evicted from the LLC.
+    LlcEviction,
+    /// An inclusion back-invalidate removed a line from a core cache.
+    BackInvalidate,
+    /// ECI invalidated the next victim early from the core caches.
+    EciInvalidate,
+    /// An ECI'd line was rescued by an LLC hit before eviction.
+    EciRescue,
+    /// QBS queried the core caches about a victim candidate.
+    QbsQuery,
+    /// QBS rejected a candidate (resident in a core cache; re-promoted).
+    QbsRejection,
+    /// QBS hit its query limit and evicted unconditionally.
+    QbsLimitHit,
+    /// A temporal locality hint reached the LLC.
+    TlhHint,
+    /// The stream prefetcher issued a prefetch.
+    Prefetch,
+    /// An LLC miss was satisfied from the victim cache.
+    VictimCacheRescue,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::LlcEviction,
+        EventKind::BackInvalidate,
+        EventKind::EciInvalidate,
+        EventKind::EciRescue,
+        EventKind::QbsQuery,
+        EventKind::QbsRejection,
+        EventKind::QbsLimitHit,
+        EventKind::TlhHint,
+        EventKind::Prefetch,
+        EventKind::VictimCacheRescue,
+    ];
+
+    /// Stable machine-readable name (used as a JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::LlcEviction => "llc_eviction",
+            EventKind::BackInvalidate => "back_invalidate",
+            EventKind::EciInvalidate => "eci_invalidate",
+            EventKind::EciRescue => "eci_rescue",
+            EventKind::QbsQuery => "qbs_query",
+            EventKind::QbsRejection => "qbs_rejection",
+            EventKind::QbsLimitHit => "qbs_limit_hit",
+            EventKind::TlhHint => "tlh_hint",
+            EventKind::Prefetch => "prefetch",
+            EventKind::VictimCacheRescue => "victim_cache_rescue",
+        }
+    }
+
+    /// Inverse of [`EventKind::name`].
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// Dense index into [`EventKind::ALL`] (for counter arrays).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One policy-relevant event, stamped with whatever context the hook site
+/// had available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// What happened.
+    pub kind: EventKind,
+    /// Core the event is attributed to (`None` for shared-LLC events with
+    /// no single owner, e.g. an eviction of an unshared dead line).
+    pub core: Option<CoreId>,
+    /// Cache level the event acted on, when meaningful.
+    pub level: Option<CacheLevel>,
+    /// LLC set index, for set-resolved collectors.
+    pub set: Option<u32>,
+    /// Global instruction timestamp: total instructions committed across
+    /// all cores when the event fired (0 outside a timed run).
+    pub instr: u64,
+}
+
+impl TelemetryEvent {
+    /// An event with no core/level/set attribution.
+    pub const fn global(kind: EventKind, instr: u64) -> Self {
+        TelemetryEvent {
+            kind,
+            core: None,
+            level: None,
+            set: None,
+            instr,
+        }
+    }
+
+    /// Attributes the event to a core.
+    #[must_use]
+    pub const fn with_core(mut self, core: CoreId) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// Attributes the event to a cache level.
+    #[must_use]
+    pub const fn with_level(mut self, level: CacheLevel) -> Self {
+        self.level = Some(level);
+        self
+    }
+
+    /// Attributes the event to an LLC set.
+    #[must_use]
+    pub const fn with_set(mut self, set: u32) -> Self {
+        self.set = Some(set);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in EventKind::ALL {
+            assert!(seen.insert(kind.name()));
+            assert_eq!(EventKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(EventKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn builder_attributes() {
+        let ev = TelemetryEvent::global(EventKind::QbsQuery, 7)
+            .with_core(CoreId::new(2))
+            .with_level(CacheLevel::L2)
+            .with_set(9);
+        assert_eq!(ev.core, Some(CoreId::new(2)));
+        assert_eq!(ev.level, Some(CacheLevel::L2));
+        assert_eq!(ev.set, Some(9));
+        assert_eq!(ev.instr, 7);
+    }
+}

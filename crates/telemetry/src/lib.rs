@@ -1,0 +1,46 @@
+//! Structured telemetry for the TLA simulator.
+//!
+//! The paper's whole argument rests on counting things — inclusion
+//! victims, QBS queries and rejections, ECI invalidations and rescues,
+//! TLH hint volume — and end-of-run totals hide where those events
+//! actually happen. This crate makes every run inspectable:
+//!
+//! * [`TelemetrySink`] — a zero-cost-when-disabled event hook the cache
+//!   hierarchy drives at every policy-relevant event ([`TelemetryEvent`]).
+//! * [`WindowedSeries`] — snapshots per-core and global counters every N
+//!   instructions so MPKI, inclusion-victim rate and QBS rejection rate
+//!   can be plotted over time instead of only summed.
+//! * [`PerSetHistogram`] — evictions and inclusion victims per LLC set,
+//!   exposing hot-set skew.
+//! * [`RunReport`] — a machine-readable report (config echo, final stats,
+//!   time series, histograms) with a JSON encoding that round-trips
+//!   through the bundled parser ([`json::JsonValue`]).
+//!
+//! The workspace builds fully offline, so the JSON layer is bundled
+//! rather than pulled from crates.io.
+//!
+//! # Examples
+//!
+//! ```
+//! use tla_telemetry::{CountingSink, EventKind, SharedSink, TelemetryEvent, TelemetrySink};
+//!
+//! let shared = SharedSink::new(CountingSink::default());
+//! let mut sink = shared.clone();
+//! sink.record(&TelemetryEvent::global(EventKind::LlcEviction, 10).with_set(3));
+//! assert_eq!(shared.with(|c| c.count(EventKind::LlcEviction)), 1);
+//! ```
+
+mod event;
+mod histogram;
+pub mod json;
+mod report;
+mod sink;
+mod window;
+
+pub use event::{EventKind, TelemetryEvent};
+pub use histogram::{PerSetHistogram, SetHistogramSummary};
+pub use report::{
+    ConfigEcho, ReportError, RunReport, SetHistogramReport, ThreadReport, SCHEMA_VERSION,
+};
+pub use sink::{CountingSink, EventLog, MultiSink, NullSink, SharedSink, TelemetrySink};
+pub use window::{Window, WindowedSeries};

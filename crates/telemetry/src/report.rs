@@ -1,0 +1,650 @@
+//! Machine-readable run reports.
+//!
+//! A [`RunReport`] bundles everything one simulation run produced —
+//! config echo, per-thread and global counters, the windowed time series
+//! and per-set histograms — into a single value with a stable JSON
+//! encoding, so benches and CI can diff runs instead of scraping tables.
+//! Encoding and parsing use the bundled [`crate::json`] layer and
+//! round-trip exactly ([`RunReport::to_json`] → [`RunReport::from_json`]
+//! is the identity).
+
+use crate::event::EventKind;
+use crate::histogram::PerSetHistogram;
+use crate::json::{JsonError, JsonValue};
+use crate::window::Window;
+use std::fmt;
+use tla_types::{GlobalStats, PerCoreStats};
+
+/// Version stamp written into every report; bump on breaking schema
+/// changes so downstream tooling can detect them.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Ordered key → value echo of the configuration a run used.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConfigEcho {
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl ConfigEcho {
+    /// An empty echo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry (replacing any existing entry with the key).
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) {
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Builder-style [`ConfigEcho::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All entries in insertion order.
+    pub fn entries(&self) -> &[(String, JsonValue)] {
+        &self.entries
+    }
+}
+
+/// Final statistics of one thread of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadReport {
+    /// Workload name (e.g. `"libquantum"`).
+    pub app: String,
+    /// Instructions committed in the measured phase.
+    pub instructions: u64,
+    /// Cycles the measured phase took.
+    pub cycles: u64,
+    /// Demand-access counters over the measured phase.
+    pub stats: PerCoreStats,
+}
+
+impl ThreadReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Per-set histogram payload of a report (a plain snapshot of a
+/// [`PerSetHistogram`], without its reservoir bookkeeping).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SetHistogramReport {
+    /// LLC evictions per set.
+    pub evictions: Vec<u32>,
+    /// Inclusion victims (back-invalidates) per set.
+    pub inclusion_victims: Vec<u32>,
+}
+
+impl From<&PerSetHistogram> for SetHistogramReport {
+    fn from(h: &PerSetHistogram) -> Self {
+        SetHistogramReport {
+            evictions: h.evictions().to_vec(),
+            inclusion_victims: h.inclusion_victims().to_vec(),
+        }
+    }
+}
+
+/// Everything one run produced, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Mix label, e.g. `"lib+sje"`.
+    pub mix: String,
+    /// Policy label, e.g. `"QBS"`.
+    pub policy: String,
+    /// Echo of the configuration the run used.
+    pub config: ConfigEcho,
+    /// One entry per thread, in core order.
+    pub threads: Vec<ThreadReport>,
+    /// Whole-hierarchy counters over the measured phase.
+    pub global: GlobalStats,
+    /// Total telemetry events per kind (only kinds that fired).
+    pub event_totals: Vec<(EventKind, u64)>,
+    /// Window size in instructions, when a time series was collected.
+    pub window_size: Option<u64>,
+    /// Windowed counter deltas, oldest first.
+    pub windows: Vec<Window>,
+    /// Per-set histograms, when collected.
+    pub set_histogram: Option<SetHistogramReport>,
+}
+
+impl RunReport {
+    /// Sum of thread throughputs (IPCs).
+    pub fn throughput(&self) -> f64 {
+        self.threads.iter().map(|t| t.ipc()).sum()
+    }
+
+    /// Encodes the report as a JSON tree.
+    pub fn to_json(&self) -> JsonValue {
+        let mut top = vec![
+            (
+                "schema_version".to_string(),
+                JsonValue::from(SCHEMA_VERSION),
+            ),
+            ("mix".to_string(), JsonValue::from(self.mix.as_str())),
+            ("policy".to_string(), JsonValue::from(self.policy.as_str())),
+            (
+                "config".to_string(),
+                JsonValue::Obj(self.config.entries().to_vec()),
+            ),
+            (
+                "threads".to_string(),
+                JsonValue::array(self.threads.iter().map(|t| {
+                    JsonValue::object([
+                        ("app", JsonValue::from(t.app.as_str())),
+                        ("instructions", JsonValue::from(t.instructions)),
+                        ("cycles", JsonValue::from(t.cycles)),
+                        ("ipc", JsonValue::from(t.ipc())),
+                        ("stats", per_core_to_json(&t.stats)),
+                    ])
+                })),
+            ),
+            ("global".to_string(), global_to_json(&self.global)),
+            (
+                "event_totals".to_string(),
+                JsonValue::object(
+                    self.event_totals
+                        .iter()
+                        .map(|(k, n)| (k.name(), JsonValue::from(*n))),
+                ),
+            ),
+        ];
+        if let Some(size) = self.window_size {
+            top.push(("window_size".to_string(), JsonValue::from(size)));
+        }
+        top.push((
+            "windows".to_string(),
+            JsonValue::array(self.windows.iter().map(window_to_json)),
+        ));
+        if let Some(h) = &self.set_histogram {
+            top.push((
+                "set_histogram".to_string(),
+                JsonValue::object([
+                    ("sets", JsonValue::from(h.evictions.len())),
+                    (
+                        "evictions",
+                        JsonValue::array(h.evictions.iter().map(|&c| JsonValue::from(c))),
+                    ),
+                    (
+                        "inclusion_victims",
+                        JsonValue::array(h.inclusion_victims.iter().map(|&c| JsonValue::from(c))),
+                    ),
+                ]),
+            ));
+        }
+        JsonValue::Obj(top)
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty()
+    }
+
+    /// Decodes a report from a JSON tree produced by
+    /// [`RunReport::to_json`]. Derived fields (`ipc`, per-window rates)
+    /// are ignored; unknown keys are ignored for forward compatibility.
+    pub fn from_json(v: &JsonValue) -> Result<RunReport, ReportError> {
+        let version = field_u64(v, "schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(ReportError::new(format!(
+                "unsupported schema version {version} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let threads = field(v, "threads")?
+            .as_array()
+            .ok_or_else(|| ReportError::new("'threads' is not an array"))?
+            .iter()
+            .map(|t| {
+                Ok(ThreadReport {
+                    app: field_str(t, "app")?,
+                    instructions: field_u64(t, "instructions")?,
+                    cycles: field_u64(t, "cycles")?,
+                    stats: per_core_from_json(field(t, "stats")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let event_totals = match field(v, "event_totals")? {
+            JsonValue::Obj(pairs) => pairs
+                .iter()
+                .map(|(name, count)| {
+                    let kind = EventKind::from_name(name)
+                        .ok_or_else(|| ReportError::new(format!("unknown event kind '{name}'")))?;
+                    let count = count
+                        .as_u64()
+                        .ok_or_else(|| ReportError::new(format!("bad count for '{name}'")))?;
+                    Ok((kind, count))
+                })
+                .collect::<Result<Vec<_>, ReportError>>()?,
+            _ => return Err(ReportError::new("'event_totals' is not an object")),
+        };
+        let windows = field(v, "windows")?
+            .as_array()
+            .ok_or_else(|| ReportError::new("'windows' is not an array"))?
+            .iter()
+            .map(window_from_json)
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let set_histogram = match v.get("set_histogram") {
+            None => None,
+            Some(h) => Some(SetHistogramReport {
+                evictions: u32_array(field(h, "evictions")?)?,
+                inclusion_victims: u32_array(field(h, "inclusion_victims")?)?,
+            }),
+        };
+        Ok(RunReport {
+            mix: field_str(v, "mix")?,
+            policy: field_str(v, "policy")?,
+            config: ConfigEcho {
+                entries: match field(v, "config")? {
+                    JsonValue::Obj(pairs) => pairs.clone(),
+                    _ => return Err(ReportError::new("'config' is not an object")),
+                },
+            },
+            threads,
+            global: global_from_json(field(v, "global")?)?,
+            event_totals,
+            window_size: match v.get("window_size") {
+                None => None,
+                Some(s) => Some(
+                    s.as_u64()
+                        .ok_or_else(|| ReportError::new("bad 'window_size'"))?,
+                ),
+            },
+            windows,
+            set_histogram,
+        })
+    }
+
+    /// Parses a JSON document produced by [`RunReport::to_json_string`].
+    pub fn parse(text: &str) -> Result<RunReport, ReportError> {
+        RunReport::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+/// A report encode/decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportError {
+    message: String,
+}
+
+impl ReportError {
+    fn new(message: impl Into<String>) -> Self {
+        ReportError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run report error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::new(e.to_string())
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ReportError> {
+    v.get(key)
+        .ok_or_else(|| ReportError::new(format!("missing field '{key}'")))
+}
+
+fn field_u64(v: &JsonValue, key: &str) -> Result<u64, ReportError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| ReportError::new(format!("field '{key}' is not an integer")))
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Result<String, ReportError> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| ReportError::new(format!("field '{key}' is not a string")))?
+        .to_string())
+}
+
+fn u32_array(v: &JsonValue) -> Result<Vec<u32>, ReportError> {
+    v.as_array()
+        .ok_or_else(|| ReportError::new("expected an array"))?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .filter(|&n| n <= u32::MAX as u64)
+                .map(|n| n as u32)
+                .ok_or_else(|| ReportError::new("array element is not a u32"))
+        })
+        .collect()
+}
+
+/// A named counter field of `S`: `(name, getter, mut-getter)`.
+type FieldTable<S, const N: usize> = [(&'static str, fn(&S) -> u64, fn(&mut S) -> &mut u64); N];
+
+/// `(name, getter)` pairs for every [`PerCoreStats`] field, keeping the
+/// JSON encoding and decoding in lockstep.
+const PER_CORE_FIELDS: FieldTable<PerCoreStats, 12> = [
+    ("l1i_accesses", |s| s.l1i_accesses, |s| &mut s.l1i_accesses),
+    ("l1i_misses", |s| s.l1i_misses, |s| &mut s.l1i_misses),
+    ("l1d_accesses", |s| s.l1d_accesses, |s| &mut s.l1d_accesses),
+    ("l1d_misses", |s| s.l1d_misses, |s| &mut s.l1d_misses),
+    ("l2_accesses", |s| s.l2_accesses, |s| &mut s.l2_accesses),
+    ("l2_misses", |s| s.l2_misses, |s| &mut s.l2_misses),
+    ("llc_accesses", |s| s.llc_accesses, |s| &mut s.llc_accesses),
+    ("llc_misses", |s| s.llc_misses, |s| &mut s.llc_misses),
+    (
+        "memory_accesses",
+        |s| s.memory_accesses,
+        |s| &mut s.memory_accesses,
+    ),
+    (
+        "inclusion_victims_l1",
+        |s| s.inclusion_victims_l1,
+        |s| &mut s.inclusion_victims_l1,
+    ),
+    (
+        "inclusion_victims_l2",
+        |s| s.inclusion_victims_l2,
+        |s| &mut s.inclusion_victims_l2,
+    ),
+    ("tlh_hints", |s| s.tlh_hints, |s| &mut s.tlh_hints),
+];
+
+/// Same for [`GlobalStats`].
+const GLOBAL_FIELDS: FieldTable<GlobalStats, 12> = [
+    (
+        "llc_evictions",
+        |s| s.llc_evictions,
+        |s| &mut s.llc_evictions,
+    ),
+    (
+        "llc_writebacks",
+        |s| s.llc_writebacks,
+        |s| &mut s.llc_writebacks,
+    ),
+    (
+        "back_invalidates",
+        |s| s.back_invalidates,
+        |s| &mut s.back_invalidates,
+    ),
+    (
+        "eci_invalidates",
+        |s| s.eci_invalidates,
+        |s| &mut s.eci_invalidates,
+    ),
+    ("eci_rescues", |s| s.eci_rescues, |s| &mut s.eci_rescues),
+    ("qbs_queries", |s| s.qbs_queries, |s| &mut s.qbs_queries),
+    (
+        "qbs_rejections",
+        |s| s.qbs_rejections,
+        |s| &mut s.qbs_rejections,
+    ),
+    (
+        "qbs_limit_hits",
+        |s| s.qbs_limit_hits,
+        |s| &mut s.qbs_limit_hits,
+    ),
+    ("tlh_hints", |s| s.tlh_hints, |s| &mut s.tlh_hints),
+    ("prefetches", |s| s.prefetches, |s| &mut s.prefetches),
+    (
+        "victim_cache_rescues",
+        |s| s.victim_cache_rescues,
+        |s| &mut s.victim_cache_rescues,
+    ),
+    ("snoop_probes", |s| s.snoop_probes, |s| &mut s.snoop_probes),
+];
+
+fn per_core_to_json(s: &PerCoreStats) -> JsonValue {
+    JsonValue::object(
+        PER_CORE_FIELDS
+            .iter()
+            .map(|(name, get, _)| (*name, JsonValue::from(get(s)))),
+    )
+}
+
+fn per_core_from_json(v: &JsonValue) -> Result<PerCoreStats, ReportError> {
+    let mut s = PerCoreStats::default();
+    for (name, _, get_mut) in &PER_CORE_FIELDS {
+        *get_mut(&mut s) = field_u64(v, name)?;
+    }
+    Ok(s)
+}
+
+fn global_to_json(s: &GlobalStats) -> JsonValue {
+    JsonValue::object(
+        GLOBAL_FIELDS
+            .iter()
+            .map(|(name, get, _)| (*name, JsonValue::from(get(s)))),
+    )
+}
+
+fn global_from_json(v: &JsonValue) -> Result<GlobalStats, ReportError> {
+    let mut s = GlobalStats::default();
+    for (name, _, get_mut) in &GLOBAL_FIELDS {
+        *get_mut(&mut s) = field_u64(v, name)?;
+    }
+    Ok(s)
+}
+
+fn window_to_json(w: &Window) -> JsonValue {
+    JsonValue::object([
+        ("index", JsonValue::from(w.index)),
+        ("start_instr", JsonValue::from(w.start_instr)),
+        ("end_instr", JsonValue::from(w.end_instr)),
+        // Derived rates, for plotting without recomputation.
+        ("llc_mpki", JsonValue::from(w.llc_mpki())),
+        (
+            "inclusion_victim_rate",
+            JsonValue::from(w.inclusion_victim_rate()),
+        ),
+        (
+            "qbs_rejection_rate",
+            JsonValue::from(w.qbs_rejection_rate()),
+        ),
+        (
+            "per_core",
+            JsonValue::array(w.per_core.iter().map(per_core_to_json)),
+        ),
+        ("global", global_to_json(&w.global)),
+    ])
+}
+
+fn window_from_json(v: &JsonValue) -> Result<Window, ReportError> {
+    Ok(Window {
+        index: field_u64(v, "index")? as usize,
+        start_instr: field_u64(v, "start_instr")?,
+        end_instr: field_u64(v, "end_instr")?,
+        per_core: field(v, "per_core")?
+            .as_array()
+            .ok_or_else(|| ReportError::new("'per_core' is not an array"))?
+            .iter()
+            .map(per_core_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        global: global_from_json(field(v, "global")?)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let stats = PerCoreStats {
+            l1i_accesses: 100,
+            l1d_accesses: 50,
+            llc_accesses: 20,
+            llc_misses: 7,
+            inclusion_victims_l1: 2,
+            tlh_hints: 1,
+            ..Default::default()
+        };
+        let global = GlobalStats {
+            llc_evictions: 9,
+            back_invalidates: 4,
+            qbs_queries: 6,
+            qbs_rejections: 2,
+            ..Default::default()
+        };
+        RunReport {
+            mix: "lib+sje".to_string(),
+            policy: "QBS".to_string(),
+            config: ConfigEcho::new()
+                .with("scale", 8u64)
+                .with("instructions", 40_000u64)
+                .with("prefetch", true)
+                .with("note", "test"),
+            threads: vec![
+                ThreadReport {
+                    app: "libquantum".to_string(),
+                    instructions: 40_000,
+                    cycles: 90_000,
+                    stats,
+                },
+                ThreadReport {
+                    app: "sjeng".to_string(),
+                    instructions: 40_000,
+                    cycles: 50_000,
+                    stats: PerCoreStats::default(),
+                },
+            ],
+            global,
+            event_totals: vec![(EventKind::LlcEviction, 9), (EventKind::QbsQuery, 6)],
+            window_size: Some(10_000),
+            windows: vec![
+                Window {
+                    index: 0,
+                    start_instr: 0,
+                    end_instr: 10_000,
+                    per_core: vec![stats, PerCoreStats::default()],
+                    global,
+                },
+                Window {
+                    index: 1,
+                    start_instr: 10_000,
+                    end_instr: 20_000,
+                    per_core: vec![PerCoreStats::default(), stats],
+                    global: GlobalStats::default(),
+                },
+            ],
+            set_histogram: Some(SetHistogramReport {
+                evictions: vec![3, 0, 6, 0],
+                inclusion_victims: vec![1, 0, 3, 0],
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(report, back);
+        // And a second trip through the compact encoding.
+        let compact = report.to_json().to_string();
+        assert_eq!(RunReport::parse(&compact).unwrap(), report);
+    }
+
+    #[test]
+    fn round_trip_without_optionals() {
+        let mut report = sample_report();
+        report.window_size = None;
+        report.windows.clear();
+        report.set_histogram = None;
+        report.event_totals.clear();
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn report_exposes_expected_json_shape() {
+        let v = sample_report().to_json();
+        assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("policy").and_then(|x| x.as_str()), Some("QBS"));
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("scale"))
+                .and_then(|x| x.as_u64()),
+            Some(8)
+        );
+        let windows = v.get("windows").and_then(|w| w.as_array()).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert!(windows[0]
+            .get("llc_mpki")
+            .and_then(|x| x.as_f64())
+            .is_some());
+        let hist = v.get("set_histogram").unwrap();
+        assert_eq!(hist.get("sets").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(
+            v.get("event_totals")
+                .and_then(|t| t.get("llc_eviction"))
+                .and_then(|x| x.as_u64()),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn thread_ipc() {
+        let t = ThreadReport {
+            app: "x".to_string(),
+            instructions: 100,
+            cycles: 50,
+            stats: PerCoreStats::default(),
+        };
+        assert!((t.ipc() - 2.0).abs() < 1e-12);
+        let z = ThreadReport { cycles: 0, ..t };
+        assert_eq!(z.ipc(), 0.0);
+        let r = sample_report();
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(RunReport::parse("not json").is_err());
+        assert!(RunReport::parse("{}").is_err());
+        // Wrong schema version.
+        let mut v = sample_report().to_json();
+        if let JsonValue::Obj(pairs) = &mut v {
+            pairs[0].1 = JsonValue::from(99u64);
+        }
+        let err = RunReport::from_json(&v).unwrap_err();
+        assert!(err.to_string().contains("schema version"));
+        // Unknown event kind.
+        let mut v = sample_report().to_json();
+        if let JsonValue::Obj(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "event_totals" {
+                    *val = JsonValue::object([("bogus", JsonValue::from(1u64))]);
+                }
+            }
+        }
+        assert!(RunReport::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn config_echo_replaces_duplicates() {
+        let mut echo = ConfigEcho::new();
+        echo.set("k", 1u64);
+        echo.set("k", 2u64);
+        assert_eq!(echo.entries().len(), 1);
+        assert_eq!(echo.get("k").and_then(|v| v.as_u64()), Some(2));
+        assert!(echo.get("missing").is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! Event sinks: where the hierarchy delivers [`TelemetryEvent`]s.
+
+use crate::event::{EventKind, TelemetryEvent};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Receives hierarchy events as they happen.
+///
+/// The hierarchy holds at most one boxed sink; install a [`SharedSink`]
+/// (or a fan-out sink of your own) to feed several collectors at once.
+/// When no sink is installed the emit path is a single `Option` check, so
+/// disabled telemetry costs nothing measurable.
+///
+/// `Debug` is a supertrait so the hierarchy stays `derive(Debug)`-able
+/// with a sink installed.
+pub trait TelemetrySink: std::fmt::Debug {
+    /// Handles one event. Called synchronously from the hierarchy's hot
+    /// path — keep it cheap.
+    fn record(&mut self, event: &TelemetryEvent);
+}
+
+/// Discards every event. Useful to measure sink-dispatch overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&mut self, _event: &TelemetryEvent) {}
+}
+
+/// Counts events per [`EventKind`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    counts: [u64; EventKind::ALL.len()],
+}
+
+impl CountingSink {
+    /// Events seen of `kind`.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(kind, count)` pairs for every kind with a nonzero count.
+    pub fn nonzero(&self) -> Vec<(EventKind, u64)> {
+        EventKind::ALL
+            .iter()
+            .filter(|k| self.count(**k) > 0)
+            .map(|&k| (k, self.count(k)))
+            .collect()
+    }
+}
+
+impl TelemetrySink for CountingSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        self.counts[event.kind.index()] += 1;
+    }
+}
+
+/// Keeps the last `capacity` events verbatim (a flight recorder).
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: std::collections::VecDeque<TelemetryEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// A log bounded to `capacity` events; older events are dropped first.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TelemetryEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TelemetrySink for EventLog {
+    fn record(&mut self, event: &TelemetryEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*event);
+    }
+}
+
+/// Shared handle around a sink, so the caller can keep reading a
+/// collector after handing the hierarchy its own clone.
+///
+/// The hierarchy is single-threaded, so plain `Rc<RefCell<_>>` suffices.
+#[derive(Debug, Default)]
+pub struct SharedSink<T> {
+    inner: Rc<RefCell<T>>,
+}
+
+impl<T> SharedSink<T> {
+    /// Wraps `sink` for shared access.
+    pub fn new(sink: T) -> Self {
+        SharedSink {
+            inner: Rc::new(RefCell::new(sink)),
+        }
+    }
+
+    /// Runs `f` with a shared borrow of the sink.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+
+    /// Runs `f` with an exclusive borrow of the sink.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// Extracts the sink if this is the last handle, else clones it.
+    pub fn into_inner(self) -> T
+    where
+        T: Clone,
+    {
+        match Rc::try_unwrap(self.inner) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        }
+    }
+}
+
+impl<T> Clone for SharedSink<T> {
+    fn clone(&self) -> Self {
+        SharedSink {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: TelemetrySink> TelemetrySink for SharedSink<T> {
+    fn record(&mut self, event: &TelemetryEvent) {
+        self.inner.borrow_mut().record(event);
+    }
+}
+
+/// Fans one event stream out to several sinks.
+#[derive(Debug, Default)]
+pub struct MultiSink {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl MultiSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink to the fan-out.
+    #[must_use]
+    pub fn with(mut self, sink: impl TelemetrySink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TelemetrySink for MultiSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        for sink in &mut self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, instr: u64) -> TelemetryEvent {
+        TelemetryEvent::global(kind, instr)
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::default();
+        sink.record(&ev(EventKind::QbsQuery, 1));
+        sink.record(&ev(EventKind::QbsQuery, 2));
+        sink.record(&ev(EventKind::TlhHint, 3));
+        assert_eq!(sink.count(EventKind::QbsQuery), 2);
+        assert_eq!(sink.count(EventKind::TlhHint), 1);
+        assert_eq!(sink.count(EventKind::Prefetch), 0);
+        assert_eq!(sink.total(), 3);
+        assert_eq!(
+            sink.nonzero(),
+            vec![(EventKind::QbsQuery, 2), (EventKind::TlhHint, 1)]
+        );
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let mut log = EventLog::new(2);
+        for i in 0..5 {
+            log.record(&ev(EventKind::LlcEviction, i));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let instrs: Vec<u64> = log.events().map(|e| e.instr).collect();
+        assert_eq!(instrs, vec![3, 4]);
+    }
+
+    #[test]
+    fn shared_sink_aliases_state() {
+        let shared = SharedSink::new(CountingSink::default());
+        let mut handle = shared.clone();
+        handle.record(&ev(EventKind::EciRescue, 0));
+        assert_eq!(shared.with(|c| c.count(EventKind::EciRescue)), 1);
+        let inner = shared.into_inner();
+        assert_eq!(inner.count(EventKind::EciRescue), 1);
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = SharedSink::new(CountingSink::default());
+        let b = SharedSink::new(EventLog::new(8));
+        let mut multi = MultiSink::new().with(a.clone()).with(b.clone());
+        assert_eq!(multi.len(), 2);
+        multi.record(&ev(EventKind::BackInvalidate, 9));
+        assert_eq!(a.with(|c| c.total()), 1);
+        assert_eq!(b.with(|l| l.len()), 1);
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        let mut sink = NullSink;
+        sink.record(&ev(EventKind::Prefetch, 0));
+    }
+}

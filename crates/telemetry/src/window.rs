@@ -1,0 +1,288 @@
+//! Windowed time-series collection over the hierarchy's counters.
+
+use tla_types::{GlobalStats, PerCoreStats};
+
+/// Counter deltas for one window of execution.
+///
+/// `per_core` and `global` hold the *difference* over the window
+/// (computed with [`PerCoreStats::since`] / [`GlobalStats::since`]), not
+/// cumulative totals, so windows can be plotted or diffed directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// 0-based position in the series.
+    pub index: usize,
+    /// Total committed instructions (across all cores) when the window
+    /// opened.
+    pub start_instr: u64,
+    /// Total committed instructions when the window closed.
+    pub end_instr: u64,
+    /// Per-core counter deltas over the window.
+    pub per_core: Vec<PerCoreStats>,
+    /// Global counter deltas over the window.
+    pub global: GlobalStats,
+}
+
+impl Window {
+    /// Instructions committed inside the window.
+    pub fn instructions(&self) -> u64 {
+        self.end_instr - self.start_instr
+    }
+
+    /// LLC misses per thousand instructions inside the window.
+    pub fn llc_mpki(&self) -> f64 {
+        per_kilo_instr(self.per_core.iter().map(|c| c.llc_misses).sum(), self)
+    }
+
+    /// Inclusion victims (L1 + L2) per thousand instructions.
+    pub fn inclusion_victim_rate(&self) -> f64 {
+        per_kilo_instr(
+            self.per_core.iter().map(|c| c.inclusion_victims()).sum(),
+            self,
+        )
+    }
+
+    /// Fraction of QBS queries inside the window that rejected their
+    /// candidate (`0.0` when no queries were made).
+    pub fn qbs_rejection_rate(&self) -> f64 {
+        if self.global.qbs_queries == 0 {
+            0.0
+        } else {
+            self.global.qbs_rejections as f64 / self.global.qbs_queries as f64
+        }
+    }
+}
+
+fn per_kilo_instr(count: u64, w: &Window) -> f64 {
+    if w.instructions() == 0 {
+        0.0
+    } else {
+        count as f64 * 1000.0 / w.instructions() as f64
+    }
+}
+
+/// Closes a [`Window`] every `window` committed instructions.
+///
+/// Drive it with [`WindowedSeries::observe`] from the simulation loop
+/// (any granularity at or finer than the window size works; windows close
+/// at the first observation at or past each boundary) and call
+/// [`WindowedSeries::finish`] once at the end to flush the final partial
+/// window.
+#[derive(Debug, Clone)]
+pub struct WindowedSeries {
+    window: u64,
+    next_boundary: u64,
+    last_instr: u64,
+    last_per_core: Vec<PerCoreStats>,
+    last_global: GlobalStats,
+    windows: Vec<Window>,
+}
+
+impl WindowedSeries {
+    /// A collector closing a window every `window` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window size must be positive");
+        WindowedSeries {
+            window,
+            next_boundary: window,
+            last_instr: 0,
+            last_per_core: Vec::new(),
+            last_global: GlobalStats::default(),
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window size in instructions.
+    pub fn window_size(&self) -> u64 {
+        self.window
+    }
+
+    /// Offers the current cumulative counters at `instr` total committed
+    /// instructions. Closes (possibly several) windows if `instr` crossed
+    /// their boundaries.
+    pub fn observe(&mut self, instr: u64, per_core: &[PerCoreStats], global: &GlobalStats) {
+        if self.last_per_core.len() != per_core.len() {
+            self.last_per_core = vec![PerCoreStats::default(); per_core.len()];
+        }
+        if instr >= self.next_boundary {
+            self.close(instr, per_core, global);
+            // Re-align so boundaries stay multiples of the window size even
+            // when one observation jumps several windows ahead.
+            self.next_boundary = (instr / self.window + 1) * self.window;
+        }
+    }
+
+    /// Flushes the final partial window, if any instructions were
+    /// committed since the last closed window.
+    pub fn finish(&mut self, instr: u64, per_core: &[PerCoreStats], global: &GlobalStats) {
+        if self.last_per_core.len() != per_core.len() {
+            self.last_per_core = vec![PerCoreStats::default(); per_core.len()];
+        }
+        if instr > self.last_instr {
+            self.close(instr, per_core, global);
+        }
+    }
+
+    fn close(&mut self, instr: u64, per_core: &[PerCoreStats], global: &GlobalStats) {
+        let deltas: Vec<PerCoreStats> = per_core
+            .iter()
+            .zip(&self.last_per_core)
+            .map(|(now, then)| now.since(then))
+            .collect();
+        self.windows.push(Window {
+            index: self.windows.len(),
+            start_instr: self.last_instr,
+            end_instr: instr,
+            per_core: deltas,
+            global: global.since(&self.last_global),
+        });
+        self.last_instr = instr;
+        self.last_per_core.copy_from_slice(per_core);
+        self.last_global = *global;
+    }
+
+    /// Closed windows so far.
+    pub fn windows(&self) -> &[Window] {
+        &self.windows
+    }
+
+    /// Consumes the collector, returning its windows.
+    pub fn take(self) -> Vec<Window> {
+        self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_stats(llc_misses: u64, victims: u64) -> PerCoreStats {
+        PerCoreStats {
+            llc_misses,
+            inclusion_victims_l1: victims,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn windows_hold_exact_since_deltas_at_boundaries() {
+        let mut series = WindowedSeries::new(100);
+        let g1 = GlobalStats {
+            qbs_queries: 10,
+            qbs_rejections: 4,
+            ..Default::default()
+        };
+        series.observe(100, &[core_stats(5, 2)], &g1);
+        let g2 = GlobalStats {
+            qbs_queries: 30,
+            qbs_rejections: 5,
+            ..Default::default()
+        };
+        series.observe(200, &[core_stats(9, 2)], &g2);
+
+        let w = series.windows();
+        assert_eq!(w.len(), 2);
+        // First window: deltas from zero.
+        assert_eq!(w[0].start_instr, 0);
+        assert_eq!(w[0].end_instr, 100);
+        assert_eq!(w[0].per_core[0].llc_misses, 5);
+        assert_eq!(w[0].global.qbs_queries, 10);
+        // Second window: exactly the difference of the cumulative stats.
+        assert_eq!(w[1].start_instr, 100);
+        assert_eq!(w[1].end_instr, 200);
+        assert_eq!(w[1].per_core[0].llc_misses, 4);
+        assert_eq!(w[1].per_core[0].inclusion_victims_l1, 0);
+        assert_eq!(w[1].global.qbs_queries, 20);
+        assert_eq!(w[1].global.qbs_rejections, 1);
+        // The two windows sum back to the cumulative totals.
+        assert_eq!(w[0].per_core[0].llc_misses + w[1].per_core[0].llc_misses, 9);
+    }
+
+    #[test]
+    fn observations_between_boundaries_do_not_close() {
+        let mut series = WindowedSeries::new(1000);
+        for instr in (100..=900).step_by(100) {
+            series.observe(
+                instr,
+                &[core_stats(instr / 100, 0)],
+                &GlobalStats::default(),
+            );
+        }
+        assert!(series.windows().is_empty());
+        series.observe(1000, &[core_stats(10, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 1);
+        assert_eq!(series.windows()[0].per_core[0].llc_misses, 10);
+    }
+
+    #[test]
+    fn late_observation_closes_one_window_and_realigns() {
+        let mut series = WindowedSeries::new(100);
+        // First observation lands far past several boundaries: one window
+        // covers the whole span, and the next boundary re-aligns.
+        series.observe(350, &[core_stats(7, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 1);
+        assert_eq!(series.windows()[0].end_instr, 350);
+        series.observe(399, &[core_stats(8, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 1);
+        series.observe(400, &[core_stats(9, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 2);
+        assert_eq!(series.windows()[1].start_instr, 350);
+        assert_eq!(series.windows()[1].end_instr, 400);
+        assert_eq!(series.windows()[1].per_core[0].llc_misses, 2);
+    }
+
+    #[test]
+    fn finish_flushes_partial_window() {
+        let mut series = WindowedSeries::new(100);
+        series.observe(100, &[core_stats(3, 1)], &GlobalStats::default());
+        series.finish(140, &[core_stats(5, 1)], &GlobalStats::default());
+        let w = series.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[1].start_instr, 100);
+        assert_eq!(w[1].end_instr, 140);
+        assert_eq!(w[1].instructions(), 40);
+        assert_eq!(w[1].per_core[0].llc_misses, 2);
+    }
+
+    #[test]
+    fn finish_with_no_progress_adds_nothing() {
+        let mut series = WindowedSeries::new(100);
+        series.observe(100, &[core_stats(3, 0)], &GlobalStats::default());
+        series.finish(100, &[core_stats(3, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 1);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let w = Window {
+            index: 0,
+            start_instr: 0,
+            end_instr: 2000,
+            per_core: vec![core_stats(10, 4), core_stats(6, 0)],
+            global: GlobalStats {
+                qbs_queries: 8,
+                qbs_rejections: 2,
+                ..Default::default()
+            },
+        };
+        assert!((w.llc_mpki() - 8.0).abs() < 1e-12);
+        assert!((w.inclusion_victim_rate() - 2.0).abs() < 1e-12);
+        assert!((w.qbs_rejection_rate() - 0.25).abs() < 1e-12);
+        let empty = Window {
+            end_instr: 0,
+            global: GlobalStats::default(),
+            ..w
+        };
+        assert_eq!(empty.llc_mpki(), 0.0);
+        assert_eq!(empty.qbs_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = WindowedSeries::new(0);
+    }
+}

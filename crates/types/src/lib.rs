@@ -17,7 +17,10 @@
 //! assert_eq!(LineAddr::from(a), line);
 //! ```
 
+pub mod counters;
 pub mod stats;
+
+pub use counters::{GlobalStats, PerCoreStats};
 
 use std::fmt;
 
@@ -333,48 +336,71 @@ mod tests {
     }
 }
 
+/// Randomized property checks, driven by a fixed-seed [`tla_rng::SmallRng`]
+/// so every run explores the same cases deterministically.
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use tla_rng::SmallRng;
 
-    proptest! {
-        /// Any byte address belongs to the line whose base is at or below
-        /// it, less than one line away.
-        #[test]
-        fn addr_line_containment(raw in any::<u64>()) {
+    const CASES: usize = 2000;
+
+    /// Any byte address belongs to the line whose base is at or below
+    /// it, less than one line away.
+    #[test]
+    fn addr_line_containment() {
+        let mut rng = SmallRng::seed_from_u64(0x7A01);
+        for _ in 0..CASES {
+            let raw = rng.next_u64();
             let a = Addr::new(raw);
             let base = a.line().base();
-            prop_assert!(base.raw() <= raw || base.raw() > raw); // total
-            prop_assert_eq!(raw - base.raw(), a.line_offset() as u64);
-            prop_assert!(a.line_offset() < LINE_BYTES);
+            assert_eq!(raw - base.raw(), a.line_offset() as u64);
+            assert!(a.line_offset() < LINE_BYTES);
         }
+    }
 
-        /// Line stepping is additive and invertible.
-        #[test]
-        fn line_step_roundtrip(raw in any::<u64>(), n in -1000i64..1000) {
+    /// Line stepping is additive and invertible.
+    #[test]
+    fn line_step_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(0x7A02);
+        for _ in 0..CASES {
+            let raw = rng.next_u64();
+            let n = rng.gen_range(0..2000u64) as i64 - 1000;
             let l = LineAddr::new(raw);
-            prop_assert_eq!(l.step(n).step(-n), l);
-            prop_assert_eq!(l.step(n).raw(), raw.wrapping_add(n as u64));
+            assert_eq!(l.step(n).step(-n), l);
+            assert_eq!(l.step(n).raw(), raw.wrapping_add(n as u64));
         }
+    }
 
-        /// geomean lies between min and max for positive inputs.
-        #[test]
-        fn geomean_between_extremes(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+    fn random_values(rng: &mut SmallRng) -> Vec<f64> {
+        let len = rng.gen_range(1..50usize);
+        (0..len).map(|_| 0.01 + rng.gen_f64() * 99.99).collect()
+    }
+
+    /// geomean lies between min and max for positive inputs.
+    #[test]
+    fn geomean_between_extremes() {
+        let mut rng = SmallRng::seed_from_u64(0x7A03);
+        for _ in 0..500 {
+            let values = random_values(&mut rng);
             let g = stats::geomean(values.iter().copied()).unwrap();
             let min = values.iter().cloned().fold(f64::MAX, f64::min);
             let max = values.iter().cloned().fold(f64::MIN, f64::max);
-            prop_assert!(g >= min - 1e-9 && g <= max + 1e-9);
+            assert!(g >= min - 1e-9 && g <= max + 1e-9);
         }
+    }
 
-        /// hmean <= geomean <= arithmetic mean (AM-GM-HM inequality).
-        #[test]
-        fn am_gm_hm_inequality(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+    /// hmean <= geomean <= arithmetic mean (AM-GM-HM inequality).
+    #[test]
+    fn am_gm_hm_inequality() {
+        let mut rng = SmallRng::seed_from_u64(0x7A04);
+        for _ in 0..500 {
+            let values = random_values(&mut rng);
             let am = stats::mean(values.iter().copied()).unwrap();
             let gm = stats::geomean(values.iter().copied()).unwrap();
             let hm = stats::hmean(values.iter().copied()).unwrap();
-            prop_assert!(hm <= gm + 1e-9);
-            prop_assert!(gm <= am + 1e-9);
+            assert!(hm <= gm + 1e-9);
+            assert!(gm <= am + 1e-9);
         }
     }
 }

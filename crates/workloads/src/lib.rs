@@ -37,6 +37,4 @@ mod trace;
 pub use mix::{all_two_core_mixes, random_mixes, table2_mixes, Mix};
 pub use recorded::RecordedTrace;
 pub use spec::{Category, SpecApp};
-pub use trace::{
-    Instruction, MemRef, PatternKind, SyntheticTrace, TraceSource, WorkloadParams,
-};
+pub use trace::{Instruction, MemRef, PatternKind, SyntheticTrace, TraceSource, WorkloadParams};

@@ -2,9 +2,8 @@
 //! sweep, and the random many-core mixes of Figure 11.
 
 use crate::spec::SpecApp;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
+use tla_rng::SmallRng;
 
 /// A multiprogrammed workload: one benchmark per core.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -120,7 +120,10 @@ impl SpecApp {
 
     /// Looks a benchmark up by its three-letter abbreviation.
     pub fn from_short_name(name: &str) -> Option<SpecApp> {
-        SpecApp::ALL.iter().copied().find(|a| a.short_name() == name)
+        SpecApp::ALL
+            .iter()
+            .copied()
+            .find(|a| a.short_name() == name)
     }
 
     /// The working-set category (§IV-B classification).
@@ -168,7 +171,13 @@ impl SpecApp {
                 code_footprint_bytes: code(8),
                 mem_ratio: 0.30,
                 write_ratio: 0.30,
-                patterns: vec![(1.0, Loop { lines: l1d(0.75), stay: 8 })],
+                patterns: vec![(
+                    1.0,
+                    Loop {
+                        lines: l1d(0.75),
+                        stay: 8,
+                    },
+                )],
             },
             // perlbench: tiny hot set plus a whisper of L2 traffic.
             SpecApp::Perlbench => WorkloadParams {
@@ -176,7 +185,13 @@ impl SpecApp {
                 mem_ratio: 0.35,
                 write_ratio: 0.30,
                 patterns: vec![
-                    (0.998, Loop { lines: l1d(0.5), stay: 8 }),
+                    (
+                        0.998,
+                        Loop {
+                            lines: l1d(0.5),
+                            stay: 8,
+                        },
+                    ),
                     (0.002, Random { lines: l2(0.5) }),
                 ],
             },
@@ -187,8 +202,20 @@ impl SpecApp {
                 mem_ratio: 0.35,
                 write_ratio: 0.20,
                 patterns: vec![
-                    (0.70, Loop { lines: l2(0.55), stay: 16 }),
-                    (0.30, Loop { lines: l1d(0.25), stay: 8 }),
+                    (
+                        0.70,
+                        Loop {
+                            lines: l2(0.55),
+                            stay: 16,
+                        },
+                    ),
+                    (
+                        0.30,
+                        Loop {
+                            lines: l1d(0.25),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // h264ref: L1-missing, mostly-L2-fitting reference frames
@@ -198,8 +225,20 @@ impl SpecApp {
                 mem_ratio: 0.35,
                 write_ratio: 0.25,
                 patterns: vec![
-                    (0.55, Loop { lines: l2(0.40), stay: 24 }),
-                    (0.42, Loop { lines: l1d(0.4), stay: 8 }),
+                    (
+                        0.55,
+                        Loop {
+                            lines: l2(0.40),
+                            stay: 24,
+                        },
+                    ),
+                    (
+                        0.42,
+                        Loop {
+                            lines: l1d(0.4),
+                            stay: 8,
+                        },
+                    ),
                     (0.03, Random { lines: l2(0.7) }),
                 ],
             },
@@ -210,7 +249,13 @@ impl SpecApp {
                 mem_ratio: 0.30,
                 write_ratio: 0.20,
                 patterns: vec![
-                    (0.997, Loop { lines: l1d(0.6), stay: 8 }),
+                    (
+                        0.997,
+                        Loop {
+                            lines: l1d(0.6),
+                            stay: 8,
+                        },
+                    ),
                     (0.003, Random { lines: l2(0.8) }),
                 ],
             },
@@ -223,7 +268,13 @@ impl SpecApp {
                 write_ratio: 0.30,
                 patterns: vec![
                     (0.08, Random { lines: llc(0.95) }),
-                    (0.92, Loop { lines: l1d(1.5), stay: 20 }),
+                    (
+                        0.92,
+                        Loop {
+                            lines: l1d(1.5),
+                            stay: 20,
+                        },
+                    ),
                 ],
             },
             // bzip2: block-sorting working set slightly over the LLC
@@ -234,7 +285,13 @@ impl SpecApp {
                 write_ratio: 0.35,
                 patterns: vec![
                     (0.06, Random { lines: llc(1.6) }),
-                    (0.94, Loop { lines: l1d(0.6), stay: 8 }),
+                    (
+                        0.94,
+                        Loop {
+                            lines: l1d(0.6),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // calculix: dense solver passes that fit the LLC well
@@ -244,8 +301,20 @@ impl SpecApp {
                 mem_ratio: 0.35,
                 write_ratio: 0.30,
                 patterns: vec![
-                    (0.50, Loop { lines: llc(0.6), stay: 12 }),
-                    (0.50, Loop { lines: l1d(0.5), stay: 8 }),
+                    (
+                        0.50,
+                        Loop {
+                            lines: llc(0.6),
+                            stay: 12,
+                        },
+                    ),
+                    (
+                        0.50,
+                        Loop {
+                            lines: l1d(0.5),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // hmmer: modest tables, most L2 misses caught by the LLC
@@ -255,8 +324,20 @@ impl SpecApp {
                 mem_ratio: 0.30,
                 write_ratio: 0.25,
                 patterns: vec![
-                    (0.12, Loop { lines: llc(0.4), stay: 16 }),
-                    (0.88, Loop { lines: l1d(0.9), stay: 8 }),
+                    (
+                        0.12,
+                        Loop {
+                            lines: llc(0.4),
+                            stay: 16,
+                        },
+                    ),
+                    (
+                        0.88,
+                        Loop {
+                            lines: l1d(0.9),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // xalancbmk: big code footprint and scattered DOM accesses
@@ -267,8 +348,20 @@ impl SpecApp {
                 write_ratio: 0.30,
                 patterns: vec![
                     (0.012, Random { lines: llc(0.4) }),
-                    (0.35, Loop { lines: l1d(2.0), stay: 8 }),
-                    (0.638, Loop { lines: l1d(0.25), stay: 8 }),
+                    (
+                        0.35,
+                        Loop {
+                            lines: l1d(2.0),
+                            stay: 8,
+                        },
+                    ),
+                    (
+                        0.638,
+                        Loop {
+                            lines: l1d(0.25),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // ---------------- LLCT ----------------
@@ -280,7 +373,13 @@ impl SpecApp {
                 write_ratio: 0.25,
                 patterns: vec![
                     (0.03, Random { lines: llc(4.0) }),
-                    (0.97, Loop { lines: l1d(0.75), stay: 8 }),
+                    (
+                        0.97,
+                        Loop {
+                            lines: l1d(0.75),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // libquantum: the archetypal streamer — identical 38.8 MPKI at
@@ -298,7 +397,13 @@ impl SpecApp {
                 write_ratio: 0.25,
                 patterns: vec![
                     (0.05, Chase { lines: llc(8.0) }),
-                    (0.95, Loop { lines: l1d(0.5), stay: 8 }),
+                    (
+                        0.95,
+                        Loop {
+                            lines: l1d(0.5),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // sphinx3: acoustic-model streaming with a 2x-LLC loop
@@ -309,8 +414,20 @@ impl SpecApp {
                 write_ratio: 0.15,
                 patterns: vec![
                     (0.35, Stream { stay: 12 }),
-                    (0.22, Loop { lines: llc(2.0), stay: 8 }),
-                    (0.43, Loop { lines: l1d(0.9), stay: 8 }),
+                    (
+                        0.22,
+                        Loop {
+                            lines: llc(2.0),
+                            stay: 8,
+                        },
+                    ),
+                    (
+                        0.43,
+                        Loop {
+                            lines: l1d(0.9),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
             // wrf: weather-grid sweeps over 3x the LLC (MPKI ~15).
@@ -320,8 +437,20 @@ impl SpecApp {
                 write_ratio: 0.20,
                 patterns: vec![
                     (0.35, Stream { stay: 10 }),
-                    (0.25, Loop { lines: llc(3.0), stay: 10 }),
-                    (0.40, Loop { lines: l1d(0.5), stay: 8 }),
+                    (
+                        0.25,
+                        Loop {
+                            lines: llc(3.0),
+                            stay: 10,
+                        },
+                    ),
+                    (
+                        0.40,
+                        Loop {
+                            lines: l1d(0.5),
+                            stay: 8,
+                        },
+                    ),
                 ],
             },
         }

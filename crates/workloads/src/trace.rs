@@ -1,7 +1,6 @@
 //! Streaming instruction-trace generation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tla_rng::SmallRng;
 use tla_types::{AccessKind, LineAddr, LINE_BYTES};
 
 /// Bytes per (abstract) instruction for program-counter advancement.
@@ -195,7 +194,10 @@ impl WorkloadParams {
             self.patterns.iter().all(|(w, _)| *w > 0.0),
             "pattern weights must be positive"
         );
-        assert!(self.code_footprint_bytes >= INSTR_BYTES, "empty code footprint");
+        assert!(
+            self.code_footprint_bytes >= INSTR_BYTES,
+            "empty code footprint"
+        );
     }
 }
 
@@ -263,10 +265,7 @@ impl SyntheticTrace {
             })
             .collect::<Vec<_>>();
         let total = cum;
-        let patterns = patterns
-            .into_iter()
-            .map(|(c, s)| (c / total, s))
-            .collect();
+        let patterns = patterns.into_iter().map(|(c, s)| (c / total, s)).collect();
         SyntheticTrace {
             data_base: instance * INSTANCE_STRIDE_LINES,
             code_base: instance * INSTANCE_STRIDE_LINES + CODE_REGION_OFFSET,
@@ -308,7 +307,7 @@ impl TraceSource for SyntheticTrace {
 
         // Data reference.
         let mem = if self.rng.gen_bool(self.mem_ratio) {
-            let x: f64 = self.rng.gen();
+            let x = self.rng.gen_f64();
             let idx = self
                 .patterns
                 .iter()

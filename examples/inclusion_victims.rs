@@ -51,7 +51,10 @@ fn main() {
     run("(b) TLH", tiny().tla(TlaPolicy::tlh_l1()));
     run("(c) ECI", tiny().tla(TlaPolicy::eci()));
     run("(d) QBS", tiny().tla(TlaPolicy::qbs()));
-    run("    non-inclusive", tiny().inclusion_policy(InclusionPolicy::NonInclusive));
+    run(
+        "    non-inclusive",
+        tiny().inclusion_policy(InclusionPolicy::NonInclusive),
+    );
 
     println!();
     println!("baseline: the LLC evicts 'a' while it is hot in the L1 — the last");

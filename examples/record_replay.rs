@@ -6,8 +6,8 @@
 use std::error::Error;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use tla::types::{AccessKind, CoreId};
 use tla::core::{CacheHierarchy, HierarchyConfig};
+use tla::types::{AccessKind, CoreId};
 use tla::workloads::{RecordedTrace, SpecApp, TraceSource};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -31,8 +31,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     recorded.write_to(BufWriter::new(File::create(&path)?))?;
     let bytes = std::fs::metadata(&path)?.len();
     let mut replay = RecordedTrace::read_from(BufReader::new(File::open(&path)?))?;
-    println!("trace file: {} ({} bytes, {:.1} B/instr)", path.display(), bytes,
-             bytes as f64 / recorded.len() as f64);
+    println!(
+        "trace file: {} ({} bytes, {:.1} B/instr)",
+        path.display(),
+        bytes,
+        bytes as f64 / recorded.len() as f64
+    );
 
     // Drive a hierarchy from the replayed trace and from a fresh live
     // generator; the miss counts must match exactly.

@@ -7,11 +7,12 @@
 //! tla-cli compare --mix lib,sje [opts]           # all policies on one mix
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
-//!          --llc-mb <n>  --no-prefetch
+//!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
 //! ```
 
 use std::process::ExitCode;
-use tla::sim::{mpki_table, MixRun, PolicySpec, SimConfig, Table};
+use tla::sim::{mpki_table, MixRun, PolicySpec, RunReport, SimConfig, Table};
+use tla::telemetry::json::JsonValue;
 use tla::workloads::{table2_mixes, SpecApp};
 
 fn usage() -> ExitCode {
@@ -34,7 +35,10 @@ fn usage() -> ExitCode {
          \x20 --warmup <n>            warm-up instructions/thread (default 800000)\n\
          \x20 --seed <n>              master seed\n\
          \x20 --llc-mb <n>            LLC capacity in MB at full scale\n\
-         \x20 --no-prefetch           disable the stream prefetcher"
+         \x20 --no-prefetch           disable the stream prefetcher\n\
+         \x20 --json <path>           write a machine-readable run report\n\
+         \x20 --window <n>            time-series window in instructions\n\
+         \x20                         (with --json; default 100000)"
     );
     ExitCode::FAILURE
 }
@@ -45,6 +49,8 @@ struct Options {
     policy: Option<PolicySpec>,
     cfg: SimConfig,
     llc_mb: Option<usize>,
+    json: Option<String>,
+    window: Option<u64>,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
@@ -81,8 +87,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         mix: Vec::new(),
         policy: None,
-        cfg: SimConfig::scaled_down().warmup(800_000).instructions(300_000),
+        cfg: SimConfig::scaled_down()
+            .warmup(800_000)
+            .instructions(300_000),
         llc_mb: None,
+        json: None,
+        window: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -124,22 +134,46 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--no-prefetch" => {
                 opts.cfg = opts.cfg.prefetch(false);
             }
+            "--json" => {
+                opts.json = Some(value("--json")?);
+            }
+            "--window" => {
+                let v: u64 = value("--window")?.parse().map_err(|e| format!("{e}"))?;
+                if v == 0 {
+                    return Err("--window must be positive".into());
+                }
+                opts.window = Some(v);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
+    }
+    if opts.window.is_some() && opts.json.is_none() {
+        return Err("--window only makes sense with --json".into());
     }
     Ok(opts)
 }
 
-fn print_run(opts: &Options, spec: &PolicySpec) -> f64 {
+/// Time-series window used for `--json` when `--window` is not given.
+const DEFAULT_WINDOW: u64 = 100_000;
+
+fn print_run(opts: &Options, spec: &PolicySpec) -> (f64, Option<RunReport>) {
     let mut run = MixRun::new(&opts.cfg, &opts.mix).spec(spec);
     if let Some(mb) = opts.llc_mb {
         run = run.llc_capacity_full_scale(mb * 1024 * 1024);
     }
-    let r = run.run();
+    let (r, report) = if opts.json.is_some() {
+        let window = opts.window.unwrap_or(DEFAULT_WINDOW);
+        let (r, report) = run.run_report(Some(window));
+        (r, Some(report))
+    } else {
+        (run.run(), None)
+    };
     println!("policy: {}", spec.name);
-    let mut t = Table::new(&["core", "app", "IPC", "L1 MPKI", "L2 MPKI", "LLC MPKI", "victims"]);
+    let mut t = Table::new(&[
+        "core", "app", "IPC", "L1 MPKI", "L2 MPKI", "LLC MPKI", "victims",
+    ]);
     for (i, th) in r.threads.iter().enumerate() {
-        t.add_row(vec![
+        let row = vec![
             i.to_string(),
             th.app.short_name().to_string(),
             format!("{:.3}", th.ipc()),
@@ -147,7 +181,10 @@ fn print_run(opts: &Options, spec: &PolicySpec) -> f64 {
             format!("{:.2}", th.l2_mpki()),
             format!("{:.2}", th.llc_mpki()),
             th.stats.inclusion_victims().to_string(),
-        ]);
+        ];
+        if let Err(e) = t.try_add_row(row) {
+            eprintln!("warning: dropping malformed report row: {e}");
+        }
     }
     print!("{t}");
     println!(
@@ -159,13 +196,31 @@ fn print_run(opts: &Options, spec: &PolicySpec) -> f64 {
         r.global.tlh_hints,
         r.global.snoop_probes,
     );
-    r.throughput()
+    (r.throughput(), report)
+}
+
+fn write_json(path: &str, text: &str) -> ExitCode {
+    match std::fs::write(path, text) {
+        Ok(()) => {
+            eprintln!("report written to {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_list() -> ExitCode {
     println!("apps (SPEC CPU2006 models):");
     for app in SpecApp::ALL {
-        println!("  {:4} {:10} ({})", app.short_name(), format!("{app:?}"), app.category());
+        println!(
+            "  {:4} {:10} ({})",
+            app.short_name(),
+            format!("{app:?}"),
+            app.category()
+        );
     }
     println!("\nmixes (Table II):");
     for m in table2_mixes() {
@@ -197,7 +252,10 @@ fn cmd_run(opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let spec = opts.policy.clone().unwrap_or_else(PolicySpec::baseline);
-    print_run(opts, &spec);
+    let (_, report) = print_run(opts, &spec);
+    if let (Some(path), Some(report)) = (&opts.json, report) {
+        return write_json(path, &report.to_json_string());
+    }
     ExitCode::SUCCESS
 }
 
@@ -216,10 +274,16 @@ fn cmd_compare(opts: &Options) -> ExitCode {
         PolicySpec::exclusive(),
     ];
     let mut baseline = None;
+    let mut reports = Vec::new();
     for spec in &specs {
-        let tp = print_run(opts, spec);
+        let (tp, report) = print_run(opts, spec);
         let base = *baseline.get_or_insert(tp);
         println!("  -> {:+.1}% vs baseline\n", (tp / base - 1.0) * 100.0);
+        reports.extend(report);
+    }
+    if let Some(path) = &opts.json {
+        let doc = JsonValue::array(reports.iter().map(RunReport::to_json));
+        return write_json(path, &doc.to_pretty());
     }
     ExitCode::SUCCESS
 }
@@ -252,9 +316,21 @@ mod tests {
     #[test]
     fn policy_names_parse() {
         for name in [
-            "baseline", "tlh-il1", "tlh-dl1", "tlh-l1", "tlh-l2", "tlh-l1-l2",
-            "eci", "qbs", "qbs-il1", "qbs-dl1", "qbs-l1", "qbs-l2",
-            "non-inclusive", "exclusive", "vc32",
+            "baseline",
+            "tlh-il1",
+            "tlh-dl1",
+            "tlh-l1",
+            "tlh-l2",
+            "tlh-l1-l2",
+            "eci",
+            "qbs",
+            "qbs-il1",
+            "qbs-dl1",
+            "qbs-l1",
+            "qbs-l2",
+            "non-inclusive",
+            "exclusive",
+            "vc32",
         ] {
             assert!(parse_policy(name).is_some(), "{name} must parse");
         }
@@ -274,8 +350,20 @@ mod tests {
     #[test]
     fn options_parse_and_validate() {
         let args: Vec<String> = [
-            "--mix", "MIX_00", "--policy", "qbs", "--scale", "4", "--measure",
-            "1000", "--warmup", "2000", "--seed", "5", "--llc-mb", "4",
+            "--mix",
+            "MIX_00",
+            "--policy",
+            "qbs",
+            "--scale",
+            "4",
+            "--measure",
+            "1000",
+            "--warmup",
+            "2000",
+            "--seed",
+            "5",
+            "--llc-mb",
+            "4",
             "--no-prefetch",
         ]
         .iter()
@@ -302,5 +390,25 @@ mod tests {
         assert!(bad(&["--policy", "bogus"]).contains("unknown policy"));
         assert!(bad(&["--whatever"]).contains("unknown option"));
         assert!(bad(&["--mix", "xyz"]).contains("unknown mix"));
+    }
+
+    #[test]
+    fn json_and_window_options_parse() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v)
+        };
+        let o = parse(&[
+            "--mix", "lib,sje", "--json", "out.json", "--window", "50000",
+        ])
+        .unwrap();
+        assert_eq!(o.json.as_deref(), Some("out.json"));
+        assert_eq!(o.window, Some(50_000));
+        let o = parse(&["--json", "out.json"]).unwrap();
+        assert_eq!(o.window, None);
+        let err = parse(&["--window", "50000"]).unwrap_err();
+        assert!(err.contains("--json"));
+        let err = parse(&["--json", "o", "--window", "0"]).unwrap_err();
+        assert!(err.contains("positive"));
     }
 }

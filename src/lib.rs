@@ -18,6 +18,8 @@
 //!   workload mixes ([`tla_workloads`]).
 //! * [`sim`] — the CMP simulator, metrics and experiment runner
 //!   ([`tla_sim`]).
+//! * [`telemetry`] — event sinks, windowed time series and machine-readable
+//!   run reports ([`tla_telemetry`]).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,8 @@
 pub use tla_cache as cache;
 pub use tla_core as core;
 pub use tla_cpu as cpu;
+pub use tla_rng as rng;
 pub use tla_sim as sim;
+pub use tla_telemetry as telemetry;
 pub use tla_types as types;
 pub use tla_workloads as workloads;

@@ -98,9 +98,8 @@ fn qbs_refuses_to_evict_resident_lines() {
 
 #[test]
 fn non_inclusive_matches_qbs_here() {
-    let (h, sources) = run(
-        HierarchyConfig::tiny_fig3().inclusion_policy(InclusionPolicy::NonInclusive),
-    );
+    let (h, sources) =
+        run(HierarchyConfig::tiny_fig3().inclusion_policy(InclusionPolicy::NonInclusive));
     let a = a_sources(&sources);
     assert!(a[1..].iter().all(|&s| s == DataSource::L1));
     assert_eq!(h.global_stats().back_invalidates, 0);

@@ -72,7 +72,10 @@ fn qbs_never_collapses_relative_to_baseline() {
         &[PolicySpec::baseline(), PolicySpec::qbs()],
         None,
     );
-    for (mix, v) in mixes.iter().zip(suites[1].normalized_throughput(&suites[0])) {
+    for (mix, v) in mixes
+        .iter()
+        .zip(suites[1].normalized_throughput(&suites[0]))
+    {
         assert!(v > 0.93, "{}: QBS at {v}", mix.name);
     }
 }
@@ -81,7 +84,9 @@ fn qbs_never_collapses_relative_to_baseline() {
 fn victim_heavy_mix_ranks_policies_correctly() {
     // lib+sje is the paper's canonical CCF-vs-thrasher mix; at steady
     // state QBS ~ non-inclusive > baseline.
-    let cfg = SimConfig::scaled_down().warmup(250_000).instructions(80_000);
+    let cfg = SimConfig::scaled_down()
+        .warmup(250_000)
+        .instructions(80_000);
     let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
     let base = MixRun::new(&cfg, &mix).run();
     let qbs = MixRun::new(&cfg, &mix).policy(TlaPolicy::qbs()).run();
@@ -109,7 +114,9 @@ fn homogeneous_ccf_mix_sees_no_effect() {
 fn exclusive_beats_inclusive_on_capacity_bound_mix() {
     // Two LLC-fitting apps that together overflow the LLC: the exclusive
     // hierarchy's extra capacity must show.
-    let cfg = SimConfig::scaled_down().warmup(250_000).instructions(80_000);
+    let cfg = SimConfig::scaled_down()
+        .warmup(250_000)
+        .instructions(80_000);
     let mix = [SpecApp::Bzip2, SpecApp::Calculix];
     let base = MixRun::new(&cfg, &mix).run();
     let excl = MixRun::new(&cfg, &mix)
@@ -186,7 +193,12 @@ fn stats_helpers_round_trip() {
     // End-to-end: geomean of normalized series equals manual computation.
     let cfg = quick();
     let mixes = &table2_mixes()[..2];
-    let suites = run_mix_suite(&cfg, mixes, &[PolicySpec::baseline(), PolicySpec::eci()], None);
+    let suites = run_mix_suite(
+        &cfg,
+        mixes,
+        &[PolicySpec::baseline(), PolicySpec::eci()],
+        None,
+    );
     let series = suites[1].normalized_throughput(&suites[0]);
     let manual: f64 = series.iter().map(|v| v.ln()).sum::<f64>() / series.len() as f64;
     let g = suites[1].geomean_throughput(&suites[0]);
