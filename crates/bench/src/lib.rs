@@ -16,6 +16,10 @@
 //!   (default 800 000).
 //! * `TLA_SCALE=<1|2|4|8>` — cache scale divisor (default 8).
 //! * `TLA_QUIET=1` — silence [`bench_progress!`] lines on stderr.
+//! * `TLA_JOBS=<n>` — worker threads for the suite fan-out (default: all
+//!   cores). Results are bit-identical for any value; only wall-clock
+//!   changes. Resolved inside [`SimConfig::effective_jobs`], so every
+//!   `run_mix_suite`/`mpki_table` call a bench makes obeys it.
 
 use tla_sim::{SimConfig, SuiteResult, Table};
 use tla_types::stats;
@@ -67,11 +71,12 @@ impl BenchEnv {
         bench_progress!("tla-bench", "{what}");
         bench_progress!(
             "tla-bench",
-            "scale=1/{}  measure={}  warmup={}  full={}",
+            "scale=1/{}  measure={}  warmup={}  full={}  jobs={}",
             self.cfg.scale(),
             self.cfg.instruction_quota(),
             self.cfg.warmup_quota(),
-            self.full
+            self.full,
+            self.cfg.effective_jobs()
         );
     }
 }

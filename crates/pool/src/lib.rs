@@ -1,0 +1,209 @@
+//! Self-contained batch parallelism for the experiment harness.
+//!
+//! The workspace builds in fully offline environments, so instead of
+//! depending on `rayon` this small crate provides the only piece the
+//! suites need: a scoped fork/join map over a list of independent jobs,
+//! built directly on [`std::thread::scope`]. Following the `tla-rng`
+//! precedent it has no dependencies at all.
+//!
+//! Guarantees, in the order the simulator cares about them:
+//!
+//! * **Input order is preserved.** `scoped_map(jobs, items, f)` returns
+//!   `f(items[0]), f(items[1]), …` regardless of which worker finished
+//!   first — suite outputs stay row-for-row comparable with serial runs.
+//! * **Determinism.** Every job is a pure function of its input (each
+//!   `MixRun` carries its own seed and owns its whole simulated
+//!   hierarchy), so the result vector is bit-identical for any `jobs`
+//!   value; only wall-clock changes.
+//! * **Panics propagate.** A panicking job does not poison or hang the
+//!   batch silently: the original panic payload is re-raised on the
+//!   calling thread once the scope joins.
+//! * **`jobs == 1` degenerates to serial.** No threads are spawned; the
+//!   jobs run inline on the caller in input order.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = tla_pool::scoped_map(4, (0u64..8).collect(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::panic::resume_unwind;
+use std::sync::Mutex;
+
+/// The machine's available parallelism (the `--jobs` default), falling
+/// back to 1 when it cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves an optional job-count override against the machine default:
+/// `None` (and `Some(0)`) mean "use every core".
+pub fn resolve_jobs(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => available_jobs(),
+    }
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// the results in input order.
+///
+/// Workers pull items from a shared queue, so uneven job costs balance
+/// automatically. With `jobs <= 1` (or fewer than two items) everything
+/// runs inline on the caller — the degenerate case is exactly the serial
+/// loop it replaces.
+///
+/// # Panics
+///
+/// Re-raises the first panic raised by `f` (by input order of the
+/// workers' observations) after all workers have stopped.
+pub fn scoped_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    // Hold the queue lock only while pulling the next
+                    // item; a panic inside `f` can never poison it.
+                    let next = queue.lock().expect("job queue poisoned").next();
+                    let Some((idx, item)) = next else { break };
+                    let result = f(item);
+                    *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                })
+            })
+            .collect();
+        // Join explicitly so the original panic payload (not a generic
+        // "a scoped thread panicked") reaches the caller.
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| unreachable!("job {idx} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        // Stagger costs so completion order differs from input order.
+        let out = scoped_map(4, (0u64..64).collect(), |x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 10
+        });
+        assert_eq!(out, (0u64..64).map(|x| x * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jobs_one_runs_inline_serially() {
+        // Inline execution is observable: the worker closure sees the
+        // caller's thread id for every item.
+        let caller = std::thread::current().id();
+        let ids = scoped_map(1, vec![(); 8], |()| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let caller = std::thread::current().id();
+        let ids = scoped_map(8, vec![()], |()| std::thread::current().id());
+        assert_eq!(ids, vec![caller]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = scoped_map(4, Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_jobs_than_items_works() {
+        let out = scoped_map(64, (0u32..3).collect(), |x| x + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = scoped_map(3, (0usize..100).collect(), |x| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn panic_payload_propagates() {
+        let err = std::panic::catch_unwind(|| {
+            scoped_map(4, (0u32..16).collect(), |x| {
+                if x == 5 {
+                    panic!("job five exploded");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("job five exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn panic_in_serial_path_propagates_too() {
+        let err = std::panic::catch_unwind(|| {
+            scoped_map(1, vec![0u32], |_| -> u32 { panic!("serial boom") })
+        })
+        .unwrap_err();
+        assert!(err
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("serial boom")));
+    }
+
+    #[test]
+    fn resolve_jobs_semantics() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert_eq!(resolve_jobs(None), available_jobs());
+        assert_eq!(resolve_jobs(Some(0)), available_jobs());
+        assert!(available_jobs() >= 1);
+    }
+}

@@ -27,6 +27,7 @@ pub struct SimConfig {
     core: CoreModelConfig,
     seed: u64,
     prefetch: bool,
+    jobs: Option<usize>,
 }
 
 impl SimConfig {
@@ -41,6 +42,7 @@ impl SimConfig {
             core: CoreModelConfig::default(),
             seed: 0xC0FFEE,
             prefetch: true,
+            jobs: None,
         }
     }
 
@@ -137,6 +139,34 @@ impl SimConfig {
     pub fn prefetch_enabled(&self) -> bool {
         self.prefetch
     }
+
+    /// Caps the worker threads the batch experiment helpers
+    /// ([`crate::mpki_table`], [`crate::run_mix_suite`], …) may use.
+    /// `0` means "use every available core" (the default). A single
+    /// [`crate::MixRun`] is always single-threaded; this knob only fans
+    /// out *batches* of independent runs, and results are bit-identical
+    /// for every value — only wall-clock changes.
+    #[must_use]
+    pub fn jobs(mut self, n: usize) -> Self {
+        self.jobs = Some(n);
+        self
+    }
+
+    /// The explicit jobs override, if one was set.
+    pub fn jobs_override(&self) -> Option<usize> {
+        self.jobs
+    }
+
+    /// Worker threads the batch helpers will actually use: the explicit
+    /// [`SimConfig::jobs`] override if set (and nonzero), else the
+    /// `TLA_JOBS` environment variable, else every available core.
+    pub fn effective_jobs(&self) -> usize {
+        let requested = self
+            .jobs
+            .filter(|&n| n > 0)
+            .or_else(|| std::env::var("TLA_JOBS").ok().and_then(|v| v.parse().ok()));
+        tla_pool::resolve_jobs(requested)
+    }
 }
 
 impl Default for SimConfig {
@@ -168,6 +198,17 @@ mod tests {
         assert_eq!(cfg.instruction_quota(), 42);
         assert_eq!(cfg.seed_value(), 9);
         assert!(!cfg.prefetch_enabled());
+    }
+
+    #[test]
+    fn jobs_resolution() {
+        // No override: at least one worker, whatever the host offers.
+        assert!(SimConfig::paper().effective_jobs() >= 1);
+        assert_eq!(SimConfig::paper().jobs_override(), None);
+        // Explicit override wins.
+        assert_eq!(SimConfig::paper().jobs(3).effective_jobs(), 3);
+        // Zero falls back to auto-detection.
+        assert!(SimConfig::paper().jobs(0).effective_jobs() >= 1);
     }
 
     #[test]

@@ -27,12 +27,14 @@ mod policyspec;
 mod report;
 mod run;
 mod runner;
+mod sched;
 
 pub use config::SimConfig;
 pub use policyspec::PolicySpec;
 pub use report::{Table, TableError};
 pub use run::{MixRun, RunResult, RunTelemetry, ThreadResult};
 pub use runner::{
-    mpki_table, normalized_throughput, run_alone, run_mix_suite, SuiteResult, Table1Row,
+    mpki_table, normalized_throughput, run_alone, run_alone_many, run_mix_suite,
+    run_policy_reports, SuiteResult, Table1Row,
 };
 pub use tla_telemetry::{RunReport, Window};

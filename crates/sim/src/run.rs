@@ -2,6 +2,7 @@
 
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
+use crate::sched::CoreScheduler;
 use tla_core::{
     CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, PerCoreStats, TlaPolicy,
     VictimCacheConfig,
@@ -9,7 +10,7 @@ use tla_core::{
 use tla_cpu::CoreModel;
 use tla_telemetry::{
     ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, RunReport, SetHistogramReport,
-    SharedSink, ThreadReport, Window, WindowedSeries,
+    SharedSink, TelemetrySink, ThreadReport, Window, WindowedSeries,
 };
 use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
 use tla_workloads::{SpecApp, SyntheticTrace, TraceSource};
@@ -198,7 +199,15 @@ impl<'a> MixRun<'a> {
 
     /// Executes the run to completion.
     pub fn run(self) -> RunResult {
-        self.execute(None).0
+        self.execute(None, None).0
+    }
+
+    /// Executes the run with a caller-provided telemetry sink installed:
+    /// every hierarchy event is delivered to `sink`, stamped with the
+    /// committing instruction (1-based total across cores). Hand in a
+    /// [`SharedSink`] clone to read the collector back afterwards.
+    pub fn run_with_sink(self, sink: impl TelemetrySink + 'static) -> RunResult {
+        self.execute(None, Some(Box::new(sink))).0
     }
 
     /// Executes the run with telemetry collection: event totals, per-set
@@ -210,11 +219,15 @@ impl<'a> MixRun<'a> {
     /// is precisely what makes the warm-up transient visible); the
     /// [`RunResult`] keeps its usual measured-phase semantics.
     pub fn run_instrumented(self, window: Option<u64>) -> (RunResult, RunTelemetry) {
-        let (result, telemetry) = self.execute(Some(window));
+        let (result, telemetry) = self.execute(Some(window), None);
         (result, telemetry.expect("telemetry was requested"))
     }
 
-    fn execute(self, telemetry: Option<Option<u64>>) -> (RunResult, Option<RunTelemetry>) {
+    fn execute(
+        self,
+        telemetry: Option<Option<u64>>,
+        extra_sink: Option<Box<dyn TelemetrySink>>,
+    ) -> (RunResult, Option<RunTelemetry>) {
         let n_cores = self.apps.len();
         let scale = self.cfg.scale();
         let mut hcfg: HierarchyConfig = HierarchyConfig::scaled(n_cores, scale as usize)
@@ -242,12 +255,15 @@ impl<'a> MixRun<'a> {
         let counts = SharedSink::new(CountingSink::default());
         let histogram = SharedSink::new(PerSetHistogram::new(hier.llc_sets()));
         let mut series = telemetry.and_then(|w| w).map(WindowedSeries::new);
-        if telemetry.is_some() {
-            hier.set_sink(
-                MultiSink::new()
-                    .with(counts.clone())
-                    .with(histogram.clone()),
-            );
+        if telemetry.is_some() || extra_sink.is_some() {
+            let mut multi = MultiSink::new();
+            if telemetry.is_some() {
+                multi = multi.with(counts.clone()).with(histogram.clone());
+            }
+            if let Some(extra) = extra_sink {
+                multi = multi.with(extra);
+            }
+            hier.set_sink(multi);
         }
 
         let mut cores: Vec<CoreModel> = (0..n_cores)
@@ -275,15 +291,22 @@ impl<'a> MixRun<'a> {
         ];
         let mut remaining = n_cores;
         let mut total_instr: u64 = 0;
+        let mut sched = CoreScheduler::new(cores.iter().map(CoreModel::now));
 
         while remaining > 0 {
             // Step the core with the smallest local clock so shared-LLC
-            // access order is timestamp-accurate.
-            let i = (0..n_cores)
-                .min_by_key(|&i| cores[i].now())
-                .expect("at least one core");
+            // access order is timestamp-accurate (the heap picks exactly
+            // like the old linear scan, ties to the lowest core index).
+            let i = sched.pick();
             let core_id = CoreId::new(i);
             let instr = traces[i].next_instruction();
+
+            // This iteration commits instruction number `total_instr + 1`;
+            // advance the clock first — and unconditionally — so every
+            // event the accesses below emit is stamped with the
+            // instruction that caused it, sink or no sink.
+            total_instr += 1;
+            hier.set_now(total_instr);
 
             let ifetch = if last_code_line[i] != Some(instr.code_line) {
                 last_code_line[i] = Some(instr.code_line);
@@ -295,13 +318,13 @@ impl<'a> MixRun<'a> {
                 .mem
                 .map(|m| (m.kind, hier.access(core_id, m.addr, m.kind)));
             cores[i].step(ifetch, mem);
+            sched.reinsert(i, cores[i].now());
 
-            // One instruction committed; advance the telemetry clock so the
-            // *next* iteration's events carry the right timestamp.
-            total_instr += 1;
-            if telemetry.is_some() {
-                hier.set_now(total_instr);
-                if let Some(series) = series.as_mut() {
+            if let Some(series) = series.as_mut() {
+                // Snapshotting the counters is only useful at a window
+                // boundary; between boundaries the whole series cost is
+                // this one compare.
+                if total_instr >= series.next_boundary() {
                     series.observe(total_instr, hier.all_per_core_stats(), hier.global_stats());
                 }
             }
@@ -566,6 +589,36 @@ mod tests {
             telemetry.windows.len()
         );
         assert_eq!(telemetry.window_size, Some(5_000));
+
+        // Event timestamps match the committing instruction: the clock is
+        // 1-based and advances *before* the accesses, so the first
+        // window's events start at instruction 1, not 0 (the historical
+        // skew stamped every event one instruction early).
+        let log = SharedSink::new(tla_telemetry::EventLog::new(1 << 17));
+        let with_sink = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Mcf])
+            .spec(&PolicySpec::qbs())
+            .run_with_sink(log.clone());
+        assert_eq!(with_sink.global, plain.global);
+        log.with(|l| {
+            assert_eq!(l.dropped(), 0, "log capacity too small for this quota");
+            assert!(!l.is_empty(), "the QBS mix must emit events");
+            let stamps: Vec<u64> = l.events().map(|e| e.instr).collect();
+            assert!(
+                stamps[0] >= 1,
+                "first event stamped {} — clock skew is back",
+                stamps[0]
+            );
+            assert!(
+                stamps.windows(2).all(|p| p[0] <= p[1]),
+                "event timestamps must be non-decreasing"
+            );
+            let first_window_end = telemetry.windows[0].end_instr;
+            assert!(
+                stamps[0] <= first_window_end,
+                "first event {} past the first window boundary {first_window_end}",
+                stamps[0]
+            );
+        });
     }
 
     #[test]

@@ -1,14 +1,30 @@
 //! Experiment helpers shared by the bench harness: isolated runs, Table I
 //! MPKI measurement, and policy suites over mix lists.
+//!
+//! Every helper that executes more than one [`MixRun`] fans the batch out
+//! over [`tla_pool::scoped_map`] with [`SimConfig::effective_jobs`]
+//! workers. Each run is self-contained and seeded, so results are
+//! bit-identical to serial execution and outputs keep input order; the
+//! job count only changes wall-clock time.
 
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::run::{MixRun, RunResult, ThreadResult};
+use tla_pool::scoped_map;
+use tla_telemetry::RunReport;
 use tla_workloads::{Mix, SpecApp};
 
 /// Runs `app` alone on a single core (for Table I and weighted speedups).
 pub fn run_alone(cfg: &SimConfig, app: SpecApp) -> ThreadResult {
     MixRun::new(cfg, &[app]).run().threads.remove(0)
+}
+
+/// Runs several apps alone in parallel (the weighted-speedup / fairness
+/// denominators), returning results in input order.
+pub fn run_alone_many(cfg: &SimConfig, apps: &[SpecApp]) -> Vec<ThreadResult> {
+    scoped_map(cfg.effective_jobs(), apps.to_vec(), |app| {
+        run_alone(cfg, app)
+    })
 }
 
 /// One row of Table I: isolated MPKI at each level.
@@ -29,18 +45,15 @@ pub struct Table1Row {
 /// the absence of a prefetcher").
 pub fn mpki_table(cfg: &SimConfig) -> Vec<Table1Row> {
     let cfg = cfg.clone().prefetch(false);
-    SpecApp::ALL
-        .iter()
-        .map(|&app| {
-            let t = run_alone(&cfg, app);
-            Table1Row {
-                app,
-                l1_mpki: t.l1_mpki(),
-                l2_mpki: t.l2_mpki(),
-                llc_mpki: t.llc_mpki(),
-            }
-        })
-        .collect()
+    scoped_map(cfg.effective_jobs(), SpecApp::ALL.to_vec(), |app| {
+        let t = run_alone(&cfg, app);
+        Table1Row {
+            app,
+            l1_mpki: t.l1_mpki(),
+            l2_mpki: t.l2_mpki(),
+            llc_mpki: t.llc_mpki(),
+        }
+    })
 }
 
 /// Results of one policy over a list of mixes.
@@ -107,25 +120,56 @@ pub fn run_mix_suite(
     specs: &[PolicySpec],
     llc_capacity_full_scale: Option<usize>,
 ) -> Vec<SuiteResult> {
+    // Flatten the (spec, mix) grid into one job list so the pool
+    // load-balances across both axes, then slice the ordered results
+    // back into per-spec suites.
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..mixes.len()).map(move |m| (s, m)))
+        .collect();
+    let mut runs = scoped_map(cfg.effective_jobs(), grid, |(s, m)| {
+        let mut run = MixRun::new(cfg, &mixes[m].apps).spec(&specs[s]);
+        if let Some(bytes) = llc_capacity_full_scale {
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        run.run()
+    })
+    .into_iter();
     specs
         .iter()
-        .map(|spec| {
-            let runs = mixes
-                .iter()
-                .map(|mix| {
-                    let mut run = MixRun::new(cfg, &mix.apps).spec(spec);
-                    if let Some(bytes) = llc_capacity_full_scale {
-                        run = run.llc_capacity_full_scale(bytes);
-                    }
-                    run.run()
-                })
-                .collect();
-            SuiteResult {
-                spec: spec.clone(),
-                runs,
-            }
+        .map(|spec| SuiteResult {
+            spec: spec.clone(),
+            runs: runs.by_ref().take(mixes.len()).collect(),
         })
         .collect()
+}
+
+/// Runs every policy in `specs` on one mix in parallel, in `specs` order
+/// — the engine behind `tla-cli compare`.
+///
+/// With `window = Some(w)` each run also produces a machine-readable
+/// [`RunReport`] with a `w`-instruction time series; with `None` the runs
+/// are plain (no telemetry). Like every batch helper, the output is
+/// bit-identical for any job count.
+pub fn run_policy_reports(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+) -> Vec<(RunResult, Option<RunReport>)> {
+    scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
+        let mut run = MixRun::new(cfg, apps).spec(&spec);
+        if let Some(bytes) = llc_capacity_full_scale {
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        match window {
+            Some(w) => {
+                let (result, report) = run.run_report(Some(w));
+                (result, Some(report))
+            }
+            None => (run.run(), None),
+        }
+    })
 }
 
 #[cfg(test)]
@@ -153,6 +197,38 @@ mod tests {
             assert!(r.l1_mpki >= r.l2_mpki - 1e-9, "{}: L1 >= L2", r.app);
             assert!(r.l2_mpki >= r.llc_mpki - 1e-9, "{}: L2 >= LLC", r.app);
         }
+    }
+
+    #[test]
+    fn run_alone_many_matches_individual_runs() {
+        let cfg = quick().instructions(5_000);
+        let apps = [SpecApp::DealII, SpecApp::Mcf, SpecApp::Sjeng];
+        let many = run_alone_many(&cfg, &apps);
+        assert_eq!(many.len(), 3);
+        for (app, t) in apps.iter().zip(&many) {
+            let solo = run_alone(&cfg, *app);
+            assert_eq!(t.app, *app);
+            assert_eq!(t.stats, solo.stats);
+            assert_eq!(t.cycles, solo.cycles);
+        }
+    }
+
+    #[test]
+    fn policy_reports_keep_spec_order_and_windows() {
+        let cfg = quick().instructions(5_000);
+        let apps = [SpecApp::Libquantum, SpecApp::Sjeng];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+        let out = run_policy_reports(&cfg, &apps, &specs, None, Some(2_000));
+        assert_eq!(out.len(), 2);
+        for ((result, report), spec) in out.iter().zip(&specs) {
+            assert_eq!(result.spec_name, spec.name);
+            let report = report.as_ref().expect("window requested");
+            assert_eq!(report.policy, spec.name);
+            assert!(!report.windows.is_empty());
+        }
+        let plain = run_policy_reports(&cfg, &apps, &specs, None, None);
+        assert!(plain.iter().all(|(_, rep)| rep.is_none()));
+        assert_eq!(plain[1].0.global, out[1].0.global);
     }
 
     #[test]

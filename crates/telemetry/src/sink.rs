@@ -19,6 +19,12 @@ pub trait TelemetrySink: std::fmt::Debug {
     fn record(&mut self, event: &TelemetryEvent);
 }
 
+impl TelemetrySink for Box<dyn TelemetrySink> {
+    fn record(&mut self, event: &TelemetryEvent) {
+        (**self).record(event);
+    }
+}
+
 /// Discards every event. Useful to measure sink-dispatch overhead.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;

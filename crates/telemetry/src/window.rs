@@ -80,11 +80,13 @@ pub struct WindowedSeries {
 impl WindowedSeries {
     /// A collector closing a window every `window` instructions.
     ///
-    /// # Panics
-    ///
-    /// Panics if `window` is zero.
+    /// A zero `window` is clamped to 1 (a window per instruction): the
+    /// boundary arithmetic divides by the window size, and a panic deep
+    /// inside a long run is a far worse failure mode than a very chatty
+    /// series. Front ends reject 0 with a proper error before it gets
+    /// here (see `tla-cli`'s `--window` validation).
     pub fn new(window: u64) -> Self {
-        assert!(window > 0, "window size must be positive");
+        let window = window.max(1);
         WindowedSeries {
             window,
             next_boundary: window,
@@ -98,6 +100,17 @@ impl WindowedSeries {
     /// Window size in instructions.
     pub fn window_size(&self) -> u64 {
         self.window
+    }
+
+    /// The instruction count at which the next window closes.
+    ///
+    /// Observations strictly before this boundary cannot close a window,
+    /// so a driver committing one instruction at a time may skip
+    /// [`WindowedSeries::observe`] (and the counter snapshotting feeding
+    /// it) until `instr >= next_boundary()` — the whole telemetry cost
+    /// between boundaries collapses to one integer compare.
+    pub fn next_boundary(&self) -> u64 {
+        self.next_boundary
     }
 
     /// Offers the current cumulative counters at `instr` total committed
@@ -281,8 +294,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_window_panics() {
-        let _ = WindowedSeries::new(0);
+    fn zero_window_clamps_to_one() {
+        let mut series = WindowedSeries::new(0);
+        assert_eq!(series.window_size(), 1);
+        assert_eq!(series.next_boundary(), 1);
+        // No division-by-zero on the realignment path.
+        series.observe(3, &[core_stats(1, 0)], &GlobalStats::default());
+        assert_eq!(series.windows().len(), 1);
+        assert_eq!(series.next_boundary(), 4);
+    }
+
+    #[test]
+    fn boundary_only_observation_matches_per_instruction_driving() {
+        // The hot loop may consult `next_boundary` and skip observe()
+        // between boundaries; the resulting series must be identical to
+        // observing after every instruction.
+        let drive = |skip: bool| {
+            let mut series = WindowedSeries::new(50);
+            for instr in 1..=237u64 {
+                if skip && instr < series.next_boundary() {
+                    continue;
+                }
+                series.observe(
+                    instr,
+                    &[core_stats(instr / 3, instr / 7)],
+                    &GlobalStats {
+                        qbs_queries: instr,
+                        ..Default::default()
+                    },
+                );
+            }
+            series.finish(
+                237,
+                &[core_stats(237 / 3, 237 / 7)],
+                &GlobalStats {
+                    qbs_queries: 237,
+                    ..Default::default()
+                },
+            );
+            series.take()
+        };
+        assert_eq!(drive(false), drive(true));
     }
 }

@@ -8,10 +8,11 @@
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
+//!          --jobs <n>
 //! ```
 
 use std::process::ExitCode;
-use tla::sim::{mpki_table, MixRun, PolicySpec, RunReport, SimConfig, Table};
+use tla::sim::{mpki_table, run_policy_reports, MixRun, PolicySpec, RunReport, SimConfig, Table};
 use tla::telemetry::json::JsonValue;
 use tla::workloads::{table2_mixes, SpecApp};
 
@@ -38,7 +39,10 @@ fn usage() -> ExitCode {
          \x20 --no-prefetch           disable the stream prefetcher\n\
          \x20 --json <path>           write a machine-readable run report\n\
          \x20 --window <n>            time-series window in instructions\n\
-         \x20                         (with --json; default 100000)"
+         \x20                         (with --json; default 100000)\n\
+         \x20 --jobs <n>              worker threads for batch commands\n\
+         \x20                         (default: all cores; results are\n\
+         \x20                         bit-identical for any value)"
     );
     ExitCode::FAILURE
 }
@@ -144,6 +148,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.window = Some(v);
             }
+            "--jobs" => {
+                let v: usize = value("--jobs")?.parse().map_err(|e| format!("{e}"))?;
+                if v == 0 {
+                    return Err("--jobs must be positive".into());
+                }
+                opts.cfg = opts.cfg.jobs(v);
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
@@ -168,7 +179,12 @@ fn print_run(opts: &Options, spec: &PolicySpec) -> (f64, Option<RunReport>) {
     } else {
         (run.run(), None)
     };
-    println!("policy: {}", spec.name);
+    print_result(&spec.name, &r);
+    (r.throughput(), report)
+}
+
+fn print_result(name: &str, r: &tla::sim::RunResult) {
+    println!("policy: {name}");
     let mut t = Table::new(&[
         "core", "app", "IPC", "L1 MPKI", "L2 MPKI", "LLC MPKI", "victims",
     ]);
@@ -196,7 +212,6 @@ fn print_run(opts: &Options, spec: &PolicySpec) -> (f64, Option<RunReport>) {
         r.global.tlh_hints,
         r.global.snoop_probes,
     );
-    (r.throughput(), report)
 }
 
 fn write_json(path: &str, text: &str) -> ExitCode {
@@ -273,10 +288,19 @@ fn cmd_compare(opts: &Options) -> ExitCode {
         PolicySpec::non_inclusive(),
         PolicySpec::exclusive(),
     ];
+    // All policies run in parallel (bit-identical to serial, `--jobs`
+    // workers); printing happens afterwards, in spec order.
+    let window = opts
+        .json
+        .as_ref()
+        .map(|_| opts.window.unwrap_or(DEFAULT_WINDOW));
+    let llc = opts.llc_mb.map(|mb| mb * 1024 * 1024);
+    let results = run_policy_reports(&opts.cfg, &opts.mix, &specs, llc, window);
     let mut baseline = None;
     let mut reports = Vec::new();
-    for spec in &specs {
-        let (tp, report) = print_run(opts, spec);
+    for (spec, (r, report)) in specs.iter().zip(results) {
+        print_result(&spec.name, &r);
+        let tp = r.throughput();
         let base = *baseline.get_or_insert(tp);
         println!("  -> {:+.1}% vs baseline\n", (tp / base - 1.0) * 100.0);
         reports.extend(report);
@@ -390,6 +414,18 @@ mod tests {
         assert!(bad(&["--policy", "bogus"]).contains("unknown policy"));
         assert!(bad(&["--whatever"]).contains("unknown option"));
         assert!(bad(&["--mix", "xyz"]).contains("unknown mix"));
+        assert!(bad(&["--jobs", "0"]).contains("positive"));
+        assert!(bad(&["--jobs"]).contains("--jobs"));
+    }
+
+    #[test]
+    fn jobs_option_parses() {
+        let args: Vec<String> = ["--jobs", "4"].iter().map(|s| s.to_string()).collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.cfg.jobs_override(), Some(4));
+        assert_eq!(o.cfg.effective_jobs(), 4);
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.cfg.jobs_override(), None);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   ([`tla_sim`]).
 //! * [`telemetry`] — event sinks, windowed time series and machine-readable
 //!   run reports ([`tla_telemetry`]).
+//! * [`pool`] — the dependency-free scoped thread pool behind the parallel
+//!   experiment runner ([`tla_pool`]).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use tla_cache as cache;
 pub use tla_core as core;
 pub use tla_cpu as cpu;
+pub use tla_pool as pool;
 pub use tla_rng as rng;
 pub use tla_sim as sim;
 pub use tla_telemetry as telemetry;

@@ -6,7 +6,9 @@
 
 use tla::cache::Policy;
 use tla::core::{InclusionPolicy, TlaPolicy};
-use tla::sim::{mpki_table, run_alone, run_mix_suite, MixRun, PolicySpec, SimConfig};
+use tla::sim::{
+    mpki_table, run_alone, run_alone_many, run_mix_suite, MixRun, PolicySpec, SimConfig,
+};
 use tla::types::stats;
 use tla::workloads::{all_two_core_mixes, random_mixes, table2_mixes, Category, SpecApp};
 
@@ -179,7 +181,7 @@ fn four_and_eight_core_mixes_run() {
 fn weighted_speedup_consistent_with_throughput_direction() {
     let cfg = quick();
     let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
-    let alone: Vec<f64> = mix.iter().map(|&a| run_alone(&cfg, a).ipc()).collect();
+    let alone: Vec<f64> = run_alone_many(&cfg, &mix).iter().map(|t| t.ipc()).collect();
     let base = MixRun::new(&cfg, &mix).run();
     let qbs = MixRun::new(&cfg, &mix).policy(TlaPolicy::qbs()).run();
     if qbs.throughput() > base.throughput() {

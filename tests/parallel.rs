@@ -1,0 +1,89 @@
+//! Serial vs parallel determinism of the batch experiment runner.
+//!
+//! Every `MixRun` owns its whole simulated hierarchy and derives all
+//! randomness from the configured seed, so fanning a suite out over the
+//! `tla-pool` workers must change nothing but wall-clock time. These
+//! tests pin that guarantee end to end: identical rows, identical
+//! counters, byte-identical JSON reports for `--jobs 1` vs `--jobs 4`.
+
+use tla::sim::{
+    mpki_table, run_alone_many, run_mix_suite, run_policy_reports, PolicySpec, SimConfig,
+};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::{table2_mixes, SpecApp};
+
+fn quick() -> SimConfig {
+    SimConfig::scaled_down().instructions(10_000)
+}
+
+#[test]
+fn mpki_table_parallel_matches_serial_row_for_row() {
+    let serial = mpki_table(&quick().jobs(1));
+    let parallel = mpki_table(&quick().jobs(4));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.app, p.app);
+        // Bit-identical, not merely close: the runs are the same runs.
+        assert_eq!(s.l1_mpki.to_bits(), p.l1_mpki.to_bits(), "{}", s.app);
+        assert_eq!(s.l2_mpki.to_bits(), p.l2_mpki.to_bits(), "{}", s.app);
+        assert_eq!(s.llc_mpki.to_bits(), p.llc_mpki.to_bits(), "{}", s.app);
+    }
+}
+
+#[test]
+fn mix_suite_parallel_matches_serial() {
+    let mixes = &table2_mixes()[..3];
+    let specs = [PolicySpec::baseline(), PolicySpec::qbs(), PolicySpec::eci()];
+    let serial = run_mix_suite(&quick().jobs(1), mixes, &specs, None);
+    let parallel = run_mix_suite(&quick().jobs(4), mixes, &specs, None);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec.name, p.spec.name);
+        assert_eq!(s.runs.len(), p.runs.len());
+        for (sr, pr) in s.runs.iter().zip(&p.runs) {
+            assert_eq!(sr.global, pr.global);
+            for (st, pt) in sr.threads.iter().zip(&pr.threads) {
+                assert_eq!(st.stats, pt.stats);
+                assert_eq!(st.cycles, pt.cycles);
+                assert_eq!(st.instructions, pt.instructions);
+            }
+        }
+    }
+}
+
+#[test]
+fn run_alone_many_parallel_matches_serial() {
+    let apps: Vec<SpecApp> = SpecApp::ALL[..6].to_vec();
+    let serial = run_alone_many(&quick().jobs(1), &apps);
+    let parallel = run_alone_many(&quick().jobs(4), &apps);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.app, p.app);
+        assert_eq!(s.stats, p.stats);
+        assert_eq!(s.cycles, p.cycles);
+    }
+}
+
+#[test]
+fn compare_reports_are_byte_identical_across_job_counts() {
+    // The exact artifact `tla-cli compare --json` writes, at both job
+    // counts: serialize each report list and demand byte equality.
+    let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+    ];
+    let render = |jobs: usize| {
+        let results = run_policy_reports(&quick().jobs(jobs), &mix, &specs, None, Some(2_500));
+        let doc = JsonValue::array(
+            results
+                .iter()
+                .map(|(_, rep)| rep.as_ref().expect("window requested").to_json()),
+        );
+        doc.to_pretty()
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "serial and parallel JSON diverged");
+}
