@@ -118,6 +118,13 @@ pub struct Measurement {
     pub iters: u64,
     /// Wall-clock nanoseconds spent in the measured phase.
     pub nanos: u128,
+    /// Iterations per measured batch.
+    pub batch: u64,
+    /// Nanoseconds of the fastest measured batch. The minimum over batches
+    /// is the standard noise-robust cost estimator: preemption and
+    /// frequency dips only ever add time, so the fastest batch is the one
+    /// closest to the true cost.
+    pub best_batch_nanos: u128,
 }
 
 impl Measurement {
@@ -127,6 +134,16 @@ impl Measurement {
             0.0
         } else {
             self.nanos as f64 / self.iters as f64
+        }
+    }
+
+    /// Cost of one iteration in the fastest batch, in nanoseconds — the
+    /// noise-robust counterpart of [`Measurement::nanos_per_iter`].
+    pub fn best_nanos_per_iter(&self) -> f64 {
+        if self.batch == 0 {
+            0.0
+        } else {
+            self.best_batch_nanos as f64 / self.batch as f64
         }
     }
 
@@ -172,19 +189,27 @@ pub fn time_it(name: &str, target_millis: u64, mut op: impl FnMut()) -> Measurem
     }
     let mut iters = 0u64;
     let mut nanos = 0u128;
+    let mut best_batch_nanos = u128::MAX;
     let start = std::time::Instant::now();
     while start.elapsed() < target {
         let t0 = std::time::Instant::now();
         for _ in 0..batch {
             op();
         }
-        nanos += t0.elapsed().as_nanos();
+        let batch_nanos = t0.elapsed().as_nanos();
+        nanos += batch_nanos;
         iters += batch;
+        best_batch_nanos = best_batch_nanos.min(batch_nanos);
+    }
+    if best_batch_nanos == u128::MAX {
+        best_batch_nanos = 0;
     }
     Measurement {
         name: name.to_string(),
         iters,
         nanos,
+        batch,
+        best_batch_nanos,
     }
 }
 

@@ -4,6 +4,11 @@ use crate::replacement::Policy;
 use std::fmt;
 use tla_types::{LineAddr, LINE_BYTES};
 
+/// Maximum supported associativity. The set-associative storage keeps
+/// valid/dirty/tag state as one `u64` bitmap per set, so a set can hold at
+/// most 64 ways.
+pub const MAX_WAYS: usize = 64;
+
 /// Errors produced when validating a [`CacheConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
@@ -21,6 +26,12 @@ pub enum ConfigError {
     },
     /// Associativity of zero was requested.
     ZeroWays,
+    /// Associativity exceeds [`MAX_WAYS`] (the width of the packed per-set
+    /// bitmaps).
+    TooManyWays {
+        /// Requested associativity.
+        ways: usize,
+    },
     /// The PLRU policy requires a power-of-two associativity.
     PlruNeedsPow2Ways {
         /// Requested associativity.
@@ -39,6 +50,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "derived set count {sets} is not a power of two")
             }
             ConfigError::ZeroWays => write!(f, "associativity must be at least 1"),
+            ConfigError::TooManyWays { ways } => write!(
+                f,
+                "associativity {ways} exceeds the {MAX_WAYS}-way limit of the packed set bitmaps"
+            ),
             ConfigError::PlruNeedsPow2Ways { ways } => {
                 write!(
                     f,
@@ -87,6 +102,9 @@ impl CacheConfig {
     ) -> Result<Self, ConfigError> {
         if ways == 0 {
             return Err(ConfigError::ZeroWays);
+        }
+        if ways > MAX_WAYS {
+            return Err(ConfigError::TooManyWays { ways });
         }
         let way_bytes = ways * LINE_BYTES;
         if capacity_bytes == 0 || !capacity_bytes.is_multiple_of(way_bytes) {
@@ -220,6 +238,13 @@ mod tests {
             CacheConfig::new("x", 64 * 12 * 16, 12, Policy::Plru),
             Err(ConfigError::PlruNeedsPow2Ways { ways: 12 })
         ));
+        // 65 ways with 1 set is otherwise a consistent geometry, but the
+        // packed bitmaps cap associativity at 64.
+        assert!(matches!(
+            CacheConfig::with_sets("x", 1, 65, Policy::Lru),
+            Err(ConfigError::TooManyWays { ways: 65 })
+        ));
+        assert!(CacheConfig::with_sets("x", 1, 64, Policy::Lru).is_ok());
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod replacement;
 mod set_assoc;
 mod victim;
 
-pub use config::{CacheConfig, ConfigError};
+pub use config::{CacheConfig, ConfigError, MAX_WAYS};
 pub use line::{CoreBitmap, LineState};
 pub use mshr::MshrFile;
 pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig};

@@ -79,7 +79,12 @@ impl FromIterator<CoreId> for CoreBitmap {
     }
 }
 
-/// State of one cache line slot.
+/// State of one cache line slot, assembled by value.
+///
+/// [`SetAssocCache`](crate::SetAssocCache) stores line metadata
+/// struct-of-arrays (packed per-set bitmaps plus flat per-way arrays); this
+/// type is the gathered per-line view its `iter_valid` yields for tests and
+/// invariant checks — it is not the storage format.
 ///
 /// `repl` is policy-private replacement state managed by
 /// [`Replacer`](crate::Replacer); callers should not interpret it.

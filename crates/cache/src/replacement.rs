@@ -7,14 +7,17 @@
 //! `ablation_replacement` bench can reproduce that claim.
 //!
 //! A [`Replacer`] owns any cross-set policy state (LRU stamps, the DRRIP
-//! PSEL counter, the Random policy's RNG) and operates on the per-line
-//! `repl` words stored in [`LineState`]. Beyond the usual
-//! hit/fill/victim operations it exposes [`Replacer::order`], the full
-//! eviction-priority ordering of a set, because the TLA policies need it:
-//! ECI picks "the *next* LRU line" and QBS walks victim candidates until the
-//! cores approve one.
+//! PSEL counter, the Random policy's RNG) and operates on one set's packed
+//! state: a `valid` way bitmap plus the slice of per-way `repl` words (the
+//! struct-of-arrays layout [`SetAssocCache`](crate::SetAssocCache) keeps).
+//! Beyond the usual hit/fill/victim operations it exposes
+//! [`Replacer::order_into`], the full eviction-priority ordering of a set,
+//! because the TLA policies need it: ECI picks "the *next* LRU line" and QBS
+//! walks victim candidates until the cores approve one. Both
+//! [`Replacer::victim`] and [`Replacer::order_into`] are allocation-free —
+//! victim selection scans the set directly and ordering fills a
+//! caller-provided buffer — because they sit on the LLC miss path.
 
-use crate::line::LineState;
 use std::fmt;
 use tla_rng::SmallRng;
 
@@ -28,6 +31,21 @@ const BRRIP_LONG_INTERVAL: u64 = 32;
 const DUEL_MODULUS: usize = 32;
 /// Saturation bound for the DRRIP PSEL counter.
 const PSEL_MAX: i32 = 1 << 9;
+
+/// Iterates the set bits of a way bitmap in ascending way order — the
+/// hardware's left-to-right scan.
+#[inline]
+fn bits(mut v: u64) -> impl Iterator<Item = usize> {
+    std::iter::from_fn(move || {
+        if v == 0 {
+            None
+        } else {
+            let w = v.trailing_zeros() as usize;
+            v &= v - 1;
+            Some(w)
+        }
+    })
+}
 
 /// A cache replacement policy.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -83,8 +101,9 @@ impl fmt::Display for Policy {
 
 /// Runtime state for a [`Policy`] over one cache.
 ///
-/// All operations take the slice of [`LineState`]s of a single set plus that
-/// set's index; per-line policy state lives in `LineState::repl`.
+/// All operations take one set's `valid` way bitmap and its `repl` slice
+/// (one policy word per way) plus the set's index; the caller owns that
+/// storage in struct-of-arrays form.
 #[derive(Debug, Clone)]
 pub struct Replacer {
     policy: Policy,
@@ -96,6 +115,10 @@ pub struct Replacer {
     psel: i32,
     /// PLRU tree bits, one word per set.
     trees: Vec<u64>,
+    /// Reusable shuffle buffer for the Random policy's victim selection
+    /// (keeps `victim` allocation-free while consuming the RNG stream
+    /// exactly like a full set shuffle).
+    scratch: Vec<usize>,
     rng: SmallRng,
 }
 
@@ -111,6 +134,7 @@ impl Replacer {
             fills: 0,
             psel: 0,
             trees: vec![0; if policy == Policy::Plru { sets } else { 0 }],
+            scratch: Vec::new(),
             rng: SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_71A5_EED0),
         }
     }
@@ -121,19 +145,19 @@ impl Replacer {
     }
 
     /// Records a demand hit on `way`.
-    pub fn on_hit(&mut self, set_idx: usize, lines: &mut [LineState], way: usize) {
+    pub fn on_hit(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
         match self.policy {
             Policy::Lru => {
                 self.stamp += 1;
-                lines[way].repl = self.stamp;
+                repl[way] = self.stamp;
             }
-            Policy::Nru => self.nru_touch(lines, way),
+            Policy::Nru => self.nru_touch(valid, repl, way),
             Policy::Fifo | Policy::Random => {}
-            Policy::Plru => self.plru_touch(set_idx, lines.len(), way),
-            Policy::Srrip | Policy::Brrip | Policy::Drrip => lines[way].repl = 0,
+            Policy::Plru => self.plru_touch(set_idx, repl.len(), way),
+            Policy::Srrip | Policy::Brrip | Policy::Drrip => repl[way] = 0,
             Policy::Lip | Policy::Bip | Policy::Dip => {
                 self.stamp += 1;
-                lines[way].repl = self.stamp;
+                repl[way] = self.stamp;
             }
         }
     }
@@ -143,40 +167,39 @@ impl Replacer {
     /// the LLC ("update its replacement state [to MRU]", §III-A/C).
     ///
     /// For every policy here promotion coincides with the hit update.
-    pub fn promote(&mut self, set_idx: usize, lines: &mut [LineState], way: usize) {
-        self.on_hit(set_idx, lines, way);
+    pub fn promote(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
+        self.on_hit(set_idx, valid, repl, way);
     }
 
-    /// Records a fill into `way` (which must already contain the new line's
-    /// state with `repl` reset by the caller via [`LineState::INVALID`]
-    /// semantics or otherwise).
-    pub fn on_fill(&mut self, set_idx: usize, lines: &mut [LineState], way: usize) {
+    /// Records a fill into `way` (whose `repl` word the caller has reset to
+    /// zero and whose `valid` bit is already set in the bitmap).
+    pub fn on_fill(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
         match self.policy {
             Policy::Lru | Policy::Fifo => {
                 self.stamp += 1;
-                lines[way].repl = self.stamp;
+                repl[way] = self.stamp;
             }
-            Policy::Nru => self.nru_touch(lines, way),
+            Policy::Nru => self.nru_touch(valid, repl, way),
             Policy::Random => {}
-            Policy::Plru => self.plru_touch(set_idx, lines.len(), way),
-            Policy::Srrip => lines[way].repl = RRPV_MAX - 1,
-            Policy::Brrip => lines[way].repl = self.brrip_insert_rrpv(),
+            Policy::Plru => self.plru_touch(set_idx, repl.len(), way),
+            Policy::Srrip => repl[way] = RRPV_MAX - 1,
+            Policy::Brrip => repl[way] = self.brrip_insert_rrpv(),
             Policy::Drrip => {
                 let srrip_mode = match set_idx % DUEL_MODULUS {
                     0 => true,           // SRRIP leader set
                     1 => false,          // BRRIP leader set
                     _ => self.psel >= 0, // follower sets
                 };
-                lines[way].repl = if srrip_mode {
+                repl[way] = if srrip_mode {
                     RRPV_MAX - 1
                 } else {
                     self.brrip_insert_rrpv()
                 };
             }
-            Policy::Lip => self.lru_insert(lines, way, false),
+            Policy::Lip => self.lru_insert(valid, repl, way, false),
             Policy::Bip => {
                 let mru = self.bip_fill_is_mru();
-                self.lru_insert(lines, way, mru);
+                self.lru_insert(valid, repl, way, mru);
             }
             Policy::Dip => {
                 let lru_mode = match set_idx % DUEL_MODULUS {
@@ -185,7 +208,7 @@ impl Replacer {
                     _ => self.psel >= 0, // follower sets
                 };
                 let mru = lru_mode || self.bip_fill_is_mru();
-                self.lru_insert(lines, way, mru);
+                self.lru_insert(valid, repl, way, mru);
             }
         }
     }
@@ -208,60 +231,116 @@ impl Replacer {
     /// the victim's RRPV reaches the distant value, mirroring the hardware
     /// "increment all until a distant line exists" loop even when the TLA
     /// policy skipped over better candidates.
-    pub fn on_evict(&mut self, _set_idx: usize, lines: &mut [LineState], way: usize) {
+    pub fn on_evict(&mut self, _set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
         if matches!(self.policy, Policy::Srrip | Policy::Brrip | Policy::Drrip) {
-            let delta = RRPV_MAX.saturating_sub(lines[way].repl);
+            let delta = RRPV_MAX.saturating_sub(repl[way]);
             if delta > 0 {
-                for l in lines.iter_mut() {
-                    if l.valid {
-                        l.repl = (l.repl + delta).min(RRPV_MAX);
-                    }
+                for w in bits(valid) {
+                    repl[w] = (repl[w] + delta).min(RRPV_MAX);
                 }
             }
         }
     }
 
-    /// The way the policy would evict next, considering only valid lines.
+    /// The way the policy would evict next, considering only valid ways.
+    /// Allocation-free: a direct scan of the set (the Random policy runs
+    /// its shuffle in a persistent internal buffer so the RNG stream is
+    /// identical to a full [`Replacer::order_into`] call).
     ///
     /// Returns `None` if the set has no valid line.
-    pub fn victim(&mut self, set_idx: usize, lines: &[LineState]) -> Option<usize> {
-        self.order(set_idx, lines).into_iter().next()
+    pub fn victim(&mut self, set_idx: usize, valid: u64, repl: &[u64]) -> Option<usize> {
+        match self.policy {
+            // Lowest stamp wins; ties (possible via LIP's saturating
+            // LRU-end insertion) go to the lowest way, like the stable
+            // sort in `order_into`.
+            Policy::Lru | Policy::Fifo | Policy::Lip | Policy::Bip | Policy::Dip => {
+                let mut best: Option<(u64, usize)> = None;
+                for w in bits(valid) {
+                    if best.is_none_or(|(k, _)| repl[w] < k) {
+                        best = Some((repl[w], w));
+                    }
+                }
+                best.map(|(_, w)| w)
+            }
+            // First candidate (bit set) in way order, else first valid way.
+            Policy::Nru => {
+                let mut first = None;
+                for w in bits(valid) {
+                    if repl[w] != 0 {
+                        return Some(w);
+                    }
+                    if first.is_none() {
+                        first = Some(w);
+                    }
+                }
+                first
+            }
+            Policy::Random => {
+                self.scratch.clear();
+                self.scratch.extend(bits(valid));
+                for i in (1..self.scratch.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    self.scratch.swap(i, j);
+                }
+                self.scratch.first().copied()
+            }
+            Policy::Plru => plru_first_valid(self.trees[set_idx], 1, repl.len(), valid),
+            // Highest RRPV is evicted first; ties go to the lowest way
+            // (the hardware's left-to-right scan).
+            Policy::Srrip | Policy::Brrip | Policy::Drrip => {
+                let mut best: Option<(u64, usize)> = None;
+                for w in bits(valid) {
+                    if best.is_none_or(|(k, _)| repl[w] > k) {
+                        best = Some((repl[w], w));
+                    }
+                }
+                best.map(|(_, w)| w)
+            }
+        }
     }
 
-    /// All valid ways of the set in eviction-priority order: element 0 is
-    /// the victim, element 1 the "next LRU line" ECI would pick, and so on.
+    /// Writes all valid ways of the set into `out` in eviction-priority
+    /// order: element 0 is the victim, element 1 the "next LRU line" ECI
+    /// would pick, and so on. `out` is cleared first; with a reused buffer
+    /// the call performs no allocation in steady state.
     ///
-    /// The returned ordering is a snapshot; it does not age or otherwise
-    /// mutate per-line state (aging happens in [`Replacer::on_evict`]).
-    pub fn order(&mut self, set_idx: usize, lines: &[LineState]) -> Vec<usize> {
-        let mut ways: Vec<usize> = (0..lines.len()).filter(|&w| lines[w].valid).collect();
+    /// The ordering is a snapshot; it does not age or otherwise mutate
+    /// per-way state (aging happens in [`Replacer::on_evict`]).
+    pub fn order_into(&mut self, set_idx: usize, valid: u64, repl: &[u64], out: &mut Vec<usize>) {
+        out.clear();
         match self.policy {
             Policy::Lru | Policy::Fifo | Policy::Lip | Policy::Bip | Policy::Dip => {
-                ways.sort_by_key(|&w| lines[w].repl);
+                out.extend(bits(valid));
+                // Way index in the key reproduces the stable scan order on
+                // equal stamps.
+                out.sort_unstable_by_key(|&w| (repl[w], w));
             }
             Policy::Nru => {
                 // Candidates (bit == 1, stored as repl == 1) first, each
                 // group in way order — the hardware scan order.
-                ways.sort_by_key(|&w| (lines[w].repl == 0, w));
+                out.extend(bits(valid));
+                out.sort_unstable_by_key(|&w| (repl[w] == 0, w));
             }
             Policy::Random => {
                 // Fisher-Yates over the valid ways.
-                for i in (1..ways.len()).rev() {
+                out.extend(bits(valid));
+                for i in (1..out.len()).rev() {
                     let j = self.rng.gen_range(0..=i);
-                    ways.swap(i, j);
+                    out.swap(i, j);
                 }
             }
             Policy::Plru => {
-                let order = self.plru_order(set_idx, lines.len());
-                ways.sort_by_key(|&w| order[w]);
+                // The tree walk emits leaves in eviction-rank order;
+                // filtering to valid ways preserves it.
+                plru_walk_into(self.trees[set_idx], 1, repl.len(), valid, out);
             }
             Policy::Srrip | Policy::Brrip | Policy::Drrip => {
                 // Higher RRPV is evicted sooner; ties broken by way index
                 // (the hardware's left-to-right scan).
-                ways.sort_by_key(|&w| (std::cmp::Reverse(lines[w].repl), w));
+                out.extend(bits(valid));
+                out.sort_unstable_by_key(|&w| (std::cmp::Reverse(repl[w]), w));
             }
         }
-        ways
     }
 
     // --- NRU ---------------------------------------------------------
@@ -269,12 +348,12 @@ impl Replacer {
     /// NRU reference-bit update: `repl == 1` means "not recently used"
     /// (eviction candidate); touching clears the bit, and when no candidate
     /// remains all *other* valid lines become candidates again.
-    fn nru_touch(&mut self, lines: &mut [LineState], way: usize) {
-        lines[way].repl = 0;
-        if lines.iter().all(|l| !l.valid || l.repl == 0) {
-            for (w, l) in lines.iter_mut().enumerate() {
-                if w != way && l.valid {
-                    l.repl = 1;
+    fn nru_touch(&mut self, valid: u64, repl: &mut [u64], way: usize) {
+        repl[way] = 0;
+        if bits(valid).all(|w| repl[w] == 0) {
+            for w in bits(valid) {
+                if w != way {
+                    repl[w] = 1;
                 }
             }
         }
@@ -296,19 +375,17 @@ impl Replacer {
     /// Inserts `way` into the LRU stack: at MRU (fresh stamp) or at the
     /// LRU end (just below the current set minimum, so the line is the
     /// next victim unless it gets a hit first).
-    fn lru_insert(&mut self, lines: &mut [LineState], way: usize, mru: bool) {
+    fn lru_insert(&mut self, valid: u64, repl: &mut [u64], way: usize, mru: bool) {
         if mru {
             self.stamp += 1;
-            lines[way].repl = self.stamp;
+            repl[way] = self.stamp;
         } else {
-            let min = lines
-                .iter()
-                .enumerate()
-                .filter(|&(w, l)| w != way && l.valid)
-                .map(|(_, l)| l.repl)
+            let min = bits(valid)
+                .filter(|&w| w != way)
+                .map(|w| repl[w])
                 .min()
                 .unwrap_or(1);
-            lines[way].repl = min.saturating_sub(1);
+            repl[way] = min.saturating_sub(1);
         }
     }
 
@@ -341,141 +418,136 @@ impl Replacer {
             node = parent;
         }
     }
+}
 
-    /// Eviction rank of every way under the current tree bits: rank 0 is
-    /// the way the tree currently selects, and subsequent ranks follow the
-    /// tree as if each selected leaf were removed.
-    fn plru_order(&self, set_idx: usize, ways: usize) -> Vec<usize> {
-        let tree = self.trees[set_idx];
-        let mut rank = vec![usize::MAX; ways];
-        // Recursive walk: within a subtree, the pointed-to child's leaves
-        // all come before the other child's leaves.
-        fn walk(tree: u64, node: usize, ways: usize, out: &mut Vec<usize>) {
-            if node >= ways {
-                out.push(node - ways);
-                return;
-            }
-            let bit = (tree >> node) & 1;
-            let first = 2 * node + bit as usize;
-            let second = 2 * node + (1 - bit as usize);
-            walk(tree, first, ways, out);
-            walk(tree, second, ways, out);
+/// Walks the PLRU tree emitting *valid* leaves in eviction-rank order:
+/// within a subtree, the pointed-to child's leaves all come before the
+/// other child's leaves. Recursion depth is log2(ways) <= 6.
+fn plru_walk_into(tree: u64, node: usize, ways: usize, valid: u64, out: &mut Vec<usize>) {
+    if node >= ways {
+        let w = node - ways;
+        if valid & (1u64 << w) != 0 {
+            out.push(w);
         }
-        let mut seq = Vec::with_capacity(ways);
-        walk(tree, 1, ways, &mut seq);
-        for (r, w) in seq.into_iter().enumerate() {
-            rank[w] = r;
-        }
-        rank
+        return;
     }
+    let bit = ((tree >> node) & 1) as usize;
+    plru_walk_into(tree, 2 * node + bit, ways, valid, out);
+    plru_walk_into(tree, 2 * node + 1 - bit, ways, valid, out);
+}
+
+/// The first valid leaf the PLRU tree walk reaches — the victim — without
+/// materializing the full order.
+fn plru_first_valid(tree: u64, node: usize, ways: usize, valid: u64) -> Option<usize> {
+    if node >= ways {
+        let w = node - ways;
+        return (valid & (1u64 << w) != 0).then_some(w);
+    }
+    let bit = ((tree >> node) & 1) as usize;
+    plru_first_valid(tree, 2 * node + bit, ways, valid)
+        .or_else(|| plru_first_valid(tree, 2 * node + 1 - bit, ways, valid))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tla_types::LineAddr;
 
-    fn set_of(n: usize) -> Vec<LineState> {
-        (0..n)
-            .map(|i| LineState {
-                addr: LineAddr::new(i as u64),
-                valid: true,
-                dirty: false,
-                cores: crate::CoreBitmap::EMPTY,
-                tag: false,
-                repl: 0,
-            })
-            .collect()
+    /// A full set of `n` ways with zeroed policy words.
+    fn set_of(n: usize) -> (u64, Vec<u64>) {
+        ((1u64 << n) - 1, vec![0; n])
+    }
+
+    /// Convenience wrapper collecting `order_into` output.
+    fn order(r: &mut Replacer, set_idx: usize, valid: u64, repl: &[u64]) -> Vec<usize> {
+        let mut out = Vec::new();
+        r.order_into(set_idx, valid, repl, &mut out);
+        out
     }
 
     #[test]
     fn lru_orders_by_recency() {
         let mut r = Replacer::new(Policy::Lru, 1, 0);
-        let mut lines = set_of(4);
+        let (valid, mut repl) = set_of(4);
         for w in 0..4 {
-            r.on_fill(0, &mut lines, w);
+            r.on_fill(0, valid, &mut repl, w);
         }
         // Touch way 0 -> it becomes MRU, way 1 is now LRU.
-        r.on_hit(0, &mut lines, 0);
-        assert_eq!(r.order(0, &lines), vec![1, 2, 3, 0]);
-        assert_eq!(r.victim(0, &lines), Some(1));
+        r.on_hit(0, valid, &mut repl, 0);
+        assert_eq!(order(&mut r, 0, valid, &repl), vec![1, 2, 3, 0]);
+        assert_eq!(r.victim(0, valid, &repl), Some(1));
     }
 
     #[test]
     fn fifo_ignores_hits() {
         let mut r = Replacer::new(Policy::Fifo, 1, 0);
-        let mut lines = set_of(3);
+        let (valid, mut repl) = set_of(3);
         for w in 0..3 {
-            r.on_fill(0, &mut lines, w);
+            r.on_fill(0, valid, &mut repl, w);
         }
-        r.on_hit(0, &mut lines, 0);
-        assert_eq!(r.victim(0, &lines), Some(0)); // still oldest fill
+        r.on_hit(0, valid, &mut repl, 0);
+        assert_eq!(r.victim(0, valid, &repl), Some(0)); // still oldest fill
     }
 
     #[test]
     fn nru_scan_order_and_refresh() {
         let mut r = Replacer::new(Policy::Nru, 1, 0);
-        let mut lines = set_of(4);
-        for l in lines.iter_mut() {
-            l.repl = 1; // all candidates initially
-        }
-        r.on_hit(0, &mut lines, 2);
+        let (valid, mut repl) = set_of(4);
+        repl.fill(1); // all candidates initially
+        r.on_hit(0, valid, &mut repl, 2);
         // way 2 is protected; scan finds way 0 first.
-        assert_eq!(r.victim(0, &lines), Some(0));
+        assert_eq!(r.victim(0, valid, &repl), Some(0));
         // Touch everything: last touch refreshes others back to candidates.
         for w in 0..4 {
-            r.on_hit(0, &mut lines, w);
+            r.on_hit(0, valid, &mut repl, w);
         }
         // way 3 touched last, so ways 0..=2 are candidates again.
-        assert_eq!(lines[3].repl, 0);
-        assert_eq!(r.victim(0, &lines), Some(0));
+        assert_eq!(repl[3], 0);
+        assert_eq!(r.victim(0, valid, &repl), Some(0));
     }
 
     #[test]
     fn nru_order_puts_candidates_first() {
         let mut r = Replacer::new(Policy::Nru, 1, 0);
-        let mut lines = set_of(4);
-        for l in lines.iter_mut() {
-            l.repl = 1;
-        }
-        r.on_hit(0, &mut lines, 0);
-        r.on_hit(0, &mut lines, 1);
-        assert_eq!(r.order(0, &lines), vec![2, 3, 0, 1]);
+        let (valid, mut repl) = set_of(4);
+        repl.fill(1);
+        r.on_hit(0, valid, &mut repl, 0);
+        r.on_hit(0, valid, &mut repl, 1);
+        assert_eq!(order(&mut r, 0, valid, &repl), vec![2, 3, 0, 1]);
     }
 
     #[test]
     fn srrip_inserts_long_hits_reset() {
         let mut r = Replacer::new(Policy::Srrip, 1, 0);
-        let mut lines = set_of(2);
-        r.on_fill(0, &mut lines, 0);
-        assert_eq!(lines[0].repl, RRPV_MAX - 1);
-        r.on_hit(0, &mut lines, 0);
-        assert_eq!(lines[0].repl, 0);
-        r.on_fill(0, &mut lines, 1);
+        let (valid, mut repl) = set_of(2);
+        r.on_fill(0, valid, &mut repl, 0);
+        assert_eq!(repl[0], RRPV_MAX - 1);
+        r.on_hit(0, valid, &mut repl, 0);
+        assert_eq!(repl[0], 0);
+        r.on_fill(0, valid, &mut repl, 1);
         // way 1 (rrpv 2) evicts before way 0 (rrpv 0).
-        assert_eq!(r.victim(0, &lines), Some(1));
+        assert_eq!(r.victim(0, valid, &repl), Some(1));
     }
 
     #[test]
     fn srrip_eviction_ages_set() {
         let mut r = Replacer::new(Policy::Srrip, 1, 0);
-        let mut lines = set_of(2);
-        r.on_fill(0, &mut lines, 0);
-        r.on_fill(0, &mut lines, 1);
-        r.on_hit(0, &mut lines, 0); // rrpv 0
-        r.on_evict(0, &mut lines, 1); // rrpv 2 -> ages by 1
-        assert_eq!(lines[0].repl, 1);
-        assert_eq!(lines[1].repl, RRPV_MAX);
+        let (valid, mut repl) = set_of(2);
+        r.on_fill(0, valid, &mut repl, 0);
+        r.on_fill(0, valid, &mut repl, 1);
+        r.on_hit(0, valid, &mut repl, 0); // rrpv 0
+        r.on_evict(0, valid, &mut repl, 1); // rrpv 2 -> ages by 1
+        assert_eq!(repl[0], 1);
+        assert_eq!(repl[1], RRPV_MAX);
     }
 
     #[test]
     fn brrip_mostly_inserts_distant() {
         let mut r = Replacer::new(Policy::Brrip, 1, 0);
-        let mut lines = set_of(1);
+        let (valid, mut repl) = set_of(1);
         let mut distant = 0;
         for _ in 0..BRRIP_LONG_INTERVAL {
-            r.on_fill(0, &mut lines, 0);
-            if lines[0].repl == RRPV_MAX {
+            r.on_fill(0, valid, &mut repl, 0);
+            if repl[0] == RRPV_MAX {
                 distant += 1;
             }
         }
@@ -490,12 +562,12 @@ mod tests {
             r.on_miss(0);
         }
         assert!(r.psel < 0);
-        let mut lines = set_of(1);
+        let (valid, mut repl) = set_of(1);
         // Follower set now inserts with BRRIP (distant most of the time).
         let mut saw_distant = false;
         for _ in 0..4 {
-            r.on_fill(5, &mut lines, 0);
-            saw_distant |= lines[0].repl == RRPV_MAX;
+            r.on_fill(5, valid, &mut repl, 0);
+            saw_distant |= repl[0] == RRPV_MAX;
         }
         assert!(saw_distant);
         // Misses in the BRRIP leader set push back toward SRRIP.
@@ -508,83 +580,110 @@ mod tests {
     #[test]
     fn random_orders_every_valid_way_exactly_once() {
         let mut r = Replacer::new(Policy::Random, 1, 42);
-        let lines = set_of(8);
-        let mut order = r.order(0, &lines);
-        order.sort_unstable();
-        assert_eq!(order, (0..8).collect::<Vec<_>>());
+        let (valid, repl) = set_of(8);
+        let mut o = order(&mut r, 0, valid, &repl);
+        o.sort_unstable();
+        assert_eq!(o, (0..8).collect::<Vec<_>>());
     }
 
     #[test]
     fn random_is_seed_deterministic() {
-        let lines = set_of(8);
+        let (valid, repl) = set_of(8);
         let mut a = Replacer::new(Policy::Random, 1, 7);
         let mut b = Replacer::new(Policy::Random, 1, 7);
-        assert_eq!(a.order(0, &lines), b.order(0, &lines));
+        assert_eq!(
+            order(&mut a, 0, valid, &repl),
+            order(&mut b, 0, valid, &repl)
+        );
+    }
+
+    #[test]
+    fn random_victim_consumes_rng_like_order() {
+        // `victim` must draw from the RNG exactly as `order_into` does so
+        // that mixing the two calls keeps runs deterministic.
+        let (valid, repl) = set_of(8);
+        let mut a = Replacer::new(Policy::Random, 1, 9);
+        let mut b = Replacer::new(Policy::Random, 1, 9);
+        let v = a.victim(0, valid, &repl);
+        let o = order(&mut b, 0, valid, &repl);
+        assert_eq!(v, o.first().copied());
+        // Both replacers drew the same amount: their next picks agree too.
+        assert_eq!(a.victim(0, valid, &repl), b.victim(0, valid, &repl));
     }
 
     #[test]
     fn plru_victim_avoids_recent_touch() {
         let mut r = Replacer::new(Policy::Plru, 1, 0);
-        let mut lines = set_of(4);
+        let (valid, mut repl) = set_of(4);
         for w in 0..4 {
-            r.on_fill(0, &mut lines, w);
+            r.on_fill(0, valid, &mut repl, w);
         }
-        let v = r.victim(0, &lines).unwrap();
+        let v = r.victim(0, valid, &repl).unwrap();
         // The just-touched way 3 must not be the victim.
         assert_ne!(v, 3);
         // Touch the victim; the next victim differs.
-        r.on_hit(0, &mut lines, v);
-        assert_ne!(r.victim(0, &lines), Some(v));
+        r.on_hit(0, valid, &mut repl, v);
+        assert_ne!(r.victim(0, valid, &repl), Some(v));
     }
 
     #[test]
     fn plru_order_is_a_permutation() {
         let mut r = Replacer::new(Policy::Plru, 1, 0);
-        let mut lines = set_of(8);
+        let (valid, mut repl) = set_of(8);
         for w in [0, 3, 5, 1, 7] {
-            r.on_fill(0, &mut lines, w);
+            r.on_fill(0, valid, &mut repl, w);
         }
-        let mut order = r.order(0, &lines);
-        order.sort_unstable();
-        assert_eq!(order, (0..8).collect::<Vec<_>>());
+        let mut o = order(&mut r, 0, valid, &repl);
+        o.sort_unstable();
+        assert_eq!(o, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plru_victim_matches_order_head_with_invalid_ways() {
+        let mut r = Replacer::new(Policy::Plru, 1, 0);
+        let (_, mut repl) = set_of(8);
+        let valid = 0b1011_0101u64; // holes in the leaf row
+        for w in bits(valid) {
+            r.on_fill(0, valid, &mut repl, w);
+        }
+        let o = order(&mut r, 0, valid, &repl);
+        assert_eq!(o.len(), valid.count_ones() as usize);
+        assert_eq!(r.victim(0, valid, &repl), o.first().copied());
     }
 
     #[test]
     fn order_skips_invalid_ways() {
         let mut r = Replacer::new(Policy::Lru, 1, 0);
-        let mut lines = set_of(4);
-        lines[2].valid = false;
+        let (_, mut repl) = set_of(4);
+        let valid = 0b1011u64; // way 2 invalid
         for w in [0, 1, 3] {
-            r.on_fill(0, &mut lines, w);
+            r.on_fill(0, valid, &mut repl, w);
         }
-        let order = r.order(0, &lines);
-        assert_eq!(order.len(), 3);
-        assert!(!order.contains(&2));
+        let o = order(&mut r, 0, valid, &repl);
+        assert_eq!(o.len(), 3);
+        assert!(!o.contains(&2));
     }
 
     #[test]
     fn victim_none_when_all_invalid() {
         let mut r = Replacer::new(Policy::Nru, 1, 0);
-        let mut lines = set_of(2);
-        for l in lines.iter_mut() {
-            l.valid = false;
-        }
-        assert_eq!(r.victim(0, &lines), None);
+        let (_, repl) = set_of(2);
+        assert_eq!(r.victim(0, 0, &repl), None);
     }
 
     #[test]
     fn promote_equals_hit_for_lru() {
         let mut a = Replacer::new(Policy::Lru, 1, 0);
         let mut b = Replacer::new(Policy::Lru, 1, 0);
-        let mut la = set_of(4);
-        let mut lb = set_of(4);
+        let (valid, mut ra) = set_of(4);
+        let (_, mut rb) = set_of(4);
         for w in 0..4 {
-            a.on_fill(0, &mut la, w);
-            b.on_fill(0, &mut lb, w);
+            a.on_fill(0, valid, &mut ra, w);
+            b.on_fill(0, valid, &mut rb, w);
         }
-        a.on_hit(0, &mut la, 1);
-        b.promote(0, &mut lb, 1);
-        assert_eq!(a.order(0, &la), b.order(0, &lb));
+        a.on_hit(0, valid, &mut ra, 1);
+        b.promote(0, valid, &mut rb, 1);
+        assert_eq!(order(&mut a, 0, valid, &ra), order(&mut b, 0, valid, &rb));
     }
 }
 
@@ -593,43 +692,34 @@ mod lip_tests {
     use super::*;
     use tla_types::LineAddr;
 
-    fn set_of(n: usize) -> Vec<LineState> {
-        (0..n)
-            .map(|i| LineState {
-                addr: LineAddr::new(i as u64),
-                valid: true,
-                dirty: false,
-                cores: crate::CoreBitmap::EMPTY,
-                tag: false,
-                repl: 0,
-            })
-            .collect()
+    fn set_of(n: usize) -> (u64, Vec<u64>) {
+        ((1u64 << n) - 1, vec![0; n])
     }
 
     #[test]
     fn lip_inserts_at_lru_end() {
         let mut r = Replacer::new(Policy::Lip, 1, 0);
-        let mut lines = set_of(4);
+        let (valid, mut repl) = set_of(4);
         for w in 0..3 {
-            r.on_hit(0, &mut lines, w); // establish an LRU stack 0 < 1 < 2
+            r.on_hit(0, valid, &mut repl, w); // establish an LRU stack 0 < 1 < 2
         }
-        r.on_fill(0, &mut lines, 3);
+        r.on_fill(0, valid, &mut repl, 3);
         // The fresh fill must be the first victim.
-        assert_eq!(r.victim(0, &lines), Some(3));
+        assert_eq!(r.victim(0, valid, &repl), Some(3));
         // A hit promotes it to MRU.
-        r.on_hit(0, &mut lines, 3);
-        assert_eq!(r.victim(0, &lines), Some(0));
+        r.on_hit(0, valid, &mut repl, 3);
+        assert_eq!(r.victim(0, valid, &repl), Some(0));
     }
 
     #[test]
     fn bip_occasionally_inserts_at_mru() {
         let mut r = Replacer::new(Policy::Bip, 1, 0);
-        let mut lines = set_of(2);
-        r.on_hit(0, &mut lines, 0);
+        let (valid, mut repl) = set_of(2);
+        r.on_hit(0, valid, &mut repl, 0);
         let mut saw_mru = false;
         for _ in 0..64 {
-            r.on_fill(0, &mut lines, 1);
-            if r.victim(0, &lines) == Some(0) {
+            r.on_fill(0, valid, &mut repl, 1);
+            if r.victim(0, valid, &repl) == Some(0) {
                 saw_mru = true; // the fill landed above way 0
             }
         }
@@ -644,19 +734,19 @@ mod lip_tests {
             r.on_miss(0);
         }
         assert!(r.psel < 0);
-        let mut lines = set_of(4);
+        let (valid, mut repl) = set_of(4);
         for w in 0..3 {
-            r.on_hit(5, &mut lines, w);
+            r.on_hit(5, valid, &mut repl, w);
         }
-        r.on_fill(5, &mut lines, 3); // follower set, BIP mode, non-MRU fill
-        assert_eq!(r.victim(5, &lines), Some(3));
+        r.on_fill(5, valid, &mut repl, 3); // follower set, BIP mode, non-MRU fill
+        assert_eq!(r.victim(5, valid, &repl), Some(3));
         // Misses in the BIP leader set vote back toward LRU.
         for _ in 0..40 {
             r.on_miss(1);
         }
         assert!(r.psel > 0);
-        r.on_fill(5, &mut lines, 3);
-        assert_eq!(r.victim(5, &lines), Some(0), "LRU mode fills at MRU");
+        r.on_fill(5, valid, &mut repl, 3);
+        assert_eq!(r.victim(5, valid, &repl), Some(0), "LRU mode fills at MRU");
     }
 
     #[test]

@@ -45,16 +45,44 @@ impl CacheStats {
 /// A set-associative cache holding line metadata only (the simulator is
 /// trace-driven; no data payloads are modelled).
 ///
+/// Line metadata is stored struct-of-arrays: the single-bit fields (valid,
+/// dirty, policy tag) live in one `u64` bitmap per set — bit `w` describes
+/// way `w` — while addresses, replacement words and directory bits are flat
+/// per-way arrays. Presence scans (`find`, [`SetAssocCache::probe`], the QBS
+/// residency queries) walk only the set bits of the valid word instead of
+/// deserializing whole line structs, and clearing a way is a handful of
+/// bit-ands. The layout caps associativity at
+/// [`MAX_WAYS`](crate::config::MAX_WAYS) = 64, which
+/// [`CacheConfig`](crate::config::CacheConfig) enforces.
+///
 /// Replacement bookkeeping is delegated to a [`Replacer`]; the hierarchy
 /// layer drives inclusion, back-invalidation and the TLA policies through
-/// the explicit [`SetAssocCache::victim_order`] / [`SetAssocCache::evict_way`] /
-/// [`SetAssocCache::fill_way`] API, while simple uses go through
-/// [`SetAssocCache::touch`] and [`SetAssocCache::fill`].
+/// the explicit [`SetAssocCache::victim_order_into`] /
+/// [`SetAssocCache::evict_way`] / [`SetAssocCache::fill_way`] API, while
+/// simple uses go through [`SetAssocCache::touch`] and
+/// [`SetAssocCache::fill`].
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     cfg: CacheConfig,
-    lines: Vec<LineState>,
-    repl: Replacer,
+    /// Cached `cfg.ways()` (hot-path stride).
+    ways: usize,
+    /// Line address per way slot (meaningful only when the valid bit is
+    /// set); indexed `set * ways + way`.
+    addrs: Vec<LineAddr>,
+    /// Replacement-policy word per way slot.
+    repl: Vec<u64>,
+    /// Directory bits per way slot (LLC only).
+    cores: Vec<CoreBitmap>,
+    /// Valid bitmap, one word per set.
+    valid: Vec<u64>,
+    /// Dirty bitmap, one word per set.
+    dirty: Vec<u64>,
+    /// Policy-tag bitmap, one word per set (ECI's early-invalidate mark).
+    tag: Vec<u64>,
+    replacer: Replacer,
+    /// Reusable way-index buffer so [`SetAssocCache::victim_order_into`]
+    /// allocates nothing in steady state.
+    way_scratch: Vec<usize>,
     stats: CacheStats,
 }
 
@@ -71,13 +99,21 @@ impl SetAssocCache {
     /// Creates an empty cache with an explicit replacement seed (only the
     /// Random policy consumes it).
     pub fn with_seed(cfg: CacheConfig, seed: u64) -> Self {
-        let repl = Replacer::new(cfg.policy(), cfg.sets(), seed);
-        let lines = vec![LineState::INVALID; cfg.sets() * cfg.ways()];
+        let replacer = Replacer::new(cfg.policy(), cfg.sets(), seed);
+        let ways = cfg.ways();
+        let slots = cfg.sets() * ways;
         SetAssocCache {
-            cfg,
-            lines,
-            repl,
+            ways,
+            addrs: vec![LineAddr::new(0); slots],
+            repl: vec![0; slots],
+            cores: vec![CoreBitmap::EMPTY; slots],
+            valid: vec![0; cfg.sets()],
+            dirty: vec![0; cfg.sets()],
+            tag: vec![0; cfg.sets()],
+            replacer,
+            way_scratch: Vec::with_capacity(ways),
             stats: CacheStats::default(),
+            cfg,
         }
     }
 
@@ -102,16 +138,24 @@ impl SetAssocCache {
         self.cfg.set_of(line)
     }
 
-    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let ways = self.cfg.ways();
-        set * ways..(set + 1) * ways
-    }
-
     fn find(&self, line: LineAddr) -> Option<usize> {
         let set = self.set_of(line);
-        self.lines[self.set_range(set)]
-            .iter()
-            .position(|l| l.valid && l.addr == line)
+        let base = set * self.ways;
+        // Branchless tag match: build a way bitmask of address matches
+        // (auto-vectorizes over the dense u64 address array), then mask by
+        // validity. Invalid slots may hold stale addresses, so the valid
+        // mask is what makes a match real.
+        let addrs = &self.addrs[base..base + self.ways];
+        let mut mask = 0u64;
+        for (w, &a) in addrs.iter().enumerate() {
+            mask |= ((a == line) as u64) << w;
+        }
+        mask &= self.valid[set];
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
     }
 
     /// Checks for presence without touching replacement state or counters —
@@ -142,8 +186,13 @@ impl SetAssocCache {
         }
         match hit_way {
             Some(way) => {
-                let range = self.set_range(set);
-                self.repl.on_hit(set, &mut self.lines[range], way);
+                let base = set * self.ways;
+                self.replacer.on_hit(
+                    set,
+                    self.valid[set],
+                    &mut self.repl[base..base + self.ways],
+                    way,
+                );
                 true
             }
             None => {
@@ -152,7 +201,7 @@ impl SetAssocCache {
                 } else {
                     self.stats.prefetch_misses += 1;
                 }
-                self.repl.on_miss(set);
+                self.replacer.on_miss(set);
                 false
             }
         }
@@ -164,8 +213,13 @@ impl SetAssocCache {
         let set = self.set_of(line);
         match self.find(line) {
             Some(way) => {
-                let range = self.set_range(set);
-                self.repl.promote(set, &mut self.lines[range], way);
+                let base = set * self.ways;
+                self.replacer.promote(
+                    set,
+                    self.valid[set],
+                    &mut self.repl[base..base + self.ways],
+                    way,
+                );
                 true
             }
             None => false,
@@ -177,8 +231,7 @@ impl SetAssocCache {
         let set = self.set_of(line);
         match self.find(line) {
             Some(way) => {
-                let idx = set * self.cfg.ways() + way;
-                self.lines[idx].dirty = true;
+                self.dirty[set] |= 1u64 << way;
                 true
             }
             None => false,
@@ -189,7 +242,7 @@ impl SetAssocCache {
     /// (invalid ways first). Returns the displaced line, if any.
     ///
     /// The hierarchy uses this for core caches; the LLC under TLA policies
-    /// uses the explicit [`SetAssocCache::victim_order`] path instead.
+    /// uses the explicit [`SetAssocCache::victim_order_into`] path instead.
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
         self.fill_with_cores(line, dirty, CoreBitmap::EMPTY)
     }
@@ -210,10 +263,9 @@ impl SetAssocCache {
         let way = match self.invalid_way(set) {
             Some(w) => w,
             None => {
-                let range = self.set_range(set);
-
-                self.repl
-                    .victim(set, &self.lines[range])
+                let base = set * self.ways;
+                self.replacer
+                    .victim(set, self.valid[set], &self.repl[base..base + self.ways])
                     .expect("full set must have a victim")
             }
         };
@@ -222,46 +274,95 @@ impl SetAssocCache {
         evicted
     }
 
+    /// Bitmask covering all ways of a set.
+    fn way_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
     /// First invalid way of `set`, if any.
     pub fn invalid_way(&self, set: usize) -> Option<usize> {
-        self.lines[self.set_range(set)]
-            .iter()
-            .position(|l| !l.valid)
+        let inv = !self.valid[set] & self.way_mask();
+        if inv == 0 {
+            None
+        } else {
+            Some(inv.trailing_zeros() as usize)
+        }
     }
 
     /// Valid ways of `set` in eviction-priority order (element 0 = victim,
     /// element 1 = ECI's "next LRU line", ...), with their line addresses.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`SetAssocCache::victim_order_into`]; tests use it, the hierarchy's
+    /// miss path reuses a scratch buffer instead.
     pub fn victim_order(&mut self, set: usize) -> Vec<(usize, LineAddr)> {
-        let range = self.set_range(set);
-        let lines = &self.lines[range.clone()];
-        self.repl
-            .order(set, lines)
-            .into_iter()
-            .map(|w| (w, lines[w].addr))
-            .collect()
+        let mut out = Vec::new();
+        self.victim_order_into(set, &mut out);
+        out
+    }
+
+    /// Writes the valid ways of `set` in eviction-priority order into `out`
+    /// (cleared first). With a reused buffer the call is allocation-free in
+    /// steady state.
+    pub fn victim_order_into(&mut self, set: usize, out: &mut Vec<(usize, LineAddr)>) {
+        out.clear();
+        let base = set * self.ways;
+        let mut ways = std::mem::take(&mut self.way_scratch);
+        self.replacer.order_into(
+            set,
+            self.valid[set],
+            &self.repl[base..base + self.ways],
+            &mut ways,
+        );
+        out.extend(ways.iter().map(|&w| (w, self.addrs[base + w])));
+        self.way_scratch = ways;
+    }
+
+    /// The way the policy would evict next and its line address, without
+    /// materializing the full order. Returns `None` if the set is empty.
+    pub fn victim_way(&mut self, set: usize) -> Option<(usize, LineAddr)> {
+        let base = set * self.ways;
+        let w = self
+            .replacer
+            .victim(set, self.valid[set], &self.repl[base..base + self.ways])?;
+        Some((w, self.addrs[base + w]))
     }
 
     /// Evicts the line in (`set`, `way`) if valid, returning it. Updates
     /// eviction/writeback counters and lets the policy age the set.
     pub fn evict_way(&mut self, set: usize, way: usize) -> Option<Evicted> {
-        let range = self.set_range(set);
-        let idx = range.start + way;
-        if !self.lines[idx].valid {
+        let bit = 1u64 << way;
+        if self.valid[set] & bit == 0 {
             return None;
         }
-        let lr = range.clone();
-        self.repl.on_evict(set, &mut self.lines[lr], way);
-        let l = self.lines[idx];
-        self.lines[idx] = LineState::INVALID;
+        let base = set * self.ways;
+        self.replacer.on_evict(
+            set,
+            self.valid[set],
+            &mut self.repl[base..base + self.ways],
+            way,
+        );
+        let idx = base + way;
+        let dirty = self.dirty[set] & bit != 0;
+        let ev = Evicted {
+            addr: self.addrs[idx],
+            dirty,
+            cores: self.cores[idx],
+        };
+        self.valid[set] &= !bit;
+        self.dirty[set] &= !bit;
+        self.tag[set] &= !bit;
+        self.repl[idx] = 0;
+        self.cores[idx] = CoreBitmap::EMPTY;
         self.stats.evictions += 1;
-        if l.dirty {
+        if dirty {
             self.stats.writebacks += 1;
         }
-        Some(Evicted {
-            addr: l.addr,
-            dirty: l.dirty,
-            cores: l.cores,
-        })
+        Some(ev)
     }
 
     /// Fills `line` into an explicit (`set`, `way`) slot, which must be
@@ -279,20 +380,27 @@ impl SetAssocCache {
         cores: CoreBitmap,
     ) {
         debug_assert_eq!(self.set_of(line), set, "line filled into wrong set");
-        let range = self.set_range(set);
-        let idx = range.start + way;
-        debug_assert!(!self.lines[idx].valid, "fill into occupied way");
-        self.lines[idx] = LineState {
-            addr: line,
-            valid: true,
-            dirty,
-            cores,
-            tag: false,
-            repl: 0,
-        };
+        let bit = 1u64 << way;
+        debug_assert!(self.valid[set] & bit == 0, "fill into occupied way");
+        let base = set * self.ways;
+        let idx = base + way;
+        self.addrs[idx] = line;
+        self.repl[idx] = 0;
+        self.cores[idx] = cores;
+        self.valid[set] |= bit;
+        if dirty {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
+        }
+        self.tag[set] &= !bit;
         self.stats.fills += 1;
-        let lr = range.clone();
-        self.repl.on_fill(set, &mut self.lines[lr], way);
+        self.replacer.on_fill(
+            set,
+            self.valid[set],
+            &mut self.repl[base..base + self.ways],
+            way,
+        );
     }
 
     /// Invalidates `line` if present, returning its state (dirtiness matters
@@ -309,7 +417,11 @@ impl SetAssocCache {
         let set = self.set_of(line);
         match self.find(line) {
             Some(way) => {
-                self.lines[set * self.cfg.ways() + way].tag = tag;
+                if tag {
+                    self.tag[set] |= 1u64 << way;
+                } else {
+                    self.tag[set] &= !(1u64 << way);
+                }
                 true
             }
             None => false,
@@ -321,9 +433,9 @@ impl SetAssocCache {
     pub fn take_tag(&mut self, line: LineAddr) -> Option<bool> {
         let set = self.set_of(line);
         let way = self.find(line)?;
-        let idx = set * self.cfg.ways() + way;
-        let old = self.lines[idx].tag;
-        self.lines[idx].tag = false;
+        let bit = 1u64 << way;
+        let old = self.tag[set] & bit != 0;
+        self.tag[set] &= !bit;
         Some(old)
     }
 
@@ -333,8 +445,7 @@ impl SetAssocCache {
         let set = self.set_of(line);
         match self.find(line) {
             Some(way) => {
-                let idx = set * self.cfg.ways() + way;
-                self.lines[idx].cores.insert(core);
+                self.cores[set * self.ways + way].insert(core);
                 true
             }
             None => false,
@@ -348,7 +459,7 @@ impl SetAssocCache {
         let set = self.set_of(line);
         match self.find(line) {
             Some(way) => {
-                self.lines[set * self.cfg.ways() + way].cores = CoreBitmap::EMPTY;
+                self.cores[set * self.ways + way] = CoreBitmap::EMPTY;
                 true
             }
             None => false,
@@ -358,19 +469,38 @@ impl SetAssocCache {
     /// Directory bits of `line`, if present.
     pub fn sharers(&self, line: LineAddr) -> Option<CoreBitmap> {
         let set = self.set_of(line);
-        self.find(line)
-            .map(|way| self.lines[set * self.cfg.ways() + way].cores)
+        self.find(line).map(|way| self.cores[set * self.ways + way])
     }
 
-    /// Number of valid lines currently held (O(capacity); for tests and
+    /// Number of valid lines currently held (O(sets); for tests and
     /// reports, not the hot path).
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
     }
 
-    /// Iterates over all valid lines (for invariant checks in tests).
-    pub fn iter_valid(&self) -> impl Iterator<Item = &LineState> {
-        self.lines.iter().filter(|l| l.valid)
+    /// Iterates over all valid lines (for invariant checks in tests),
+    /// assembling a by-value [`LineState`] view per line.
+    pub fn iter_valid(&self) -> impl Iterator<Item = LineState> + '_ {
+        self.valid.iter().enumerate().flat_map(move |(set, &v)| {
+            let base = set * self.ways;
+            let mut bits = v;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let w = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w)
+            })
+            .map(move |w| LineState {
+                addr: self.addrs[base + w],
+                valid: true,
+                dirty: self.dirty[set] & (1u64 << w) != 0,
+                cores: self.cores[base + w],
+                tag: self.tag[set] & (1u64 << w) != 0,
+                repl: self.repl[base + w],
+            })
+        })
     }
 }
 
@@ -461,6 +591,37 @@ mod tests {
         let order = c.victim_order(0);
         let addrs: Vec<u64> = order.iter().map(|(_, a)| a.raw()).collect();
         assert_eq!(addrs, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn victim_order_into_reuses_buffer() {
+        let mut c = small(Policy::Lru, 1, 4);
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), false);
+        }
+        let mut buf = Vec::with_capacity(4);
+        c.victim_order_into(0, &mut buf);
+        let first: Vec<u64> = buf.iter().map(|(_, a)| a.raw()).collect();
+        c.touch(LineAddr::new(0));
+        c.victim_order_into(0, &mut buf);
+        let second: Vec<u64> = buf.iter().map(|(_, a)| a.raw()).collect();
+        assert_eq!(first, vec![0, 1, 2, 3]);
+        assert_eq!(second, vec![1, 2, 3, 0]);
+        assert!(buf.capacity() >= 4, "buffer survives across calls");
+    }
+
+    #[test]
+    fn victim_way_matches_order_head() {
+        let mut c = small(Policy::Nru, 1, 4);
+        for i in 0..4 {
+            c.fill(LineAddr::new(i), false);
+        }
+        c.touch(LineAddr::new(2));
+        let order = c.victim_order(0);
+        assert_eq!(c.victim_way(0), order.first().copied());
+        // Empty set has no victim.
+        let mut e = small(Policy::Nru, 1, 2);
+        assert_eq!(e.victim_way(0), None);
     }
 
     #[test]
@@ -568,5 +729,21 @@ mod tests {
         for l in c.iter_valid() {
             assert_eq!(c.set_of(l.addr), (l.addr.raw() % 4) as usize);
         }
+    }
+
+    #[test]
+    fn sixty_four_way_set_works() {
+        // The bitmap layout's edge case: a full 64-way set (way 63's bit is
+        // the sign bit; `way_mask` must not overflow).
+        let mut c = small(Policy::Lru, 1, 64);
+        for i in 0..64u64 {
+            c.fill(LineAddr::new(i), false);
+        }
+        assert_eq!(c.occupancy(), 64);
+        assert_eq!(c.invalid_way(0), None);
+        assert!(c.probe(LineAddr::new(63)));
+        let ev = c.fill(LineAddr::new(64), false).unwrap();
+        assert_eq!(ev.addr, LineAddr::new(0));
+        assert!(c.probe(LineAddr::new(64)));
     }
 }

@@ -73,6 +73,8 @@ pub struct CacheHierarchy {
     rng: SmallRng,
     /// Reusable buffer for prefetcher output.
     pf_buf: Vec<LineAddr>,
+    /// Reusable victim-order buffer so the LLC miss path allocates nothing.
+    order_buf: Vec<(usize, LineAddr)>,
     /// Installed telemetry sink, if any.
     sink: SinkSlot,
     /// Global instruction clock stamped onto telemetry events; advanced by
@@ -109,6 +111,7 @@ impl CacheHierarchy {
             global: GlobalStats::default(),
             rng: SmallRng::seed_from_u64(cfg.seed_value().wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             pf_buf: Vec::with_capacity(8),
+            order_buf: Vec::with_capacity(cfg.llc().ways()),
             sink: SinkSlot::default(),
             now_instr: 0,
         }
@@ -261,8 +264,10 @@ impl CacheHierarchy {
             pf.on_l2_miss(line, &mut pf_lines);
         }
 
-        // LLC and beyond.
-        let src = self.llc_demand(core, line);
+        // LLC and beyond. An exclusive-LLC hit surrenders the line to the
+        // core caches along with its dirty bit: the upward fill must carry
+        // that dirtiness or the eventual writeback is silently lost.
+        let (src, dirty_up) = self.llc_demand(core, line);
 
         // Fill the private caches. In the exclusive hierarchy new lines are
         // "inserted into the core caches first" (§IV-A): they go to the L1
@@ -270,16 +275,11 @@ impl CacheHierarchy {
         if self.inclusion != InclusionPolicy::Exclusive {
             self.fill_l2(core, line);
         }
-        self.fill_l1(core, line, is_ifetch, write);
+        self.fill_l1(core, line, is_ifetch, write || dirty_up);
 
-        // Issue the prefetches into the L2.
+        // Issue the prefetches into the L2 (accounting lives in
+        // `prefetch`, which knows whether a request actually went out).
         for pl in pf_lines.drain(..) {
-            self.global.prefetches += 1;
-            self.emit(
-                self.event(EventKind::Prefetch)
-                    .with_core(core)
-                    .with_level(CacheLevel::L2),
-            );
             self.prefetch(core, pl);
         }
         self.pf_buf = pf_lines;
@@ -291,16 +291,20 @@ impl CacheHierarchy {
     // LLC demand path
     // ------------------------------------------------------------------
 
-    fn llc_demand(&mut self, core: CoreId, line: LineAddr) -> DataSource {
+    /// Returns where the data came from and whether a dirty copy moved up
+    /// out of the LLC with it (exclusive hits only): the caller must fill
+    /// the L1 dirty in that case, mirroring how `handle_l1_victim` keeps
+    /// dirtiness alive on the way down.
+    fn llc_demand(&mut self, core: CoreId, line: LineAddr) -> (DataSource, bool) {
         let ci = core.index();
         self.per_core[ci].llc_accesses += 1;
 
         if self.inclusion == InclusionPolicy::Exclusive {
             if self.llc.touch(line) {
                 // Exclusive hit: the line moves up into the core caches and
-                // leaves the LLC.
-                self.llc.invalidate(line);
-                return DataSource::Llc;
+                // leaves the LLC, taking its dirty bit with it.
+                let dirty = self.llc.invalidate(line).is_some_and(|ev| ev.dirty);
+                return (DataSource::Llc, dirty);
             }
             self.per_core[ci].llc_misses += 1;
             self.per_core[ci].memory_accesses += 1;
@@ -308,7 +312,7 @@ impl CacheHierarchy {
             // about the other cores' caches: coherence must probe them.
             self.global.snoop_probes += self.cores.len() as u64 - 1;
             // Exclusive miss: memory data bypasses the LLC.
-            return DataSource::Memory;
+            return (DataSource::Memory, false);
         }
 
         if self.llc.touch(line) {
@@ -326,7 +330,7 @@ impl CacheHierarchy {
                 }
             }
             self.llc.add_sharer(line, core);
-            return DataSource::Llc;
+            return (DataSource::Llc, false);
         }
         self.per_core[ci].llc_misses += 1;
         if self.inclusion == InclusionPolicy::NonInclusive {
@@ -344,13 +348,13 @@ impl CacheHierarchy {
                 let mut cores = entry.cores;
                 cores.insert(core);
                 self.insert_into_llc(line, entry.dirty, cores);
-                return DataSource::Llc;
+                return (DataSource::Llc, false);
             }
         }
 
         self.per_core[ci].memory_accesses += 1;
         self.insert_into_llc(line, false, CoreBitmap::single(core));
-        DataSource::Memory
+        (DataSource::Memory, false)
     }
 
     /// Inserts `line` into the LLC, running the configured TLA victim
@@ -364,7 +368,7 @@ impl CacheHierarchy {
             // LRU line" is the set's current replacement victim (Fig. 3c —
             // 'I' is evicted, 'a' is early-invalidated).
             if self.tla == TlaPolicy::Eci {
-                if let Some(&(_, target)) = self.llc.victim_order(set).first() {
+                if let Some((_, target)) = self.llc.victim_way(set) {
                     if target != line {
                         self.eci_invalidate(target);
                     }
@@ -373,7 +377,8 @@ impl CacheHierarchy {
             return;
         }
 
-        let order = self.llc.victim_order(set);
+        let mut order = std::mem::take(&mut self.order_buf);
+        self.llc.victim_order_into(set, &mut order);
         debug_assert!(!order.is_empty());
 
         let chosen = match self.tla {
@@ -408,6 +413,8 @@ impl CacheHierarchy {
                 self.eci_invalidate(target);
             }
         }
+
+        self.order_buf = order;
     }
 
     /// QBS victim selection: walk candidates in replacement order, querying
@@ -453,12 +460,21 @@ impl CacheHierarchy {
             }
         }
         // Every line in the set is resident in a core cache (only possible
-        // with toy geometries): fall back to the original victim.
+        // when the core caches cover the set, i.e. toy geometries or very
+        // low associativity). Evict the *last* candidate: the walk just
+        // re-promoted every line in walk order, so the recency stack now
+        // mirrors the old victim order and the last candidate was the
+        // set's most-recently-used line before the miss. Evicting it is
+        // the same call a thrash-protecting policy makes when a working
+        // set exceeds the cache — sacrifice the newest line, keep the
+        // established ones — and, unlike evicting candidate 0, it does not
+        // throw away the coldest line QBS queried first and deliberately
+        // protected (§III-C keeps query-rejected LRU lines resident).
         self.global.qbs_limit_hits += 1;
         if let Some(s) = set {
             self.emit(self.event(EventKind::QbsLimitHit).with_set(s));
         }
-        0
+        order.len() - 1
     }
 
     /// Sends an early invalidation for `target` to the cores in its
@@ -711,15 +727,27 @@ impl CacheHierarchy {
 
     /// Runs one hardware prefetch: fills the L2 (not the L1s), going through
     /// the LLC like any other request but without touching demand counters.
+    /// Prefetches that find the line already L2-resident are dropped here
+    /// and never counted: `global.prefetches` is lines actually requested
+    /// below the L2, not lines the prefetcher nominated.
     fn prefetch(&mut self, core: CoreId, line: LineAddr) {
         let ci = core.index();
         if self.cores[ci].l2.touch_prefetch(line) {
             return;
         }
+        self.global.prefetches += 1;
+        self.emit(
+            self.event(EventKind::Prefetch)
+                .with_core(core)
+                .with_level(CacheLevel::L2),
+        );
+        let mut dirty = false;
         match self.inclusion {
             InclusionPolicy::Exclusive => {
                 if self.llc.touch_prefetch(line) {
-                    self.llc.invalidate(line);
+                    // The line leaves the LLC for the L2; keep its dirty
+                    // bit alive in the upward fill.
+                    dirty = self.llc.invalidate(line).is_some_and(|ev| ev.dirty);
                 }
                 // On LLC miss the prefetched data bypasses the LLC.
             }
@@ -740,7 +768,7 @@ impl CacheHierarchy {
                 }
             }
         }
-        let ev = self.cores[ci].l2.fill(line, false);
+        let ev = self.cores[ci].l2.fill(line, dirty);
         if let Some(e) = ev {
             self.handle_l2_victim(core, e);
         }
@@ -1360,6 +1388,83 @@ mod tests {
                 assert_eq!(probes, 0, "{mode:?} is a natural snoop filter");
             }
         }
+    }
+
+    #[test]
+    fn exclusive_llc_hit_preserves_dirty_bit() {
+        // Regression: an exclusive-LLC hit used to discard the `Evicted`
+        // returned by `invalidate`, so a dirty line moved up *clean* and
+        // its writeback vanished. The dirty bit must survive the full
+        // round trip L1 -> L2 -> LLC -> L1 and still reach the writeback
+        // counter when the line finally dies.
+        let mut h = tiny_mode(InclusionPolicy::Exclusive);
+        store(&mut h, 0, 1); // the only store in this test
+        for x in 2..=5 {
+            load(&mut h, 0, x); // walk line 1 down: L1 -> L2 -> LLC (dirty)
+        }
+        assert!(h.llc_holds(LineAddr::new(1)));
+        // Exclusive hit: the line moves back up and must come up dirty.
+        assert_eq!(load(&mut h, 0, 1), DataSource::Llc);
+        assert!(!h.llc_holds(LineAddr::new(1)));
+        assert_eq!(h.find_exclusion_violation(), None);
+        // Thrash the whole hierarchy with clean lines: the one dirty line
+        // must be written back exactly once on its way out.
+        for x in 10..30 {
+            load(&mut h, 0, x);
+        }
+        assert!(!h.core_holds(CoreId::new(0), LineAddr::new(1)));
+        assert!(!h.llc_holds(LineAddr::new(1)));
+        assert_eq!(
+            h.global_stats().llc_writebacks,
+            1,
+            "the dirty bit was lost on the upward move"
+        );
+    }
+
+    #[test]
+    fn qbs_exhausted_set_evicts_last_candidate() {
+        // Regression: when every candidate in the set is core-resident the
+        // fallback used to return index 0 — evicting the coldest line the
+        // walk had just promoted to MRU. It must evict the *last*
+        // candidate instead.
+        let cfg = HierarchyConfig::tiny_fig3().cores(2).tla(TlaPolicy::qbs());
+        let mut h = CacheHierarchy::new(&cfg);
+        load(&mut h, 0, 1);
+        load(&mut h, 0, 2);
+        load(&mut h, 1, 3);
+        load(&mut h, 1, 4);
+        // LLC (LRU, 4-entry) holds 1,2,3,4 in that recency order, and
+        // every line is still resident in a core cache: the QBS walk
+        // rejects all four candidates.
+        load(&mut h, 0, 5);
+        let g = h.global_stats();
+        assert_eq!(g.qbs_limit_hits, 1, "full-set rejection must fall back");
+        assert_eq!(g.qbs_rejections, 4);
+        assert!(g.qbs_queries <= g.qbs_rejections + g.llc_evictions);
+        // Victim order was [1, 2, 3, 4]: the last candidate (4) dies, the
+        // first (1) survives with the MRU grant the walk gave it.
+        assert!(h.llc_holds(LineAddr::new(1)), "candidate 0 must survive");
+        assert!(!h.llc_holds(LineAddr::new(4)), "last candidate must die");
+        assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn prefetch_counter_skips_l2_resident_lines() {
+        // Regression: `access()` used to count a prefetch (and emit its
+        // event) before `prefetch()` noticed the line was already in the
+        // L2. The counter must equal lines actually requested below the
+        // L2, i.e. the L2's prefetch *misses*, not its prefetch lookups.
+        let cfg = HierarchyConfig::scaled(1, 8);
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..64u64 {
+            load(&mut h, 0, i); // sequential stream: windows overlap
+        }
+        let l2 = h.l2(CoreId::new(0)).stats();
+        assert!(
+            l2.prefetch_accesses > l2.prefetch_misses,
+            "stream overlap must nominate some already-resident lines"
+        );
+        assert_eq!(h.global_stats().prefetches, l2.prefetch_misses);
     }
 
     #[test]

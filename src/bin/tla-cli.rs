@@ -5,26 +5,30 @@
 //! tla-cli table1 [options]                       # isolated MPKI table
 //! tla-cli run --mix lib,sje --policy qbs [opts]  # one run
 //! tla-cli compare --mix lib,sje [opts]           # all policies on one mix
+//! tla-cli bench [opts]                           # throughput benchmark
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
-//!          --jobs <n>
+//!          --jobs <n>  --baseline <path>  --gate <pct>  --target-ms <n>
 //! ```
 
 use std::process::ExitCode;
+use tla::bench::time_it;
 use tla::sim::{mpki_table, run_policy_reports, MixRun, PolicySpec, RunReport, SimConfig, Table};
 use tla::telemetry::json::JsonValue;
 use tla::workloads::{table2_mixes, SpecApp};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tla-cli <list|table1|run|compare> [options]\n\
+        "usage: tla-cli <list|table1|run|compare|bench> [options]\n\
          \n\
          commands:\n\
          \x20 list                    available apps, mixes and policies\n\
          \x20 table1                  isolated L1/L2/LLC MPKI (Table I)\n\
          \x20 run     --mix a,b ...   one simulation run\n\
          \x20 compare --mix a,b ...   every policy on one mix\n\
+         \x20 bench                   simulator throughput over a fixed\n\
+         \x20                         policy x core-count matrix\n\
          \n\
          options:\n\
          \x20 --mix <apps|MIX_nn>     comma-separated app names (see `list`)\n\
@@ -42,7 +46,15 @@ fn usage() -> ExitCode {
          \x20                         (with --json; default 100000)\n\
          \x20 --jobs <n>              worker threads for batch commands\n\
          \x20                         (default: all cores; results are\n\
-         \x20                         bit-identical for any value)"
+         \x20                         bit-identical for any value)\n\
+         \n\
+         bench options:\n\
+         \x20 --json <path>           write the BENCH_*.json report\n\
+         \x20 --baseline <path>       committed BENCH_*.json to gate against\n\
+         \x20 --gate <pct>            max %% throughput regression per entry\n\
+         \x20                         before failing (default 10)\n\
+         \x20 --target-ms <n>         wall-clock budget per matrix entry\n\
+         \x20                         (default 800)"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +67,9 @@ struct Options {
     llc_mb: Option<usize>,
     json: Option<String>,
     window: Option<u64>,
+    baseline: Option<String>,
+    gate_pct: f64,
+    target_ms: u64,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
@@ -87,16 +102,17 @@ fn parse_mix(spec: &str) -> Option<Vec<SpecApp>> {
         .collect()
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+fn parse_options(args: &[String], base_cfg: SimConfig) -> Result<Options, String> {
     let mut opts = Options {
         mix: Vec::new(),
         policy: None,
-        cfg: SimConfig::scaled_down()
-            .warmup(800_000)
-            .instructions(300_000),
+        cfg: base_cfg,
         llc_mb: None,
         json: None,
         window: None,
+        baseline: None,
+        gate_pct: 10.0,
+        target_ms: 800,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -154,6 +170,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--jobs must be positive".into());
                 }
                 opts.cfg = opts.cfg.jobs(v);
+            }
+            "--baseline" => {
+                opts.baseline = Some(value("--baseline")?);
+            }
+            "--gate" => {
+                let v: f64 = value("--gate")?.parse().map_err(|e| format!("{e}"))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err("--gate must be positive".into());
+                }
+                opts.gate_pct = v;
+            }
+            "--target-ms" => {
+                let v: u64 = value("--target-ms")?.parse().map_err(|e| format!("{e}"))?;
+                if v == 0 {
+                    return Err("--target-ms must be positive".into());
+                }
+                opts.target_ms = v;
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -312,12 +345,230 @@ fn cmd_compare(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The fixed bench matrix: the paper's four management policies crossed
+/// with 1/2/4-core LLC-miss-heavy mixes (mcf and libquantum are the two
+/// highest-LLC-MPKI apps of Table I, so every entry exercises the LLC miss
+/// path the scratch-buffer rewrite targets).
+fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
+    use SpecApp::{Libquantum, Mcf};
+    let mixes: [(&str, Vec<SpecApp>); 3] = [
+        ("1core", vec![Mcf]),
+        ("2core", vec![Mcf, Libquantum]),
+        ("4core-llcmiss", vec![Mcf, Mcf, Libquantum, Libquantum]),
+    ];
+    let policies = [
+        ("baseline", PolicySpec::baseline()),
+        ("tlh-l1", PolicySpec::tlh_l1()),
+        ("eci", PolicySpec::eci()),
+        ("qbs", PolicySpec::qbs()),
+    ];
+    let mut matrix = Vec::new();
+    for (mix_name, apps) in &mixes {
+        for (pol_name, spec) in &policies {
+            matrix.push((format!("{mix_name}/{pol_name}"), apps.clone(), spec.clone()));
+        }
+    }
+    matrix
+}
+
+/// Peak resident set size of this process in kB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// One timed bench-matrix entry. `accesses_per_sec` comes from the fastest
+/// measured batch (noise-robust); `accesses_per_sec_mean` from the whole
+/// measured window.
+struct BenchEntry {
+    name: String,
+    cores: usize,
+    accesses: u64,
+    iters: u64,
+    wall_s: f64,
+    accesses_per_sec: f64,
+    accesses_per_sec_mean: f64,
+}
+
+impl BenchEntry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::Str(self.name.clone())),
+            ("cores", JsonValue::Int(self.cores as u64)),
+            ("accesses", JsonValue::Int(self.accesses)),
+            ("iters", JsonValue::Int(self.iters)),
+            ("wall_s", JsonValue::Num(self.wall_s)),
+            ("accesses_per_sec", JsonValue::Num(self.accesses_per_sec)),
+            (
+                "accesses_per_sec_mean",
+                JsonValue::Num(self.accesses_per_sec_mean),
+            ),
+        ])
+    }
+}
+
+/// Compares fresh entries against a committed baseline report, failing on
+/// any per-entry throughput regression beyond `gate_pct`.
+fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let doc = JsonValue::parse(&text).map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    let base_entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("baseline {baseline_path}: no 'entries' array"))?;
+    let mut failures = Vec::new();
+    for e in entries {
+        let Some(base) = base_entries
+            .iter()
+            .find(|b| b.get("name").and_then(JsonValue::as_str) == Some(e.name.as_str()))
+            .and_then(|b| b.get("accesses_per_sec"))
+            .and_then(JsonValue::as_f64)
+        else {
+            eprintln!("gate: no baseline entry for {} — skipping", e.name);
+            continue;
+        };
+        let delta_pct = (e.accesses_per_sec / base - 1.0) * 100.0;
+        let verdict = if delta_pct < -gate_pct {
+            failures.push(format!(
+                "{}: {:.0} acc/s vs baseline {:.0} ({:+.1}% < -{gate_pct}%)",
+                e.name, e.accesses_per_sec, base, delta_pct
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("gate {:20} {delta_pct:+7.1}%  {verdict}", e.name);
+        if delta_pct > gate_pct {
+            eprintln!(
+                "gate: {} improved {delta_pct:+.1}% — consider re-blessing the baseline",
+                e.name
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "throughput regressed beyond {gate_pct}%:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+fn cmd_bench(opts: &Options) -> ExitCode {
+    let cfg = &opts.cfg;
+    eprintln!(
+        "bench: measure={} warmup={} seed={} scale=1/{} target={}ms per entry",
+        cfg.instruction_quota(),
+        cfg.warmup_quota(),
+        cfg.seed_value(),
+        cfg.scale(),
+        opts.target_ms
+    );
+    let t_total = std::time::Instant::now();
+    let mut entries = Vec::new();
+    let mut table = Table::new(&["entry", "cores", "accesses", "iters", "Macc/s"]);
+    for (name, apps, spec) in bench_matrix() {
+        // One untimed run pins the deterministic access count and doubles
+        // as warm-up before `time_it` calibrates its batch size.
+        let r = MixRun::new(cfg, &apps).spec(&spec).run();
+        let accesses: u64 = r
+            .threads
+            .iter()
+            .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
+            .sum();
+        let m = time_it(&name, opts.target_ms, || {
+            let _ = MixRun::new(cfg, &apps).spec(&spec).run();
+        });
+        let accesses_per_sec = accesses as f64 * 1e9 / m.best_nanos_per_iter();
+        let accesses_per_sec_mean = accesses as f64 * 1e9 / m.nanos_per_iter();
+        table.add_row(vec![
+            name.clone(),
+            apps.len().to_string(),
+            accesses.to_string(),
+            m.iters.to_string(),
+            format!("{:.2}", accesses_per_sec / 1e6),
+        ]);
+        entries.push(BenchEntry {
+            name,
+            cores: apps.len(),
+            accesses,
+            iters: m.iters,
+            wall_s: m.nanos as f64 / 1e9,
+            accesses_per_sec,
+            accesses_per_sec_mean,
+        });
+    }
+    print!("{table}");
+    let wall_total = t_total.elapsed().as_secs_f64();
+    let rss = peak_rss_kb();
+    println!(
+        "total {wall_total:.1}s, peak RSS {}",
+        rss.map_or_else(|| "n/a".into(), |kb| format!("{kb} kB"))
+    );
+
+    let mut code = ExitCode::SUCCESS;
+    if let Some(path) = &opts.baseline {
+        if let Err(e) = bench_gate(&entries, path, opts.gate_pct) {
+            eprintln!("error: {e}");
+            code = ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &opts.json {
+        let doc = JsonValue::object([
+            ("schema", JsonValue::Str("tla-bench-report-v1".into())),
+            (
+                "config",
+                JsonValue::object([
+                    ("measure", JsonValue::Int(cfg.instruction_quota())),
+                    ("warmup", JsonValue::Int(cfg.warmup_quota())),
+                    ("seed", JsonValue::Int(cfg.seed_value())),
+                    ("scale", JsonValue::Int(cfg.scale())),
+                    ("target_ms", JsonValue::Int(opts.target_ms)),
+                ]),
+            ),
+            ("wall_s_total", JsonValue::Num(wall_total)),
+            ("peak_rss_kb", rss.map_or(JsonValue::Null, JsonValue::Int)),
+            (
+                "entries",
+                JsonValue::array(entries.iter().map(BenchEntry::to_json)),
+            ),
+        ]);
+        match std::fs::write(path, doc.to_pretty()) {
+            Ok(()) => eprintln!("report written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                code = ExitCode::FAILURE;
+            }
+        }
+    }
+    code
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
-    let opts = match parse_options(rest) {
+    // `bench` wants long measured runs with no warm-up (throughput, not
+    // policy fidelity); the simulation commands keep the paper-flavoured
+    // warm-up defaults. Either way the flags can override.
+    let base_cfg = if cmd == "bench" {
+        SimConfig::scaled_down().warmup(0).instructions(1_000_000)
+    } else {
+        SimConfig::scaled_down()
+            .warmup(800_000)
+            .instructions(300_000)
+    };
+    let opts = match parse_options(rest, base_cfg) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -329,6 +580,7 @@ fn main() -> ExitCode {
         "table1" => cmd_table1(&opts),
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
+        "bench" => cmd_bench(&opts),
         _ => usage(),
     }
 }
@@ -336,6 +588,15 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse_options(args: &[String]) -> Result<Options, String> {
+        super::parse_options(
+            args,
+            SimConfig::scaled_down()
+                .warmup(800_000)
+                .instructions(300_000),
+        )
+    }
 
     #[test]
     fn policy_names_parse() {
@@ -446,5 +707,90 @@ mod tests {
         assert!(err.contains("--json"));
         let err = parse(&["--json", "o", "--window", "0"]).unwrap_err();
         assert!(err.contains("positive"));
+    }
+
+    #[test]
+    fn bench_options_parse() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v)
+        };
+        let o = parse(&[
+            "--baseline",
+            "BENCH_pr3.json",
+            "--gate",
+            "5",
+            "--target-ms",
+            "100",
+        ])
+        .unwrap();
+        assert_eq!(o.baseline.as_deref(), Some("BENCH_pr3.json"));
+        assert_eq!(o.gate_pct, 5.0);
+        assert_eq!(o.target_ms, 100);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.baseline, None);
+        assert_eq!(o.gate_pct, 10.0);
+        assert_eq!(o.target_ms, 800);
+        assert!(parse(&["--gate", "0"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--gate", "nan"]).unwrap_err().contains("positive"));
+        assert!(parse(&["--target-ms", "0"])
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn bench_matrix_shape() {
+        let matrix = bench_matrix();
+        assert_eq!(matrix.len(), 12, "4 policies x 3 core counts");
+        // Names are unique (the gate matches entries by name).
+        let mut names: Vec<&str> = matrix.iter().map(|(n, _, _)| n.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        // The headline LLC-miss-heavy workload is present at 4 cores.
+        assert!(matrix
+            .iter()
+            .any(|(n, apps, _)| n == "4core-llcmiss/baseline" && apps.len() == 4));
+    }
+
+    #[test]
+    fn bench_gate_passes_and_fails() {
+        let dir = std::env::temp_dir().join(format!("tla-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.json");
+        let baseline = JsonValue::object([(
+            "entries",
+            JsonValue::array([JsonValue::object([
+                ("name", JsonValue::Str("1core/baseline".into())),
+                ("accesses_per_sec", JsonValue::Num(1_000_000.0)),
+            ])]),
+        )]);
+        std::fs::write(&path, baseline.to_pretty()).unwrap();
+        let entry = |aps: f64| BenchEntry {
+            name: "1core/baseline".into(),
+            cores: 1,
+            accesses: 1,
+            iters: 1,
+            wall_s: 1.0,
+            accesses_per_sec: aps,
+            accesses_per_sec_mean: aps,
+        };
+        let p = path.to_str().unwrap();
+        // Within the gate: equal, slightly slower, much faster.
+        assert!(bench_gate(&[entry(1_000_000.0)], p, 10.0).is_ok());
+        assert!(bench_gate(&[entry(950_000.0)], p, 10.0).is_ok());
+        assert!(bench_gate(&[entry(2_000_000.0)], p, 10.0).is_ok());
+        // Beyond the gate: fails with the entry named.
+        let err = bench_gate(&[entry(800_000.0)], p, 10.0).unwrap_err();
+        assert!(err.contains("1core/baseline"));
+        // Unknown entries are skipped, not failed.
+        let mut stray = entry(1.0);
+        stray.name = "no-such-entry".into();
+        assert!(bench_gate(&[stray], p, 10.0).is_ok());
+        // Malformed baseline reports an error.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{}").unwrap();
+        assert!(bench_gate(&[entry(1.0)], bad.to_str().unwrap(), 10.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

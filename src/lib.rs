@@ -22,6 +22,8 @@
 //!   run reports ([`tla_telemetry`]).
 //! * [`pool`] — the dependency-free scoped thread pool behind the parallel
 //!   experiment runner ([`tla_pool`]).
+//! * [`bench`] — the offline timing harness shared by the figure benches
+//!   and `tla-cli bench` ([`tla_bench`]).
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 //! assert!(qbs.throughput() >= base.throughput() * 0.95);
 //! ```
 
+pub use tla_bench as bench;
 pub use tla_cache as cache;
 pub use tla_core as core;
 pub use tla_cpu as cpu;

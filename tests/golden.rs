@@ -1,0 +1,51 @@
+//! Golden-output pin for the simulation core.
+//!
+//! Renders the exact JSON document `tla-cli compare --json` writes for a
+//! fixed seed matrix and demands byte equality with the committed golden
+//! file. The matrix spans every inclusion mode and TLA policy so any
+//! behavioural drift in the hot path — intended or not — trips this test.
+//! It was blessed immediately after the PR 3 correctness fixes and pins
+//! the struct-of-arrays / scratch-buffer rewrite as simulation-invariant.
+//!
+//! To re-bless after an *intentional* behaviour change:
+//! `TLA_BLESS=1 cargo test --test golden`.
+
+use std::path::Path;
+
+use tla::sim::{run_policy_reports, PolicySpec, SimConfig};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::SpecApp;
+
+#[test]
+fn compare_json_matches_committed_golden() {
+    let cfg = SimConfig::scaled_down().instructions(25_000).seed(42);
+    let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+    let results = run_policy_reports(&cfg, &mix, &specs, None, Some(5_000));
+    let doc = JsonValue::array(
+        results
+            .iter()
+            .map(|(_, rep)| rep.as_ref().expect("window requested").to_json()),
+    );
+    let rendered = doc.to_pretty();
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compare_pr3.json");
+    if std::env::var_os("TLA_BLESS").is_some() {
+        std::fs::write(&path, rendered.as_bytes()).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run TLA_BLESS=1 cargo test --test golden");
+    assert_eq!(
+        rendered, golden,
+        "compare --json output drifted from the committed golden; if the \
+         change is intentional, re-bless with TLA_BLESS=1"
+    );
+}
