@@ -48,6 +48,19 @@ impl CoreBitmap {
         self.0.count_ones() as usize
     }
 
+    /// The raw bit pattern, for checkpointing.
+    #[must_use]
+    pub fn to_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a bitmap from a raw pattern captured by
+    /// [`to_raw`](CoreBitmap::to_raw).
+    #[must_use]
+    pub fn from_raw(bits: u64) -> Self {
+        CoreBitmap(bits)
+    }
+
     /// Iterates over the cores whose bit is set, in ascending order.
     pub fn iter(self) -> impl Iterator<Item = CoreId> {
         let mut bits = self.0;

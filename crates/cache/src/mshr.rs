@@ -8,6 +8,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::Cycle;
 
 /// A fixed pool of miss-status holding registers tracked by completion time.
@@ -98,6 +99,36 @@ impl MshrFile {
                 break;
             }
         }
+    }
+}
+
+impl Snapshot for MshrFile {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        // The heap is serialized sorted ascending so byte streams are
+        // independent of BinaryHeap's internal layout.
+        let mut inflight: Vec<Cycle> = self.inflight.iter().map(|r| r.0).collect();
+        inflight.sort_unstable();
+        w.write_u64_slice(&inflight);
+        w.write_u64(self.stalls);
+        w.write_u64(self.stall_cycles);
+        w.write_u64(self.issued);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let inflight = r.read_u64_vec()?;
+        if inflight.len() > self.capacity {
+            return Err(SnapshotError::Mismatch(format!(
+                "MSHR pool: snapshot has {} in-flight entries, capacity is {}",
+                inflight.len(),
+                self.capacity
+            )));
+        }
+        self.inflight.clear();
+        self.inflight.extend(inflight.into_iter().map(Reverse));
+        self.stalls = r.read_u64()?;
+        self.stall_cycles = r.read_u64()?;
+        self.issued = r.read_u64()?;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! region, learns the miss direction, and once confirmed issues `degree`
 //! prefetches ahead of the miss stream.
 
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::LineAddr;
 
 /// Lines per 4 KB detection region.
@@ -132,6 +133,48 @@ impl StreamPrefetcher {
                 self.streams[lru] = s;
             }
         }
+    }
+}
+
+impl Snapshot for StreamPrefetcher {
+    // The detector table is ordered state: allocation order decides which
+    // detector matches first, so entries are serialized in Vec order.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.streams.len() as u64);
+        for s in &self.streams {
+            w.write_u64(s.region);
+            w.write_u64(s.last_line.raw());
+            w.write_i64(s.dir);
+            w.write_bool(s.confirmed);
+            w.write_u64(s.lru);
+        }
+        w.write_u64(self.stamp);
+        w.write_u64(self.issued);
+        w.write_u64(self.trainings);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let n = r.read_usize()?;
+        if n > self.cfg.detectors {
+            return Err(SnapshotError::Mismatch(format!(
+                "stream prefetcher: snapshot has {n} detectors, this configuration has {}",
+                self.cfg.detectors
+            )));
+        }
+        self.streams.clear();
+        for _ in 0..n {
+            self.streams.push(Stream {
+                region: r.read_u64()?,
+                last_line: LineAddr::new(r.read_u64()?),
+                dir: r.read_i64()?,
+                confirmed: r.read_bool()?,
+                lru: r.read_u64()?,
+            });
+        }
+        self.stamp = r.read_u64()?;
+        self.issued = r.read_u64()?;
+        self.trainings = r.read_u64()?;
+        Ok(())
     }
 }
 

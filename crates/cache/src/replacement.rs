@@ -20,6 +20,7 @@
 
 use std::fmt;
 use tla_rng::SmallRng;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Maximum re-reference prediction value for the 2-bit RRIP policies.
 const RRPV_MAX: u64 = 3;
@@ -417,6 +418,49 @@ impl Replacer {
             }
             node = parent;
         }
+    }
+}
+
+impl Snapshot for Replacer {
+    // The policy itself and the scratch buffer are configuration/transient
+    // state: the receiver is constructed with its own policy (the warm-start
+    // fan-out deliberately resumes one warm state under *different* LLC
+    // policies), and scratch contents never outlive a call.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.stamp);
+        w.write_u64(self.fills);
+        w.write_i64(i64::from(self.psel));
+        w.write_u64_slice(&self.trees);
+        self.rng.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.stamp = r.read_u64()?;
+        self.fills = r.read_u64()?;
+        let psel = r.read_i64()?;
+        self.psel = i32::try_from(psel)
+            .map_err(|_| SnapshotError::Corrupt(format!("PSEL value {psel} out of range")))?;
+        let trees = r.read_u64_vec()?;
+        // PLRU keeps one tree word per set, every other policy keeps none.
+        // A PLRU replacer can only resume a snapshot taken under PLRU with
+        // the same set count; non-PLRU replacers interchange freely.
+        if trees.len() != self.trees.len() && !trees.is_empty() && !self.trees.is_empty() {
+            return Err(SnapshotError::Mismatch(format!(
+                "PLRU trees: snapshot has {} sets, this cache has {}",
+                trees.len(),
+                self.trees.len()
+            )));
+        }
+        if !self.trees.is_empty() {
+            if trees.is_empty() {
+                // Resuming a non-PLRU snapshot under PLRU: start from the
+                // freshly constructed (all-zero) trees.
+                self.trees.fill(0);
+            } else {
+                self.trees.copy_from_slice(&trees);
+            }
+        }
+        self.rng.read_state(r)
     }
 }
 

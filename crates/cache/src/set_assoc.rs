@@ -3,6 +3,7 @@
 use crate::config::CacheConfig;
 use crate::line::{CoreBitmap, LineState};
 use crate::replacement::Replacer;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::{CoreId, LineAddr};
 
 /// A line displaced from a cache by a fill or an explicit eviction.
@@ -501,6 +502,81 @@ impl SetAssocCache {
                 repl: self.repl[base + w],
             })
         })
+    }
+}
+
+impl Snapshot for CacheStats {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.demand_accesses);
+        w.write_u64(self.demand_misses);
+        w.write_u64(self.prefetch_accesses);
+        w.write_u64(self.prefetch_misses);
+        w.write_u64(self.fills);
+        w.write_u64(self.evictions);
+        w.write_u64(self.writebacks);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.demand_accesses = r.read_u64()?;
+        self.demand_misses = r.read_u64()?;
+        self.prefetch_accesses = r.read_u64()?;
+        self.prefetch_misses = r.read_u64()?;
+        self.fills = r.read_u64()?;
+        self.evictions = r.read_u64()?;
+        self.writebacks = r.read_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for SetAssocCache {
+    // Geometry (sets, ways, the config, the scratch buffer) is rebuilt from
+    // the run configuration; only line metadata, replacement state and
+    // counters travel. All slice lengths are verified against the receiving
+    // geometry so a snapshot from a different cache shape is rejected.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.addrs.len() as u64);
+        for a in &self.addrs {
+            w.write_u64(a.raw());
+        }
+        w.write_u64_slice(&self.repl);
+        w.write_u64(self.cores.len() as u64);
+        for c in &self.cores {
+            w.write_u64(c.to_raw());
+        }
+        w.write_u64_slice(&self.valid);
+        w.write_u64_slice(&self.dirty);
+        w.write_u64_slice(&self.tag);
+        self.replacer.write_state(w);
+        self.stats.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let name = self.cfg.name().to_string();
+        let check = |n: usize, have: usize, what: &str| {
+            if n != have {
+                Err(SnapshotError::Mismatch(format!(
+                    "{name} {what}: snapshot has {n} entries, this geometry has {have}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let n = r.read_usize()?;
+        check(n, self.addrs.len(), "line addresses")?;
+        for a in &mut self.addrs {
+            *a = LineAddr::new(r.read_u64()?);
+        }
+        r.read_u64_slice_into(&mut self.repl, "replacement words")?;
+        let n = r.read_usize()?;
+        check(n, self.cores.len(), "directory bits")?;
+        for c in &mut self.cores {
+            *c = CoreBitmap::from_raw(r.read_u64()?);
+        }
+        r.read_u64_slice_into(&mut self.valid, "valid bitmaps")?;
+        r.read_u64_slice_into(&mut self.dirty, "dirty bitmaps")?;
+        r.read_u64_slice_into(&mut self.tag, "tag bitmaps")?;
+        self.replacer.read_state(r)?;
+        self.stats.read_state(r)
     }
 }
 

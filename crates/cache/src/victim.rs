@@ -7,6 +7,7 @@
 //! hits the victim cache is rescued back into the LLC.
 
 use crate::line::CoreBitmap;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::LineAddr;
 
 /// One parked line.
@@ -122,6 +123,47 @@ impl VictimCache {
             }
             None => false,
         }
+    }
+}
+
+impl Snapshot for VictimCache {
+    // `swap_remove` makes entry order part of the state (it decides future
+    // swap positions), so entries travel in Vec order with their stamps.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.entries.len() as u64);
+        for (e, stamp) in &self.entries {
+            w.write_u64(e.addr.raw());
+            w.write_bool(e.dirty);
+            w.write_u64(e.cores.to_raw());
+            w.write_u64(*stamp);
+        }
+        w.write_u64(self.stamp);
+        w.write_u64(self.hits);
+        w.write_u64(self.lookups);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let n = r.read_usize()?;
+        if n > self.capacity {
+            return Err(SnapshotError::Mismatch(format!(
+                "victim cache: snapshot has {n} entries, capacity is {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let entry = VictimEntry {
+                addr: LineAddr::new(r.read_u64()?),
+                dirty: r.read_bool()?,
+                cores: CoreBitmap::from_raw(r.read_u64()?),
+            };
+            let stamp = r.read_u64()?;
+            self.entries.push((entry, stamp));
+        }
+        self.stamp = r.read_u64()?;
+        self.hits = r.read_u64()?;
+        self.lookups = r.read_u64()?;
+        Ok(())
     }
 }
 

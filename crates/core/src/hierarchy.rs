@@ -11,6 +11,7 @@ use crate::policy::{QbsConfig, TlaPolicy};
 use crate::stats::{GlobalStats, PerCoreStats};
 use tla_cache::{CoreBitmap, SetAssocCache, StreamPrefetcher, VictimCache, VictimEntry};
 use tla_rng::SmallRng;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{EventKind, TelemetryEvent, TelemetrySink};
 use tla_types::{AccessKind, CacheLevel, CoreId, DataSource, LineAddr};
 
@@ -877,6 +878,91 @@ impl CacheHierarchy {
     }
 }
 
+/// Checkpoint coverage for the whole hierarchy.
+///
+/// Serialized: every cache array, the victim cache, the prefetchers, the
+/// per-core and global counters, the TLH filtering RNG and the telemetry
+/// instruction clock. Transient (rebuilt from configuration or run
+/// scoped): `inclusion`, `tla`, the `pf_buf`/`order_buf` scratch buffers
+/// and the telemetry sink. The policy fields are deliberately *not*
+/// pinned: warm-start fan-out resumes one warmed image under several TLA
+/// policies, which is exactly a change of `tla`/LLC replacement on an
+/// otherwise identical state.
+impl Snapshot for CacheHierarchy {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.cores.len());
+        for cc in &self.cores {
+            cc.l1i.write_state(w);
+            cc.l1d.write_state(w);
+            cc.l2.write_state(w);
+            w.write_bool(cc.prefetcher.is_some());
+            if let Some(pf) = cc.prefetcher.as_ref() {
+                pf.write_state(w);
+            }
+        }
+        self.llc.write_state(w);
+        w.write_bool(self.victim.is_some());
+        if let Some(vc) = self.victim.as_ref() {
+            vc.write_state(w);
+        }
+        for pc in &self.per_core {
+            pc.write_state(w);
+        }
+        self.global.write_state(w);
+        self.rng.write_state(w);
+        w.write_u64(self.now_instr);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let n = r.read_usize()?;
+        if n != self.cores.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "hierarchy: snapshot has {n} cores, this configuration has {}",
+                self.cores.len()
+            )));
+        }
+        for cc in &mut self.cores {
+            cc.l1i.read_state(r)?;
+            cc.l1d.read_state(r)?;
+            cc.l2.read_state(r)?;
+            let has_pf = r.read_bool()?;
+            match (has_pf, cc.prefetcher.as_mut()) {
+                (true, Some(pf)) => pf.read_state(r)?,
+                (false, None) => {}
+                (snap, _) => {
+                    return Err(SnapshotError::Mismatch(format!(
+                        "hierarchy: snapshot was taken {} a prefetcher, \
+                         this configuration runs {} one",
+                        if snap { "with" } else { "without" },
+                        if snap { "without" } else { "with" },
+                    )));
+                }
+            }
+        }
+        self.llc.read_state(r)?;
+        let has_vc = r.read_bool()?;
+        match (has_vc, self.victim.as_mut()) {
+            (true, Some(vc)) => vc.read_state(r)?,
+            (false, None) => {}
+            (snap, _) => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "hierarchy: snapshot was taken {} a victim cache, \
+                     this configuration runs {} one",
+                    if snap { "with" } else { "without" },
+                    if snap { "without" } else { "with" },
+                )));
+            }
+        }
+        for pc in &mut self.per_core {
+            pc.read_state(r)?;
+        }
+        self.global.read_state(r)?;
+        self.rng.read_state(r)?;
+        self.now_instr = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1465,6 +1551,102 @@ mod tests {
             "stream overlap must nominate some already-resident lines"
         );
         assert_eq!(h.global_stats().prefetches, l2.prefetch_misses);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identically() {
+        // Warm a hierarchy, snapshot it, restore into a freshly built twin,
+        // then drive both with the same tail: every counter must agree.
+        let cfg = HierarchyConfig::scaled(2, 8).tla(TlaPolicy::tlh_l1_filtered(0.5));
+        let mut h = CacheHierarchy::new(&cfg);
+        let mut rng = tla_rng::SmallRng::seed_from_u64(7);
+        let drive = |h: &mut CacheHierarchy, rng: &mut tla_rng::SmallRng, n: usize| {
+            for _ in 0..n {
+                let core = rng.gen_range(0usize..2);
+                let line = rng.gen_range(0..4096u64);
+                let kind = if rng.gen_bool(0.3) {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                h.access(CoreId::new(core), LineAddr::new(line), kind);
+            }
+        };
+        drive(&mut h, &mut rng, 3000);
+        h.set_now(3000);
+
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut twin = CacheHierarchy::new(&cfg);
+        let mut r = SnapshotReader::new(&bytes).expect("valid snapshot");
+        twin.read_state(&mut r).expect("restore succeeds");
+
+        let mut rng_a = rng.clone();
+        let mut rng_b = rng;
+        drive(&mut h, &mut rng_a, 2000);
+        drive(&mut twin, &mut rng_b, 2000);
+        for c in 0..2 {
+            assert_eq!(
+                h.per_core_stats(CoreId::new(c)),
+                twin.per_core_stats(CoreId::new(c)),
+                "core {c} counters diverged after resume"
+            );
+        }
+        assert_eq!(h.global_stats(), twin.global_stats());
+        assert_eq!(h.find_inclusion_violation(), None);
+        assert_eq!(twin.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatched_configuration() {
+        let mut h = CacheHierarchy::new(&HierarchyConfig::tiny_fig3().cores(2));
+        fig3_pattern(&mut h);
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.finish();
+
+        // Wrong core count.
+        let mut one = CacheHierarchy::new(&HierarchyConfig::tiny_fig3());
+        let mut r = SnapshotReader::new(&bytes).expect("valid snapshot");
+        let err = one.read_state(&mut r).unwrap_err();
+        assert!(matches!(err, tla_snapshot::SnapshotError::Mismatch(_)));
+        assert!(err.to_string().contains("cores"), "got: {err}");
+
+        // Victim-cache presence differs.
+        let mut vc = CacheHierarchy::new(
+            &HierarchyConfig::tiny_fig3()
+                .cores(2)
+                .victim_cache(VictimCacheConfig { entries: 4 }),
+        );
+        let mut r = SnapshotReader::new(&bytes).expect("valid snapshot");
+        let err = vc.read_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("victim cache"), "got: {err}");
+    }
+
+    #[test]
+    fn snapshot_resumes_across_policies() {
+        // The fan-out contract: a baseline-warmed image restores into a
+        // hierarchy running a different TLA policy.
+        let warm_cfg = HierarchyConfig::tiny_fig3().cores(2);
+        let mut h = CacheHierarchy::new(&warm_cfg);
+        fig3_pattern(&mut h);
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.finish();
+
+        for tla in [TlaPolicy::tlh_l1(), TlaPolicy::eci(), TlaPolicy::qbs()] {
+            let mut t = CacheHierarchy::new(&warm_cfg.clone().tla(tla));
+            let mut r = SnapshotReader::new(&bytes).expect("valid snapshot");
+            t.read_state(&mut r).expect("cross-policy restore succeeds");
+            // The restored image carries the warm contents.
+            assert!(
+                t.llc_holds(LineAddr::new(1)) || t.core_holds(CoreId::new(0), LineAddr::new(1))
+            );
+            fig3_pattern(&mut t);
+            assert_eq!(t.find_inclusion_violation(), None, "policy {tla}");
+        }
     }
 
     #[test]

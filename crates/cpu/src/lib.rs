@@ -35,6 +35,7 @@
 //! ```
 
 use tla_cache::MshrFile;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::{AccessKind, Cycle, DataSource};
 
 /// Load-to-use latencies of the hierarchy (§IV-A).
@@ -253,6 +254,35 @@ impl CoreModel {
         self.rob_idx = (self.rob_idx + 1) % self.cfg.rob_entries;
         self.retired += 1;
         retire
+    }
+}
+
+impl Snapshot for CoreModel {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64_slice(&self.rob);
+        w.write_usize(self.rob_idx);
+        w.write_u64(self.retired);
+        w.write_u64(self.fetch_cycle);
+        w.write_usize(self.fetch_slot);
+        w.write_u64(self.last_retire);
+        self.mshr.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.read_u64_slice_into(&mut self.rob, "ROB ring buffer")?;
+        let rob_idx = r.read_usize()?;
+        if rob_idx >= self.cfg.rob_entries {
+            return Err(SnapshotError::Mismatch(format!(
+                "ROB index {rob_idx} out of range for {} entries",
+                self.cfg.rob_entries
+            )));
+        }
+        self.rob_idx = rob_idx;
+        self.retired = r.read_u64()?;
+        self.fetch_cycle = r.read_u64()?;
+        self.fetch_slot = r.read_usize()?;
+        self.last_retire = r.read_u64()?;
+        self.mshr.read_state(r)
     }
 }
 

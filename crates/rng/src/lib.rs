@@ -59,6 +59,20 @@ impl SmallRng {
         SmallRng { s }
     }
 
+    /// Rebuilds a generator from a raw state captured by
+    /// [`state`](SmallRng::state), e.g. when resuming a checkpoint.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        SmallRng { s }
+    }
+
+    /// The raw xoshiro256++ state, for checkpointing. Feeding it back
+    /// through [`from_state`](SmallRng::from_state) continues the exact
+    /// stream.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -22,6 +22,7 @@
 //! assert!(result.throughput() > 0.0);
 //! ```
 
+mod checkpoint;
 mod config;
 mod policyspec;
 mod report;
@@ -29,12 +30,15 @@ mod run;
 mod runner;
 mod sched;
 
+pub use checkpoint::{Checkpoint, CheckpointInfo};
 pub use config::SimConfig;
 pub use policyspec::PolicySpec;
 pub use report::{Table, TableError};
 pub use run::{MixRun, RunResult, RunTelemetry, ThreadResult};
 pub use runner::{
     mpki_table, normalized_throughput, run_alone, run_alone_many, run_mix_suite,
-    run_policy_reports, SuiteResult, Table1Row,
+    run_mix_suite_warm_start, run_policy_reports, run_policy_reports_warm_start, SuiteResult,
+    Table1Row,
 };
+pub use tla_snapshot::SnapshotError;
 pub use tla_telemetry::{RunReport, Window};

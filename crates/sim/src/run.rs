@@ -1,5 +1,6 @@
 //! One multiprogrammed simulation run.
 
+use crate::checkpoint::{self, Checkpoint, CheckpointInfo};
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::sched::CoreScheduler;
@@ -8,6 +9,7 @@ use tla_core::{
     VictimCacheConfig,
 };
 use tla_cpu::CoreModel;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{
     ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, RunReport, SetHistogramReport,
     SharedSink, TelemetrySink, ThreadReport, Window, WindowedSeries,
@@ -223,14 +225,10 @@ impl<'a> MixRun<'a> {
         (result, telemetry.expect("telemetry was requested"))
     }
 
-    fn execute(
-        self,
-        telemetry: Option<Option<u64>>,
-        extra_sink: Option<Box<dyn TelemetrySink>>,
-    ) -> (RunResult, Option<RunTelemetry>) {
-        let n_cores = self.apps.len();
-        let scale = self.cfg.scale();
-        let mut hcfg: HierarchyConfig = HierarchyConfig::scaled(n_cores, scale as usize)
+    /// The hierarchy configuration this run would build.
+    fn hierarchy_config(&self) -> HierarchyConfig {
+        let scale = self.cfg.scale() as usize;
+        let mut hcfg: HierarchyConfig = HierarchyConfig::scaled(self.apps.len(), scale)
             .inclusion_policy(self.spec.inclusion)
             .tla(self.spec.tla)
             .seed(self.cfg.seed_value());
@@ -241,129 +239,24 @@ impl<'a> MixRun<'a> {
             hcfg = hcfg.llc_policy(policy);
         }
         if let Some(bytes) = self.llc_capacity_full_scale {
-            hcfg = hcfg.llc_capacity(bytes / scale as usize);
+            hcfg = hcfg.llc_capacity(bytes / scale);
         }
         if !self.cfg.prefetch_enabled() {
             hcfg = hcfg.prefetcher(None);
         }
+        hcfg
+    }
 
-        let mut hier = CacheHierarchy::new(&hcfg);
-
-        // Telemetry collectors. The counting sink and histogram hang off
-        // the hierarchy's event stream; the windowed series is driven from
-        // the loop below off the cumulative counters.
-        let counts = SharedSink::new(CountingSink::default());
-        let histogram = SharedSink::new(PerSetHistogram::new(hier.llc_sets()));
-        let mut series = telemetry.and_then(|w| w).map(WindowedSeries::new);
-        if telemetry.is_some() || extra_sink.is_some() {
-            let mut multi = MultiSink::new();
-            if telemetry.is_some() {
-                multi = multi.with(counts.clone()).with(histogram.clone());
-            }
-            if let Some(extra) = extra_sink {
-                multi = multi.with(extra);
-            }
-            hier.set_sink(multi);
-        }
-
-        let mut cores: Vec<CoreModel> = (0..n_cores)
-            .map(|_| CoreModel::new(*self.cfg.core_config()))
-            .collect();
-        let mut traces: Vec<SyntheticTrace> = self
-            .apps
-            .iter()
-            .enumerate()
-            .map(|(i, app)| app.trace(scale, i as u64, self.cfg.seed_value()))
-            .collect();
-        let mut last_code_line: Vec<Option<LineAddr>> = vec![None; n_cores];
-        let mut frozen: Vec<Option<ThreadResult>> = vec![None; n_cores];
-        let warmup = self.cfg.warmup_quota();
-        let quota = warmup + self.cfg.instruction_quota();
-        // Per-thread snapshot taken when the thread crosses the warm-up
-        // boundary: (cycles, stats).
-        let mut warm_mark: Vec<Option<(u64, PerCoreStats)>> = vec![
-            if warmup == 0 {
-                Some((0, PerCoreStats::default()))
-            } else {
-                None
-            };
-            n_cores
-        ];
-        let mut remaining = n_cores;
-        let mut total_instr: u64 = 0;
-        let mut sched = CoreScheduler::new(cores.iter().map(CoreModel::now));
-
-        while remaining > 0 {
-            // Step the core with the smallest local clock so shared-LLC
-            // access order is timestamp-accurate (the heap picks exactly
-            // like the old linear scan, ties to the lowest core index).
-            let i = sched.pick();
-            let core_id = CoreId::new(i);
-            let instr = traces[i].next_instruction();
-
-            // This iteration commits instruction number `total_instr + 1`;
-            // advance the clock first — and unconditionally — so every
-            // event the accesses below emit is stamped with the
-            // instruction that caused it, sink or no sink.
-            total_instr += 1;
-            hier.set_now(total_instr);
-
-            let ifetch = if last_code_line[i] != Some(instr.code_line) {
-                last_code_line[i] = Some(instr.code_line);
-                Some(hier.access(core_id, instr.code_line, AccessKind::IFetch))
-            } else {
-                None
-            };
-            let mem = instr
-                .mem
-                .map(|m| (m.kind, hier.access(core_id, m.addr, m.kind)));
-            cores[i].step(ifetch, mem);
-            sched.reinsert(i, cores[i].now());
-
-            if let Some(series) = series.as_mut() {
-                // Snapshotting the counters is only useful at a window
-                // boundary; between boundaries the whole series cost is
-                // this one compare.
-                if total_instr >= series.next_boundary() {
-                    series.observe(total_instr, hier.all_per_core_stats(), hier.global_stats());
-                }
-            }
-
-            if warm_mark[i].is_none() && cores[i].retired() >= warmup {
-                warm_mark[i] = Some((cores[i].cycles(), *hier.per_core_stats(core_id)));
-            }
-            if frozen[i].is_none() && cores[i].retired() >= quota {
-                let (warm_cycles, warm_stats) =
-                    warm_mark[i].take().expect("warm mark precedes freeze");
-                frozen[i] = Some(ThreadResult {
-                    app: self.apps[i],
-                    instructions: cores[i].retired() - warmup,
-                    cycles: cores[i].cycles() - warm_cycles,
-                    stats: hier.per_core_stats(core_id).since(&warm_stats),
-                });
-                remaining -= 1;
-            }
-        }
-
-        let collected = telemetry.map(|_| {
-            if let Some(series) = series.as_mut() {
-                series.finish(total_instr, hier.all_per_core_stats(), hier.global_stats());
-            }
-            hier.take_sink();
-            RunTelemetry {
-                window_size: series.as_ref().map(WindowedSeries::window_size),
-                windows: series.map(WindowedSeries::take).unwrap_or_default(),
-                set_histogram: histogram.with(|h| SetHistogramReport::from(h)),
-                event_totals: counts.with(CountingSink::nonzero),
-            }
-        });
-
-        let result = RunResult {
-            threads: frozen.into_iter().map(|t| t.expect("all frozen")).collect(),
-            global: *hier.global_stats(),
-            spec_name: self.spec.name.clone(),
-        };
-        (result, collected)
+    fn execute(
+        self,
+        telemetry: Option<Option<u64>>,
+        extra_sink: Option<Box<dyn TelemetrySink>>,
+    ) -> (RunResult, Option<RunTelemetry>) {
+        let collect = telemetry.is_some();
+        let spec_name = self.spec.name.clone();
+        let mut engine = Engine::new(&self, telemetry, extra_sink);
+        engine.run_to_completion();
+        engine.finish(collect, spec_name)
     }
 
     /// Label of this run's mix, e.g. `"lib+sje"`.
@@ -425,6 +318,566 @@ impl<'a> MixRun<'a> {
             echo.set("llc_capacity_full_scale", bytes);
         }
         echo
+    }
+
+    /// Runs the warm-up phase only and freezes the complete simulator
+    /// state into a [`Checkpoint`].
+    ///
+    /// Resuming the checkpoint (under this or any other policy spec)
+    /// continues the run bit-exactly from the freeze point. With
+    /// `warmup == 0` the checkpoint captures the pristine initial state.
+    pub fn warm_checkpoint(self) -> Checkpoint {
+        self.make_checkpoint(None)
+    }
+
+    /// Like [`warm_checkpoint`](MixRun::warm_checkpoint), but with
+    /// telemetry collectors attached and serialized, so the resumed run
+    /// can produce a [`RunReport`] identical to a straight-through
+    /// [`run_report`](MixRun::run_report) with the same `window`.
+    pub fn warm_checkpoint_instrumented(self, window: Option<u64>) -> Checkpoint {
+        self.make_checkpoint(Some(window))
+    }
+
+    fn make_checkpoint(self, telemetry: Option<Option<u64>>) -> Checkpoint {
+        let info = CheckpointInfo {
+            apps: self.apps.clone(),
+            scale: self.cfg.scale(),
+            seed: self.cfg.seed_value(),
+            warmup: self.cfg.warmup_quota(),
+            instructions: self.cfg.instruction_quota(),
+            prefetch: self.cfg.prefetch_enabled(),
+            llc_capacity_full_scale: self.llc_capacity_full_scale,
+            warm_spec: self.spec.name.clone(),
+            total_instr: 0,
+            instrumented: telemetry.is_some(),
+            window: telemetry.flatten(),
+        };
+        let mut engine = Engine::new(&self, telemetry, None);
+        engine.run_to_warm();
+        let info = CheckpointInfo {
+            total_instr: engine.total_instr,
+            ..info
+        };
+        let mut w = SnapshotWriter::new();
+        w.begin_section("meta");
+        checkpoint::write_meta(&mut w, &info);
+        w.end_section();
+        w.begin_section("sim");
+        engine.write_state(&mut w);
+        w.end_section();
+        if info.instrumented {
+            w.begin_section("telemetry");
+            engine.write_telemetry_state(&mut w);
+            w.end_section();
+        }
+        Checkpoint::from_raw(w.finish())
+    }
+
+    /// Resumes `checkpoint` under this run's policy spec and executes the
+    /// measured phase to completion.
+    ///
+    /// Everything but the policy spec must match the warming run: same
+    /// mix, scale, seed, quotas, prefetch setting and LLC override.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SnapshotError::Mismatch`] when this run's
+    /// configuration differs from the checkpoint's on any pinned axis,
+    /// or with a decode error when the bytes are corrupt.
+    pub fn resume(self, checkpoint: &Checkpoint) -> Result<RunResult, SnapshotError> {
+        Ok(self.resume_inner(checkpoint, None)?.0)
+    }
+
+    /// Resumes `checkpoint` and packages the result as a [`RunReport`],
+    /// exactly like [`run_report`](MixRun::run_report) would have.
+    ///
+    /// Requires an instrumented checkpoint whose window matches `window`
+    /// — the collectors span the whole run, so they must have been
+    /// recording since instruction one.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`resume`](MixRun::resume), and additionally when the
+    /// checkpoint carries no telemetry or was recorded with a different
+    /// window size.
+    pub fn resume_report(
+        self,
+        checkpoint: &Checkpoint,
+        window: Option<u64>,
+    ) -> Result<(RunResult, RunReport), SnapshotError> {
+        let mix = self.mix_label();
+        let config = self.config_echo();
+        let spec_name = self.spec.name.clone();
+        let apps = self.apps.clone();
+        let (result, telemetry) = self.resume_inner(checkpoint, Some(window))?;
+        let telemetry = telemetry.expect("telemetry was requested");
+        let report = build_report(mix, spec_name, config, &apps, &result, telemetry);
+        Ok((result, report))
+    }
+
+    /// `want`: `None` resumes plain; `Some(window)` demands telemetry
+    /// recorded with exactly that window.
+    fn resume_inner(
+        self,
+        checkpoint: &Checkpoint,
+        want: Option<Option<u64>>,
+    ) -> Result<(RunResult, Option<RunTelemetry>), SnapshotError> {
+        let info = checkpoint.info()?;
+        self.check_resume_compatible(&info)?;
+        if let Some(window) = want {
+            if !info.instrumented {
+                return Err(SnapshotError::Mismatch(
+                    "a report was requested but the checkpoint was saved without telemetry \
+                     (re-save it instrumented)"
+                        .into(),
+                ));
+            }
+            if info.window != window {
+                return Err(SnapshotError::Mismatch(format!(
+                    "checkpoint telemetry uses window {:?}, this resume requested {:?}",
+                    info.window, window
+                )));
+            }
+        }
+        // An instrumented checkpoint is resumed with matching collectors
+        // even for a plain resume: the serialized telemetry state must be
+        // consumed, and telemetry is observation-only, so the RunResult
+        // is unaffected.
+        let engine_telemetry = info.instrumented.then_some(info.window);
+        let collect = want.is_some();
+        let spec_name = self.spec.name.clone();
+        let mut engine = Engine::new(&self, engine_telemetry, None);
+        let mut r = SnapshotReader::new(checkpoint.as_bytes())?;
+        r.begin_section("meta")?;
+        // Re-parsed only to advance the reader past the section.
+        let _ = checkpoint::read_meta(&mut r)?;
+        r.end_section()?;
+        r.begin_section("sim")?;
+        engine.read_state(&mut r)?;
+        r.end_section()?;
+        if info.instrumented {
+            r.begin_section("telemetry")?;
+            engine.read_telemetry_state(&mut r)?;
+            r.end_section()?;
+        }
+        engine.run_to_completion();
+        Ok(engine.finish(collect, spec_name))
+    }
+
+    /// Verifies every pinned configuration axis against the checkpoint.
+    fn check_resume_compatible(&self, info: &CheckpointInfo) -> Result<(), SnapshotError> {
+        let mismatch = |what: &str, ck: String, here: String| {
+            Err(SnapshotError::Mismatch(format!(
+                "checkpoint was warmed with {what} {ck}, this run is configured for {here}"
+            )))
+        };
+        if info.apps != self.apps {
+            return mismatch("mix", info.mix_label(), self.mix_label());
+        }
+        if info.scale != self.cfg.scale() {
+            return mismatch(
+                "scale",
+                info.scale.to_string(),
+                self.cfg.scale().to_string(),
+            );
+        }
+        if info.seed != self.cfg.seed_value() {
+            return mismatch(
+                "seed",
+                info.seed.to_string(),
+                self.cfg.seed_value().to_string(),
+            );
+        }
+        if info.warmup != self.cfg.warmup_quota() {
+            return mismatch(
+                "warm-up quota",
+                info.warmup.to_string(),
+                self.cfg.warmup_quota().to_string(),
+            );
+        }
+        if info.instructions != self.cfg.instruction_quota() {
+            return mismatch(
+                "instruction quota",
+                info.instructions.to_string(),
+                self.cfg.instruction_quota().to_string(),
+            );
+        }
+        if info.prefetch != self.cfg.prefetch_enabled() {
+            return mismatch(
+                "prefetch",
+                info.prefetch.to_string(),
+                self.cfg.prefetch_enabled().to_string(),
+            );
+        }
+        if info.llc_capacity_full_scale != self.llc_capacity_full_scale {
+            return mismatch(
+                "LLC capacity override",
+                format!("{:?}", info.llc_capacity_full_scale),
+                format!("{:?}", self.llc_capacity_full_scale),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Packages a finished run plus its telemetry as a [`RunReport`].
+fn build_report(
+    mix: String,
+    policy: String,
+    config: ConfigEcho,
+    apps: &[SpecApp],
+    result: &RunResult,
+    telemetry: RunTelemetry,
+) -> RunReport {
+    RunReport {
+        mix,
+        policy,
+        config,
+        threads: apps
+            .iter()
+            .zip(&result.threads)
+            .map(|(app, t)| ThreadReport {
+                app: app.short_name().to_string(),
+                instructions: t.instructions,
+                cycles: t.cycles,
+                stats: t.stats,
+            })
+            .collect(),
+        global: result.global,
+        event_totals: telemetry.event_totals,
+        window_size: telemetry.window_size,
+        windows: telemetry.windows,
+        set_histogram: Some(telemetry.set_histogram),
+    }
+}
+
+/// The complete state of one in-flight run: the hierarchy, the cores,
+/// trace cursors, warm-up bookkeeping and (optionally) the telemetry
+/// collectors.
+///
+/// [`MixRun::execute`] drives it straight to completion; the checkpoint
+/// layer instead stops it at the warm-up boundary, serializes it, and
+/// later thaws it — possibly under a different policy — to finish the
+/// measured phase.
+struct Engine {
+    hier: CacheHierarchy,
+    cores: Vec<CoreModel>,
+    traces: Vec<SyntheticTrace>,
+    last_code_line: Vec<Option<LineAddr>>,
+    frozen: Vec<Option<ThreadResult>>,
+    /// Per-thread snapshot taken when the thread crosses the warm-up
+    /// boundary: (cycles, stats). Consumed at the freeze.
+    warm_mark: Vec<Option<(u64, PerCoreStats)>>,
+    remaining: usize,
+    total_instr: u64,
+    sched: CoreScheduler,
+    warmup: u64,
+    quota: u64,
+    apps: Vec<SpecApp>,
+    counts: SharedSink<CountingSink>,
+    histogram: SharedSink<PerSetHistogram>,
+    series: Option<WindowedSeries>,
+}
+
+impl Engine {
+    fn new(
+        run: &MixRun<'_>,
+        telemetry: Option<Option<u64>>,
+        extra_sink: Option<Box<dyn TelemetrySink>>,
+    ) -> Engine {
+        let n_cores = run.apps.len();
+        let scale = run.cfg.scale();
+        let hcfg = run.hierarchy_config();
+        let mut hier = CacheHierarchy::new(&hcfg);
+
+        // Telemetry collectors. The counting sink and histogram hang off
+        // the hierarchy's event stream; the windowed series is driven from
+        // the step loop off the cumulative counters.
+        let counts = SharedSink::new(CountingSink::default());
+        let histogram = SharedSink::new(PerSetHistogram::new(hier.llc_sets()));
+        let series = telemetry.and_then(|w| w).map(WindowedSeries::new);
+        if telemetry.is_some() || extra_sink.is_some() {
+            let mut multi = MultiSink::new();
+            if telemetry.is_some() {
+                multi = multi.with(counts.clone()).with(histogram.clone());
+            }
+            if let Some(extra) = extra_sink {
+                multi = multi.with(extra);
+            }
+            hier.set_sink(multi);
+        }
+
+        let cores: Vec<CoreModel> = (0..n_cores)
+            .map(|_| CoreModel::new(*run.cfg.core_config()))
+            .collect();
+        let traces: Vec<SyntheticTrace> = run
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| app.trace(scale, i as u64, run.cfg.seed_value()))
+            .collect();
+        let warmup = run.cfg.warmup_quota();
+        let quota = warmup + run.cfg.instruction_quota();
+        let warm_mark = vec![
+            if warmup == 0 {
+                Some((0, PerCoreStats::default()))
+            } else {
+                None
+            };
+            n_cores
+        ];
+        let sched = CoreScheduler::new(cores.iter().map(CoreModel::now));
+        Engine {
+            hier,
+            cores,
+            traces,
+            last_code_line: vec![None; n_cores],
+            frozen: vec![None; n_cores],
+            warm_mark,
+            remaining: n_cores,
+            total_instr: 0,
+            sched,
+            warmup,
+            quota,
+            apps: run.apps.clone(),
+            counts,
+            histogram,
+            series,
+        }
+    }
+
+    /// Commits one instruction on the core with the smallest local clock,
+    /// so shared-LLC access order is timestamp-accurate (the heap picks
+    /// exactly like the old linear scan, ties to the lowest core index).
+    fn step(&mut self) {
+        let i = self.sched.pick();
+        let core_id = CoreId::new(i);
+        let instr = self.traces[i].next_instruction();
+
+        // This iteration commits instruction number `total_instr + 1`;
+        // advance the clock first — and unconditionally — so every
+        // event the accesses below emit is stamped with the
+        // instruction that caused it, sink or no sink.
+        self.total_instr += 1;
+        self.hier.set_now(self.total_instr);
+
+        let ifetch = if self.last_code_line[i] != Some(instr.code_line) {
+            self.last_code_line[i] = Some(instr.code_line);
+            Some(
+                self.hier
+                    .access(core_id, instr.code_line, AccessKind::IFetch),
+            )
+        } else {
+            None
+        };
+        let mem = instr
+            .mem
+            .map(|m| (m.kind, self.hier.access(core_id, m.addr, m.kind)));
+        self.cores[i].step(ifetch, mem);
+        self.sched.reinsert(i, self.cores[i].now());
+
+        if let Some(series) = self.series.as_mut() {
+            // Snapshotting the counters is only useful at a window
+            // boundary; between boundaries the whole series cost is
+            // this one compare.
+            if self.total_instr >= series.next_boundary() {
+                series.observe(
+                    self.total_instr,
+                    self.hier.all_per_core_stats(),
+                    self.hier.global_stats(),
+                );
+            }
+        }
+
+        if self.warm_mark[i].is_none() && self.cores[i].retired() >= self.warmup {
+            self.warm_mark[i] = Some((self.cores[i].cycles(), *self.hier.per_core_stats(core_id)));
+        }
+        if self.frozen[i].is_none() && self.cores[i].retired() >= self.quota {
+            let (warm_cycles, warm_stats) =
+                self.warm_mark[i].take().expect("warm mark precedes freeze");
+            self.frozen[i] = Some(ThreadResult {
+                app: self.apps[i],
+                instructions: self.cores[i].retired() - self.warmup,
+                cycles: self.cores[i].cycles() - warm_cycles,
+                stats: self.hier.per_core_stats(core_id).since(&warm_stats),
+            });
+            self.remaining -= 1;
+        }
+    }
+
+    /// Whether every live thread has crossed the warm-up boundary.
+    ///
+    /// A fast thread can freeze (retire its whole quota) before a slow one
+    /// has even warmed, so "warm" means marked *or* already frozen.
+    fn is_warm(&self) -> bool {
+        self.warm_mark
+            .iter()
+            .zip(&self.frozen)
+            .all(|(w, f)| w.is_some() || f.is_some())
+    }
+
+    fn run_to_warm(&mut self) {
+        while self.remaining > 0 && !self.is_warm() {
+            self.step();
+        }
+    }
+
+    fn run_to_completion(&mut self) {
+        while self.remaining > 0 {
+            self.step();
+        }
+    }
+
+    fn finish(mut self, collect: bool, spec_name: String) -> (RunResult, Option<RunTelemetry>) {
+        let collected = collect.then(|| {
+            if let Some(series) = self.series.as_mut() {
+                series.finish(
+                    self.total_instr,
+                    self.hier.all_per_core_stats(),
+                    self.hier.global_stats(),
+                );
+            }
+            self.hier.take_sink();
+            RunTelemetry {
+                window_size: self.series.as_ref().map(WindowedSeries::window_size),
+                windows: self
+                    .series
+                    .take()
+                    .map(WindowedSeries::take)
+                    .unwrap_or_default(),
+                set_histogram: self.histogram.with(|h| SetHistogramReport::from(h)),
+                event_totals: self.counts.with(CountingSink::nonzero),
+            }
+        });
+
+        let result = RunResult {
+            threads: self
+                .frozen
+                .into_iter()
+                .map(|t| t.expect("all frozen"))
+                .collect(),
+            global: *self.hier.global_stats(),
+            spec_name,
+        };
+        (result, collected)
+    }
+
+    /// Serializes the telemetry collectors (only meaningful when the
+    /// engine was built instrumented).
+    fn write_telemetry_state(&self, w: &mut SnapshotWriter) {
+        self.counts.with(|c| c.write_state(w));
+        self.histogram.with(|h| h.write_state(w));
+        w.write_bool(self.series.is_some());
+        if let Some(series) = self.series.as_ref() {
+            series.write_state(w);
+        }
+    }
+
+    fn read_telemetry_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.counts.with_mut(|c| c.read_state(r))?;
+        self.histogram.with_mut(|h| h.read_state(r))?;
+        let has_series = r.read_bool()?;
+        match (has_series, self.series.as_mut()) {
+            (true, Some(series)) => series.read_state(r)?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(SnapshotError::Mismatch(
+                    "checkpoint telemetry has a time series, this run requested none".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(SnapshotError::Mismatch(
+                    "checkpoint telemetry has no time series, this run requested one".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_per_core_stats(r: &mut SnapshotReader<'_>) -> Result<PerCoreStats, SnapshotError> {
+    let mut stats = PerCoreStats::default();
+    stats.read_state(r)?;
+    Ok(stats)
+}
+
+/// Checkpoint coverage: hierarchy, cores, trace cursors, instruction-
+/// fetch dedup state, freeze/warm-mark bookkeeping and the global
+/// instruction clock. The scheduler heap is rebuilt from the per-core
+/// clocks; `remaining` is derived from the frozen count.
+impl Snapshot for Engine {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        self.hier.write_state(w);
+        for core in &self.cores {
+            core.write_state(w);
+        }
+        for trace in &self.traces {
+            trace.write_state(w);
+        }
+        for line in &self.last_code_line {
+            w.write_bool(line.is_some());
+            if let Some(line) = line {
+                w.write_u64(line.raw());
+            }
+        }
+        for thread in &self.frozen {
+            w.write_bool(thread.is_some());
+            if let Some(t) = thread {
+                w.write_u64(t.instructions);
+                w.write_u64(t.cycles);
+                t.stats.write_state(w);
+            }
+        }
+        for mark in &self.warm_mark {
+            w.write_bool(mark.is_some());
+            if let Some((cycles, stats)) = mark {
+                w.write_u64(*cycles);
+                stats.write_state(w);
+            }
+        }
+        w.write_u64(self.total_instr);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.hier.read_state(r)?;
+        for core in &mut self.cores {
+            core.read_state(r)?;
+        }
+        for trace in &mut self.traces {
+            trace.read_state(r)?;
+        }
+        for line in &mut self.last_code_line {
+            *line = if r.read_bool()? {
+                Some(LineAddr::new(r.read_u64()?))
+            } else {
+                None
+            };
+        }
+        for i in 0..self.frozen.len() {
+            self.frozen[i] = if r.read_bool()? {
+                Some(ThreadResult {
+                    app: self.apps[i],
+                    instructions: r.read_u64()?,
+                    cycles: r.read_u64()?,
+                    stats: read_per_core_stats(r)?,
+                })
+            } else {
+                None
+            };
+        }
+        for mark in &mut self.warm_mark {
+            *mark = if r.read_bool()? {
+                let cycles = r.read_u64()?;
+                let stats = read_per_core_stats(r)?;
+                Some((cycles, stats))
+            } else {
+                None
+            };
+        }
+        self.total_instr = r.read_u64()?;
+        self.remaining = self.frozen.iter().filter(|f| f.is_none()).count();
+        self.sched = CoreScheduler::new(self.cores.iter().map(CoreModel::now));
+        Ok(())
     }
 }
 
@@ -646,5 +1099,177 @@ mod tests {
         let text = report.to_json_string();
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.to_json_string(), text);
+    }
+
+    fn warm_cfg() -> SimConfig {
+        SimConfig::scaled_down().warmup(30_000).instructions(20_000)
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_straight_run() {
+        // Warm and measure under the same spec: the resumed run must be
+        // bit-identical to the straight-through run.
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Sjeng, SpecApp::Mcf];
+        let straight = MixRun::new(&cfg, &mix).spec(&PolicySpec::qbs()).run();
+        let ck = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::qbs())
+            .warm_checkpoint();
+        let resumed = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::qbs())
+            .resume(&ck)
+            .unwrap();
+        assert_eq!(resumed.global, straight.global);
+        for (a, b) in resumed.threads.iter().zip(&straight.threads) {
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.instructions, b.instructions);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(resumed.spec_name, "QBS");
+    }
+
+    #[test]
+    fn instrumented_checkpoint_reports_byte_identically() {
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+        let (_, straight) = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::eci())
+            .run_report(Some(10_000));
+        let ck = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::eci())
+            .warm_checkpoint_instrumented(Some(10_000));
+        let info = ck.info().unwrap();
+        assert!(info.instrumented);
+        assert_eq!(info.window, Some(10_000));
+        assert_eq!(info.warm_spec, "ECI");
+        assert_eq!(info.mix_label(), "lib+sje");
+        let (_, resumed) = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::eci())
+            .resume_report(&ck, Some(10_000))
+            .unwrap();
+        assert_eq!(resumed.to_json_string(), straight.to_json_string());
+    }
+
+    #[test]
+    fn plain_resume_from_instrumented_checkpoint_matches() {
+        // Telemetry is observation-only, so a plain resume of an
+        // instrumented checkpoint still reproduces the plain run.
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Sjeng, SpecApp::Wrf];
+        let plain = MixRun::new(&cfg, &mix).run();
+        let ck = MixRun::new(&cfg, &mix).warm_checkpoint_instrumented(Some(5_000));
+        let resumed = MixRun::new(&cfg, &mix).resume(&ck).unwrap();
+        assert_eq!(resumed.global, plain.global);
+        assert_eq!(resumed.threads[0].stats, plain.threads[0].stats);
+        assert_eq!(resumed.threads[1].cycles, plain.threads[1].cycles);
+    }
+
+    #[test]
+    fn checkpoint_fans_out_across_policies() {
+        // One baseline-warmed image, measured under every policy: the
+        // whole point of the subsystem. Each resume must be deterministic
+        // and carry its own spec name.
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Mcf, SpecApp::Libquantum];
+        let ck = MixRun::new(&cfg, &mix).warm_checkpoint();
+        for spec in [
+            PolicySpec::baseline(),
+            PolicySpec::tlh_l1(),
+            PolicySpec::eci(),
+            PolicySpec::qbs(),
+        ] {
+            let a = MixRun::new(&cfg, &mix).spec(&spec).resume(&ck).unwrap();
+            let b = MixRun::new(&cfg, &mix).spec(&spec).resume(&ck).unwrap();
+            assert_eq!(a.spec_name, spec.name);
+            assert_eq!(
+                a.global, b.global,
+                "{}: resume not deterministic",
+                spec.name
+            );
+            assert_eq!(a.threads[0].stats, b.threads[0].stats);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_configuration() {
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Sjeng, SpecApp::Mcf];
+        let ck = MixRun::new(&cfg, &mix).warm_checkpoint();
+
+        let expect_mismatch = |err: SnapshotError, needle: &str| match err {
+            SnapshotError::Mismatch(msg) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        };
+
+        let other_mix = [SpecApp::Sjeng, SpecApp::Wrf];
+        expect_mismatch(
+            MixRun::new(&cfg, &other_mix).resume(&ck).unwrap_err(),
+            "mix",
+        );
+        let other_seed = warm_cfg().seed(99);
+        expect_mismatch(
+            MixRun::new(&other_seed, &mix).resume(&ck).unwrap_err(),
+            "seed",
+        );
+        let other_quota = warm_cfg().instructions(10_000);
+        expect_mismatch(
+            MixRun::new(&other_quota, &mix).resume(&ck).unwrap_err(),
+            "instruction quota",
+        );
+        let other_warm = warm_cfg().warmup(10_000);
+        expect_mismatch(
+            MixRun::new(&other_warm, &mix).resume(&ck).unwrap_err(),
+            "warm-up",
+        );
+        let no_prefetch = warm_cfg().prefetch(false);
+        expect_mismatch(
+            MixRun::new(&no_prefetch, &mix).resume(&ck).unwrap_err(),
+            "prefetch",
+        );
+        expect_mismatch(
+            MixRun::new(&cfg, &mix)
+                .llc_capacity_full_scale(1024 * 1024)
+                .resume(&ck)
+                .unwrap_err(),
+            "LLC capacity",
+        );
+        // A plain checkpoint cannot back a report.
+        expect_mismatch(
+            MixRun::new(&cfg, &mix)
+                .resume_report(&ck, Some(5_000))
+                .unwrap_err(),
+            "telemetry",
+        );
+    }
+
+    #[test]
+    fn checkpoint_survives_serialization_and_rejects_corruption() {
+        let cfg = warm_cfg();
+        let mix = [SpecApp::Sjeng];
+        let ck = MixRun::new(&cfg, &mix).warm_checkpoint();
+        let bytes = ck.as_bytes().to_vec();
+
+        // Round trip through raw bytes.
+        let back = Checkpoint::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(back.info().unwrap(), ck.info().unwrap());
+        let direct = MixRun::new(&cfg, &mix).resume(&ck).unwrap();
+        let via_bytes = MixRun::new(&cfg, &mix).resume(&back).unwrap();
+        assert_eq!(direct.global, via_bytes.global);
+
+        // A flipped payload byte must be caught by the checksum.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::from_bytes(corrupt).unwrap_err(),
+            SnapshotError::BadChecksum
+        ));
+
+        // Truncation.
+        let cut = bytes[..bytes.len() / 2].to_vec();
+        assert!(Checkpoint::from_bytes(cut).is_err());
     }
 }

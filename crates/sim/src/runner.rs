@@ -7,10 +7,12 @@
 //! bit-identical to serial execution and outputs keep input order; the
 //! job count only changes wall-clock time.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::run::{MixRun, RunResult, ThreadResult};
 use tla_pool::scoped_map;
+use tla_snapshot::SnapshotError;
 use tla_telemetry::RunReport;
 use tla_workloads::{Mix, SpecApp};
 
@@ -172,6 +174,121 @@ pub fn run_policy_reports(
     })
 }
 
+/// Builds one warm baseline checkpoint for `apps` under `cfg`.
+fn warm_once(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<Option<u64>>,
+) -> Checkpoint {
+    let mut run = MixRun::new(cfg, apps).spec(&PolicySpec::baseline());
+    if let Some(bytes) = llc_capacity_full_scale {
+        run = run.llc_capacity_full_scale(bytes);
+    }
+    match window {
+        Some(w) => run.warm_checkpoint_instrumented(w),
+        None => run.warm_checkpoint(),
+    }
+}
+
+/// Warm-start variant of [`run_policy_reports`]: runs the warm-up phase
+/// *once* (under the inclusive baseline), checkpoints it, then fans the
+/// per-policy measured phases out over the pool, each resuming the same
+/// warm image.
+///
+/// With `N` policies this does `warmup + N * measure` work instead of
+/// `N * (warmup + measure)` — the paper's warm-once methodology. Note
+/// the semantics differ subtly from the straight-through helper: every
+/// policy sees a *baseline-warmed* hierarchy rather than warming under
+/// itself (and a thread fast enough to retire its whole quota during
+/// warm-up keeps its baseline-phase result). With `warmup == 0` there is
+/// nothing to share and this falls back to [`run_policy_reports`]
+/// exactly.
+///
+/// # Errors
+///
+/// Fails only if a resume rejects the just-written checkpoint, which
+/// indicates a bug or an impossible configuration.
+pub fn run_policy_reports_warm_start(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+) -> Result<Vec<(RunResult, Option<RunReport>)>, SnapshotError> {
+    if cfg.warmup_quota() == 0 {
+        return Ok(run_policy_reports(
+            cfg,
+            apps,
+            specs,
+            llc_capacity_full_scale,
+            window,
+        ));
+    }
+    let ck = warm_once(cfg, apps, llc_capacity_full_scale, window.map(Some));
+    scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
+        let mut run = MixRun::new(cfg, apps).spec(&spec);
+        if let Some(bytes) = llc_capacity_full_scale {
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        match window {
+            Some(w) => run
+                .resume_report(&ck, Some(w))
+                .map(|(result, report)| (result, Some(report))),
+            None => run.resume(&ck).map(|result| (result, None)),
+        }
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Warm-start variant of [`run_mix_suite`]: warms each mix once (under
+/// the inclusive baseline, in parallel), then fans the whole
+/// `(spec, mix)` measurement grid out over the pool, each cell resuming
+/// its mix's shared warm image.
+///
+/// Shares [`run_policy_reports_warm_start`]'s baseline-warming
+/// methodology and its `warmup == 0` fallback to the straight-through
+/// helper.
+///
+/// # Errors
+///
+/// Fails only if a resume rejects a just-written checkpoint.
+pub fn run_mix_suite_warm_start(
+    cfg: &SimConfig,
+    mixes: &[Mix],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+) -> Result<Vec<SuiteResult>, SnapshotError> {
+    if cfg.warmup_quota() == 0 {
+        return Ok(run_mix_suite(cfg, mixes, specs, llc_capacity_full_scale));
+    }
+    let checkpoints: Vec<Checkpoint> =
+        scoped_map(cfg.effective_jobs(), (0..mixes.len()).collect(), |m| {
+            warm_once(cfg, &mixes[m].apps, llc_capacity_full_scale, None)
+        });
+    let grid: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|s| (0..mixes.len()).map(move |m| (s, m)))
+        .collect();
+    let runs: Vec<RunResult> = scoped_map(cfg.effective_jobs(), grid, |(s, m)| {
+        let mut run = MixRun::new(cfg, &mixes[m].apps).spec(&specs[s]);
+        if let Some(bytes) = llc_capacity_full_scale {
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        run.resume(&checkpoints[m])
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    let mut runs = runs.into_iter();
+    Ok(specs
+        .iter()
+        .map(|spec| SuiteResult {
+            spec: spec.clone(),
+            runs: runs.by_ref().take(mixes.len()).collect(),
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +346,60 @@ mod tests {
         let plain = run_policy_reports(&cfg, &apps, &specs, None, None);
         assert!(plain.iter().all(|(_, rep)| rep.is_none()));
         assert_eq!(plain[1].0.global, out[1].0.global);
+    }
+
+    #[test]
+    fn warm_start_reports_share_one_warmup() {
+        let cfg = quick().warmup(20_000).instructions(5_000);
+        let apps = [SpecApp::Mcf, SpecApp::Libquantum];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs(), PolicySpec::eci()];
+        let out = run_policy_reports_warm_start(&cfg, &apps, &specs, None, Some(5_000)).unwrap();
+        assert_eq!(out.len(), 3);
+        for ((result, report), spec) in out.iter().zip(&specs) {
+            assert_eq!(result.spec_name, spec.name);
+            assert_eq!(report.as_ref().unwrap().policy, spec.name);
+        }
+        // The baseline entry warmed under itself, so it must be
+        // bit-identical to the straight-through baseline run.
+        let straight = run_policy_reports(&cfg, &apps, &specs[..1], None, Some(5_000));
+        assert_eq!(out[0].0.global, straight[0].0.global);
+        assert_eq!(
+            out[0].1.as_ref().unwrap().to_json_string(),
+            straight[0].1.as_ref().unwrap().to_json_string()
+        );
+        // And the fan-out is deterministic.
+        let again = run_policy_reports_warm_start(&cfg, &apps, &specs, None, Some(5_000)).unwrap();
+        assert_eq!(out[2].0.global, again[2].0.global);
+    }
+
+    #[test]
+    fn warm_start_without_warmup_falls_back_exactly() {
+        let cfg = quick().instructions(5_000);
+        let apps = [SpecApp::Libquantum, SpecApp::Sjeng];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+        let warm = run_policy_reports_warm_start(&cfg, &apps, &specs, None, None).unwrap();
+        let straight = run_policy_reports(&cfg, &apps, &specs, None, None);
+        for ((a, _), (b, _)) in warm.iter().zip(&straight) {
+            assert_eq!(a.global, b.global);
+            assert_eq!(a.threads[0].stats, b.threads[0].stats);
+        }
+    }
+
+    #[test]
+    fn warm_start_suite_keeps_grid_shape() {
+        let cfg = quick().warmup(10_000).instructions(5_000);
+        let mixes = &table2_mixes()[..2];
+        let specs = vec![PolicySpec::baseline(), PolicySpec::eci()];
+        let results = run_mix_suite_warm_start(&cfg, mixes, &specs, None).unwrap();
+        assert_eq!(results.len(), 2);
+        for (suite, spec) in results.iter().zip(&specs) {
+            assert_eq!(suite.spec.name, spec.name);
+            assert_eq!(suite.runs.len(), 2);
+            for run in &suite.runs {
+                assert_eq!(run.spec_name, spec.name);
+                assert!(run.throughput() > 0.0);
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use crate::event::{EventKind, TelemetryEvent};
 use crate::sink::TelemetrySink;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use tla_types::{CacheLevel, CoreId};
 
 /// Default capacity of the example-event reservoir.
 pub const DEFAULT_RESERVOIR: usize = 64;
@@ -109,6 +111,122 @@ impl PerSetHistogram {
         x ^= x << 17;
         self.rng = x;
         x
+    }
+}
+
+fn write_event(w: &mut SnapshotWriter, e: &TelemetryEvent) {
+    w.write_u8(e.kind.index() as u8);
+    w.write_bool(e.core.is_some());
+    if let Some(c) = e.core {
+        w.write_u8(c.index() as u8);
+    }
+    w.write_bool(e.level.is_some());
+    if let Some(l) = e.level {
+        let idx = CacheLevel::ALL
+            .iter()
+            .position(|&x| x == l)
+            .expect("level in ALL");
+        w.write_u8(idx as u8);
+    }
+    w.write_bool(e.set.is_some());
+    if let Some(s) = e.set {
+        w.write_u32(s);
+    }
+    w.write_u64(e.instr);
+}
+
+fn read_event(r: &mut SnapshotReader) -> Result<TelemetryEvent, SnapshotError> {
+    let kind_idx = r.read_u8()? as usize;
+    let kind = *EventKind::ALL.get(kind_idx).ok_or_else(|| {
+        SnapshotError::Corrupt(format!(
+            "telemetry event kind index {kind_idx} out of range"
+        ))
+    })?;
+    let core = if r.read_bool()? {
+        let idx = r.read_u8()? as usize;
+        if idx >= CoreId::MAX_CORES {
+            return Err(SnapshotError::Corrupt(format!(
+                "telemetry event core index {idx} out of range"
+            )));
+        }
+        Some(CoreId::new(idx))
+    } else {
+        None
+    };
+    let level = if r.read_bool()? {
+        let idx = r.read_u8()? as usize;
+        Some(*CacheLevel::ALL.get(idx).ok_or_else(|| {
+            SnapshotError::Corrupt(format!("telemetry event level index {idx} out of range"))
+        })?)
+    } else {
+        None
+    };
+    let set = if r.read_bool()? {
+        Some(r.read_u32()?)
+    } else {
+        None
+    };
+    let instr = r.read_u64()?;
+    Ok(TelemetryEvent {
+        kind,
+        core,
+        level,
+        set,
+        instr,
+    })
+}
+
+/// Checkpoint coverage: both per-set count arrays, the reservoir with its
+/// sampling state (`seen` and the inline RNG), so a resumed run keeps
+/// drawing an unbiased sample. The set count and reservoir capacity are
+/// configuration and must match the receiver's.
+impl Snapshot for PerSetHistogram {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.evictions.len());
+        for &c in &self.evictions {
+            w.write_u32(c);
+        }
+        for &c in &self.inclusion_victims {
+            w.write_u32(c);
+        }
+        w.write_usize(self.reservoir.len());
+        for e in &self.reservoir {
+            write_event(w, e);
+        }
+        w.write_u64(self.seen);
+        w.write_u64(self.rng);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let sets = r.read_usize()?;
+        if sets != self.evictions.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "set histogram: snapshot covers {sets} LLC sets, this LLC has {}",
+                self.evictions.len()
+            )));
+        }
+        for c in &mut self.evictions {
+            *c = r.read_u32()?;
+        }
+        for c in &mut self.inclusion_victims {
+            *c = r.read_u32()?;
+        }
+        let n = r.read_usize()?;
+        if n > self.reservoir_cap {
+            return Err(SnapshotError::Mismatch(format!(
+                "set histogram: snapshot reservoir has {n} samples, \
+                 this collector's capacity is {}",
+                self.reservoir_cap
+            )));
+        }
+        self.reservoir.clear();
+        for _ in 0..n {
+            let e = read_event(r)?;
+            self.reservoir.push(e);
+        }
+        self.seen = r.read_u64()?;
+        self.rng = r.read_u64()?;
+        Ok(())
     }
 }
 
@@ -218,6 +336,43 @@ mod tests {
         assert_eq!(s.hottest_set, 2);
         assert_eq!(s.hottest_set_evictions, 9);
         assert!((s.eviction_skew - 9.0 / 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_counts_and_reservoir() {
+        let mut h = PerSetHistogram::with_reservoir(16, 8);
+        for i in 0..500u64 {
+            h.record(
+                &TelemetryEvent::global(EventKind::LlcEviction, i)
+                    .with_core(CoreId::new((i % 3) as usize))
+                    .with_set(i as u32 % 16),
+            );
+            if i % 5 == 0 {
+                h.record(&TelemetryEvent::global(EventKind::BackInvalidate, i).with_set(2));
+            }
+        }
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = PerSetHistogram::with_reservoir(16, 8);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        restored.read_state(&mut r).unwrap();
+        assert_eq!(restored, h);
+
+        // Continued recording stays identical (sampling RNG restored too).
+        for i in 500..600u64 {
+            let e = TelemetryEvent::global(EventKind::LlcEviction, i).with_set(i as u32 % 16);
+            h.record(&e);
+            restored.record(&e);
+        }
+        assert_eq!(restored, h);
+
+        // Set-count mismatch is rejected.
+        let mut wrong = PerSetHistogram::with_reservoir(8, 8);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let err = wrong.read_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("LLC sets"), "got: {err}");
     }
 
     #[test]

@@ -93,12 +93,23 @@ pub struct SetHistogramReport {
     pub inclusion_victims: Vec<u32>,
 }
 
+impl SetHistogramReport {
+    /// Refills this report from `h`, reusing the existing vector capacity
+    /// (the scratch-buffer form of `SetHistogramReport::from`).
+    pub fn refill(&mut self, h: &PerSetHistogram) {
+        self.evictions.clear();
+        self.evictions.extend_from_slice(h.evictions());
+        self.inclusion_victims.clear();
+        self.inclusion_victims
+            .extend_from_slice(h.inclusion_victims());
+    }
+}
+
 impl From<&PerSetHistogram> for SetHistogramReport {
     fn from(h: &PerSetHistogram) -> Self {
-        SetHistogramReport {
-            evictions: h.evictions().to_vec(),
-            inclusion_victims: h.inclusion_victims().to_vec(),
-        }
+        let mut report = SetHistogramReport::default();
+        report.refill(h);
+        report
     }
 }
 

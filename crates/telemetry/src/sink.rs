@@ -3,6 +3,7 @@
 use crate::event::{EventKind, TelemetryEvent};
 use std::cell::RefCell;
 use std::rc::Rc;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Receives hierarchy events as they happen.
 ///
@@ -50,13 +51,38 @@ impl CountingSink {
         self.counts.iter().sum()
     }
 
-    /// `(kind, count)` pairs for every kind with a nonzero count.
-    pub fn nonzero(&self) -> Vec<(EventKind, u64)> {
+    /// `(kind, count)` pairs for every kind with a nonzero count, without
+    /// allocating — the scratch-buffer-friendly form of
+    /// [`CountingSink::nonzero`].
+    pub fn nonzero_iter(&self) -> impl Iterator<Item = (EventKind, u64)> + '_ {
         EventKind::ALL
             .iter()
             .filter(|k| self.count(**k) > 0)
             .map(|&k| (k, self.count(k)))
-            .collect()
+    }
+
+    /// Writes the nonzero `(kind, count)` pairs into `out`, reusing its
+    /// capacity (the vector is cleared first).
+    pub fn nonzero_into(&self, out: &mut Vec<(EventKind, u64)>) {
+        out.clear();
+        out.extend(self.nonzero_iter());
+    }
+
+    /// `(kind, count)` pairs for every kind with a nonzero count.
+    pub fn nonzero(&self) -> Vec<(EventKind, u64)> {
+        self.nonzero_iter().collect()
+    }
+}
+
+/// Checkpoint coverage: the per-kind counter array, in
+/// [`EventKind::ALL`] order.
+impl Snapshot for CountingSink {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64_slice(&self.counts);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        r.read_u64_slice_into(&mut self.counts, "event counts")
     }
 }
 

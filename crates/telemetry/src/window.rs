@@ -1,5 +1,6 @@
 //! Windowed time-series collection over the hierarchy's counters.
 
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::{GlobalStats, PerCoreStats};
 
 /// Counter deltas for one window of execution.
@@ -74,7 +75,24 @@ pub struct WindowedSeries {
     last_instr: u64,
     last_per_core: Vec<PerCoreStats>,
     last_global: GlobalStats,
-    windows: Vec<Window>,
+    // Closed windows live in flat storage — one `WindowMeta` per window,
+    // its per-core deltas at `deltas[meta.deltas_start..][..meta.n_cores]`
+    // — so closing a window costs amortized zero allocations (both
+    // vectors grow geometrically), the same reusable-buffer treatment the
+    // LLC miss path's `order_buf` got. [`Window`] values are only
+    // materialized on read-out.
+    meta: Vec<WindowMeta>,
+    deltas: Vec<PerCoreStats>,
+}
+
+/// Flat-storage record of one closed window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WindowMeta {
+    start_instr: u64,
+    end_instr: u64,
+    global: GlobalStats,
+    deltas_start: usize,
+    n_cores: usize,
 }
 
 impl WindowedSeries {
@@ -93,7 +111,8 @@ impl WindowedSeries {
             last_instr: 0,
             last_per_core: Vec::new(),
             last_global: GlobalStats::default(),
-            windows: Vec::new(),
+            meta: Vec::new(),
+            deltas: Vec::new(),
         }
     }
 
@@ -140,31 +159,131 @@ impl WindowedSeries {
     }
 
     fn close(&mut self, instr: u64, per_core: &[PerCoreStats], global: &GlobalStats) {
-        let deltas: Vec<PerCoreStats> = per_core
-            .iter()
-            .zip(&self.last_per_core)
-            .map(|(now, then)| now.since(then))
-            .collect();
-        self.windows.push(Window {
-            index: self.windows.len(),
+        let deltas_start = self.deltas.len();
+        self.deltas.extend(
+            per_core
+                .iter()
+                .zip(&self.last_per_core)
+                .map(|(now, then)| now.since(then)),
+        );
+        self.meta.push(WindowMeta {
             start_instr: self.last_instr,
             end_instr: instr,
-            per_core: deltas,
             global: global.since(&self.last_global),
+            deltas_start,
+            n_cores: self.deltas.len() - deltas_start,
         });
         self.last_instr = instr;
         self.last_per_core.copy_from_slice(per_core);
         self.last_global = *global;
     }
 
-    /// Closed windows so far.
-    pub fn windows(&self) -> &[Window] {
-        &self.windows
+    /// Number of closed windows so far.
+    pub fn window_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Materializes one closed window out of the flat storage.
+    fn window_at(&self, index: usize) -> Window {
+        let m = &self.meta[index];
+        Window {
+            index,
+            start_instr: m.start_instr,
+            end_instr: m.end_instr,
+            per_core: self.deltas[m.deltas_start..][..m.n_cores].to_vec(),
+            global: m.global,
+        }
+    }
+
+    /// Closed windows so far, materialized (allocates; read-out path, not
+    /// the hot loop).
+    pub fn windows(&self) -> Vec<Window> {
+        (0..self.meta.len()).map(|i| self.window_at(i)).collect()
     }
 
     /// Consumes the collector, returning its windows.
     pub fn take(self) -> Vec<Window> {
-        self.windows
+        self.windows()
+    }
+}
+
+/// Checkpoint coverage: the boundary clocks, the last-seen cumulative
+/// counters and every closed window. The window *size* is configuration
+/// and must match the receiver's — resuming a run under a different
+/// window size would splice incompatible series.
+impl Snapshot for WindowedSeries {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.window);
+        w.write_u64(self.next_boundary);
+        w.write_u64(self.last_instr);
+        w.write_usize(self.last_per_core.len());
+        for s in &self.last_per_core {
+            s.write_state(w);
+        }
+        self.last_global.write_state(w);
+        w.write_usize(self.meta.len());
+        for m in &self.meta {
+            w.write_u64(m.start_instr);
+            w.write_u64(m.end_instr);
+            m.global.write_state(w);
+            w.write_usize(m.deltas_start);
+            w.write_usize(m.n_cores);
+        }
+        w.write_usize(self.deltas.len());
+        for s in &self.deltas {
+            s.write_state(w);
+        }
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let window = r.read_u64()?;
+        if window != self.window {
+            return Err(SnapshotError::Mismatch(format!(
+                "windowed series: snapshot uses a {window}-instruction window, \
+                 this run is configured for {}",
+                self.window
+            )));
+        }
+        self.next_boundary = r.read_u64()?;
+        self.last_instr = r.read_u64()?;
+        let n = r.read_usize()?;
+        self.last_per_core.clear();
+        self.last_per_core.resize(n, PerCoreStats::default());
+        for s in &mut self.last_per_core {
+            s.read_state(r)?;
+        }
+        self.last_global.read_state(r)?;
+        let n_meta = r.read_usize()?;
+        self.meta.clear();
+        for _ in 0..n_meta {
+            let start_instr = r.read_u64()?;
+            let end_instr = r.read_u64()?;
+            let mut global = GlobalStats::default();
+            global.read_state(r)?;
+            let deltas_start = r.read_usize()?;
+            let n_cores = r.read_usize()?;
+            self.meta.push(WindowMeta {
+                start_instr,
+                end_instr,
+                global,
+                deltas_start,
+                n_cores,
+            });
+        }
+        let n_deltas = r.read_usize()?;
+        self.deltas.clear();
+        self.deltas.resize(n_deltas, PerCoreStats::default());
+        for s in &mut self.deltas {
+            s.read_state(r)?;
+        }
+        if let Some(m) = self.meta.last() {
+            if m.deltas_start + m.n_cores > self.deltas.len() {
+                return Err(SnapshotError::Corrupt(
+                    "windowed series: window metadata points past the delta storage".to_string(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -302,6 +421,45 @@ mod tests {
         series.observe(3, &[core_stats(1, 0)], &GlobalStats::default());
         assert_eq!(series.windows().len(), 1);
         assert_eq!(series.next_boundary(), 4);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_series_state() {
+        let mut series = WindowedSeries::new(100);
+        series.observe(100, &[core_stats(5, 2)], &GlobalStats::default());
+        series.observe(
+            200,
+            &[core_stats(9, 2)],
+            &GlobalStats {
+                qbs_queries: 3,
+                ..Default::default()
+            },
+        );
+        let mut w = SnapshotWriter::new();
+        series.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = WindowedSeries::new(100);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        restored.read_state(&mut r).unwrap();
+        assert_eq!(restored.window_count(), 2);
+        assert_eq!(restored.next_boundary(), series.next_boundary());
+        assert_eq!(restored.windows(), series.windows());
+
+        // Both continue identically.
+        let g = GlobalStats {
+            qbs_queries: 5,
+            ..Default::default()
+        };
+        series.finish(250, &[core_stats(11, 3)], &g);
+        restored.finish(250, &[core_stats(11, 3)], &g);
+        assert_eq!(series.take(), restored.take());
+
+        // Window-size mismatch is rejected with a descriptive error.
+        let mut wrong = WindowedSeries::new(50);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let err = wrong.read_state(&mut r).unwrap_err();
+        assert!(err.to_string().contains("window"), "got: {err}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::trace::{Instruction, MemRef, TraceSource};
 use std::io::{self, Read, Write};
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::{AccessKind, LineAddr};
 
 /// Magic bytes identifying a trace file ("TLAT" + version 1).
@@ -190,6 +191,38 @@ impl TraceSource for RecordedTrace {
     }
 }
 
+impl Snapshot for RecordedTrace {
+    // The instruction payload is the workload, not mutable state: a resume
+    // reloads the same trace file and only the replay cursor travels. The
+    // recorded length is written too so a cursor from a different trace is
+    // rejected instead of replayed out of phase.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_usize(self.instructions.len());
+        w.write_usize(self.cursor);
+        w.write_u64(self.laps);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        let len = r.read_usize()?;
+        if len != self.instructions.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "recorded trace: snapshot was taken over {len} instructions, \
+                 this trace has {}",
+                self.instructions.len()
+            )));
+        }
+        let cursor = r.read_usize()?;
+        if cursor >= len {
+            return Err(SnapshotError::Corrupt(format!(
+                "replay cursor {cursor} out of range for {len} instructions"
+            )));
+        }
+        self.cursor = cursor;
+        self.laps = r.read_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,5 +290,75 @@ mod tests {
     fn zero_length_recording_panics() {
         let mut live = SpecApp::Wrf.trace(8, 0, 1);
         let _ = RecordedTrace::record(&mut live, 0);
+    }
+
+    #[test]
+    fn rejects_wrong_version_byte() {
+        // The magic embeds the version ("TLA" + 0x01); a future version
+        // must not be parsed as the current format.
+        let mut live = SpecApp::Mcf.trace(8, 0, 2);
+        let rec = RecordedTrace::record(&mut live, 5);
+        let mut bytes = Vec::new();
+        rec.write_to(&mut bytes).unwrap();
+        bytes[3] = 0x02;
+        let err = RecordedTrace::read_from(bytes.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("not a TLA trace file"), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let mut live = SpecApp::Mcf.trace(8, 0, 2);
+        let rec = RecordedTrace::record(&mut live, 50);
+        let mut bytes = Vec::new();
+        rec.write_to(&mut bytes).unwrap();
+        // Cut mid-header, mid-count, mid-instruction and one byte short.
+        for cut in [2, 8, bytes.len() / 2, bytes.len() - 1] {
+            let err = RecordedTrace::read_from(&bytes[..cut]).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        let mut live = SpecApp::Libquantum.trace(8, 2, 11);
+        let rec = RecordedTrace::record(&mut live, 400);
+        let mut first = Vec::new();
+        rec.write_to(&mut first).unwrap();
+        let back = RecordedTrace::read_from(first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        back.write_to(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn snapshot_restores_cursor_and_laps() {
+        let mut live = SpecApp::Sjeng.trace(8, 0, 4);
+        let mut rec = RecordedTrace::record(&mut live, 30);
+        for _ in 0..42 {
+            rec.next_instruction();
+        }
+        let mut w = SnapshotWriter::new();
+        rec.write_state(&mut w);
+        let state = w.finish();
+
+        let mut resumed = rec.clone();
+        resumed.rewind();
+        let mut r = SnapshotReader::new(&state).unwrap();
+        resumed.read_state(&mut r).unwrap();
+        assert_eq!(resumed.laps(), rec.laps());
+        for _ in 0..60 {
+            assert_eq!(resumed.next_instruction(), rec.next_instruction());
+        }
+
+        // A cursor from a different-length trace is rejected.
+        let mut other = RecordedTrace::record(&mut SpecApp::Sjeng.trace(8, 0, 4), 10);
+        let mut r = SnapshotReader::new(&state).unwrap();
+        let err = other.read_state(&mut r).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err:?}");
     }
 }

@@ -1,6 +1,7 @@
 //! Streaming instruction-trace generation.
 
 use tla_rng::SmallRng;
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::{AccessKind, LineAddr, LINE_BYTES};
 
 /// Bytes per (abstract) instruction for program-counter advancement.
@@ -287,6 +288,84 @@ impl SyntheticTrace {
     }
 }
 
+impl PatternState {
+    /// Tag byte identifying the variant on the wire.
+    fn snapshot_tag(&self) -> u8 {
+        match self {
+            PatternState::Loop { .. } => 0,
+            PatternState::Random { .. } => 1,
+            PatternState::Stream { .. } => 2,
+            PatternState::Chase { .. } => 3,
+        }
+    }
+}
+
+impl Snapshot for SyntheticTrace {
+    // The statistical parameters (bases, ratios, cumulative weights, the
+    // pattern shapes) are reconstructed from the workload spec; only the
+    // cursors travel: PC position, per-pattern walk positions, the RNG and
+    // the generated count. Pattern variant tags are checked so a snapshot
+    // from a different benchmark is rejected.
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.pc_line);
+        w.write_u64(self.pc_slot);
+        w.write_u64(self.generated);
+        self.rng.write_state(w);
+        w.write_u64(self.patterns.len() as u64);
+        for (_, p) in &self.patterns {
+            w.write_u8(p.snapshot_tag());
+            match p {
+                PatternState::Loop { pos, rep, .. } => {
+                    w.write_u64(*pos);
+                    w.write_u64(*rep);
+                }
+                PatternState::Random { .. } => {}
+                PatternState::Stream { pos, rep, .. } => {
+                    w.write_u64(*pos);
+                    w.write_u64(*rep);
+                }
+                PatternState::Chase { pos, .. } => w.write_u64(*pos),
+            }
+        }
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.pc_line = r.read_u64()?;
+        self.pc_slot = r.read_u64()?;
+        self.generated = r.read_u64()?;
+        self.rng.read_state(r)?;
+        let n = r.read_usize()?;
+        if n != self.patterns.len() {
+            return Err(SnapshotError::Mismatch(format!(
+                "trace patterns: snapshot has {n}, this workload has {}",
+                self.patterns.len()
+            )));
+        }
+        for (_, p) in &mut self.patterns {
+            let tag = r.read_u8()?;
+            if tag != p.snapshot_tag() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "trace pattern kind tag {tag} does not match this workload (expected {})",
+                    p.snapshot_tag()
+                )));
+            }
+            match p {
+                PatternState::Loop { pos, rep, .. } => {
+                    *pos = r.read_u64()?;
+                    *rep = r.read_u64()?;
+                }
+                PatternState::Random { .. } => {}
+                PatternState::Stream { pos, rep, .. } => {
+                    *pos = r.read_u64()?;
+                    *rep = r.read_u64()?;
+                }
+                PatternState::Chase { pos, .. } => *pos = r.read_u64()?,
+            }
+        }
+        Ok(())
+    }
+}
+
 impl TraceSource for SyntheticTrace {
     fn next_instruction(&mut self) -> Instruction {
         self.generated += 1;
@@ -494,5 +573,53 @@ mod tests {
             ..simple_params()
         };
         let _ = SyntheticTrace::new(&params, 0, 1);
+    }
+
+    #[test]
+    fn snapshot_resumes_exact_stream() {
+        let params = WorkloadParams {
+            code_footprint_bytes: 4096,
+            mem_ratio: 0.6,
+            write_ratio: 0.3,
+            patterns: vec![
+                (0.4, PatternKind::Loop { lines: 64, stay: 4 }),
+                (0.2, PatternKind::Random { lines: 1024 }),
+                (0.2, PatternKind::Stream { stay: 2 }),
+                (0.2, PatternKind::Chase { lines: 256 }),
+            ],
+        };
+        let mut live = SyntheticTrace::new(&params, 1, 99);
+        for _ in 0..5000 {
+            live.next_instruction();
+        }
+        let mut w = tla_snapshot::SnapshotWriter::new();
+        live.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut resumed = SyntheticTrace::new(&params, 1, 99);
+        let mut r = tla_snapshot::SnapshotReader::new(&bytes).unwrap();
+        resumed.read_state(&mut r).unwrap();
+        assert_eq!(resumed.generated(), live.generated());
+        for _ in 0..5000 {
+            assert_eq!(resumed.next_instruction(), live.next_instruction());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_different_pattern_mixture() {
+        let mut a = SyntheticTrace::new(&simple_params(), 0, 1);
+        let mut w = tla_snapshot::SnapshotWriter::new();
+        a.next_instruction();
+        a.write_state(&mut w);
+        let bytes = w.finish();
+
+        let other = WorkloadParams {
+            patterns: vec![(1.0, PatternKind::Stream { stay: 1 })],
+            ..simple_params()
+        };
+        let mut b = SyntheticTrace::new(&other, 0, 1);
+        let mut r = tla_snapshot::SnapshotReader::new(&bytes).unwrap();
+        let err = b.read_state(&mut r).unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "{err:?}");
     }
 }

@@ -6,29 +6,44 @@
 //! tla-cli run --mix lib,sje --policy qbs [opts]  # one run
 //! tla-cli compare --mix lib,sje [opts]           # all policies on one mix
 //! tla-cli bench [opts]                           # throughput benchmark
+//! tla-cli snapshot save --mix a,b --out f.tlas   # warm once, checkpoint
+//! tla-cli snapshot info f.tlas                   # inspect a checkpoint
+//! tla-cli snapshot resume f.tlas --policy qbs    # measure from a checkpoint
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
 //!          --jobs <n>  --baseline <path>  --gate <pct>  --target-ms <n>
+//!          --out <path>  --warm-start
 //! ```
 
 use std::process::ExitCode;
-use tla::bench::time_it;
-use tla::sim::{mpki_table, run_policy_reports, MixRun, PolicySpec, RunReport, SimConfig, Table};
+use tla::sim::{
+    mpki_table, run_policy_reports, run_policy_reports_warm_start, Checkpoint, MixRun, PolicySpec,
+    RunReport, SimConfig, Table,
+};
 use tla::telemetry::json::JsonValue;
 use tla::workloads::{table2_mixes, SpecApp};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tla-cli <list|table1|run|compare|bench> [options]\n\
+        "usage: tla-cli <list|table1|run|compare|bench|snapshot> [options]\n\
          \n\
          commands:\n\
          \x20 list                    available apps, mixes and policies\n\
          \x20 table1                  isolated L1/L2/LLC MPKI (Table I)\n\
          \x20 run     --mix a,b ...   one simulation run\n\
          \x20 compare --mix a,b ...   every policy on one mix\n\
+         \x20                         (--warm-start: warm once under the\n\
+         \x20                         baseline, fan measurement per policy)\n\
          \x20 bench                   simulator throughput over a fixed\n\
          \x20                         policy x core-count matrix\n\
+         \x20 snapshot save --mix a,b --out <f.tlas>\n\
+         \x20                         run the warm-up only and checkpoint it\n\
+         \x20                         (--window instruments the checkpoint)\n\
+         \x20 snapshot info <f.tlas>  describe a checkpoint\n\
+         \x20 snapshot resume <f.tlas> [--policy p] [--json out]\n\
+         \x20                         finish the measured phase from a\n\
+         \x20                         checkpoint (config comes from the file)\n\
          \n\
          options:\n\
          \x20 --mix <apps|MIX_nn>     comma-separated app names (see `list`)\n\
@@ -47,11 +62,15 @@ fn usage() -> ExitCode {
          \x20 --jobs <n>              worker threads for batch commands\n\
          \x20                         (default: all cores; results are\n\
          \x20                         bit-identical for any value)\n\
+         \x20 --out <path>            checkpoint file for snapshot save\n\
+         \x20 --warm-start            share one warm-up across compare's\n\
+         \x20                         policies via an in-memory checkpoint\n\
          \n\
          bench options:\n\
          \x20 --json <path>           write the BENCH_*.json report\n\
          \x20 --baseline <path>       committed BENCH_*.json to gate against\n\
-         \x20 --gate <pct>            max %% throughput regression per entry\n\
+         \x20 --gate <pct>            max %% regression of an entry's\n\
+         \x20                         throughput ratio to 1core/baseline\n\
          \x20                         before failing (default 10)\n\
          \x20 --target-ms <n>         wall-clock budget per matrix entry\n\
          \x20                         (default 800)"
@@ -70,6 +89,8 @@ struct Options {
     baseline: Option<String>,
     gate_pct: f64,
     target_ms: u64,
+    out: Option<String>,
+    warm_start: bool,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
@@ -102,7 +123,11 @@ fn parse_mix(spec: &str) -> Option<Vec<SpecApp>> {
         .collect()
 }
 
-fn parse_options(args: &[String], base_cfg: SimConfig) -> Result<Options, String> {
+fn parse_options(
+    args: &[String],
+    base_cfg: SimConfig,
+    window_needs_json: bool,
+) -> Result<Options, String> {
     let mut opts = Options {
         mix: Vec::new(),
         policy: None,
@@ -113,6 +138,8 @@ fn parse_options(args: &[String], base_cfg: SimConfig) -> Result<Options, String
         baseline: None,
         gate_pct: 10.0,
         target_ms: 800,
+        out: None,
+        warm_start: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -188,10 +215,16 @@ fn parse_options(args: &[String], base_cfg: SimConfig) -> Result<Options, String
                 }
                 opts.target_ms = v;
             }
+            "--out" => {
+                opts.out = Some(value("--out")?);
+            }
+            "--warm-start" => {
+                opts.warm_start = true;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    if opts.window.is_some() && opts.json.is_none() {
+    if window_needs_json && opts.window.is_some() && opts.json.is_none() {
         return Err("--window only makes sense with --json".into());
     }
     Ok(opts)
@@ -328,7 +361,18 @@ fn cmd_compare(opts: &Options) -> ExitCode {
         .as_ref()
         .map(|_| opts.window.unwrap_or(DEFAULT_WINDOW));
     let llc = opts.llc_mb.map(|mb| mb * 1024 * 1024);
-    let results = run_policy_reports(&opts.cfg, &opts.mix, &specs, llc, window);
+    let results = if opts.warm_start {
+        // Warm once under the baseline, fan the measured phases out.
+        match run_policy_reports_warm_start(&opts.cfg, &opts.mix, &specs, llc, window) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("error: warm-start resume failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_policy_reports(&opts.cfg, &opts.mix, &specs, llc, window)
+    };
     let mut baseline = None;
     let mut reports = Vec::new();
     for (spec, (r, report)) in specs.iter().zip(results) {
@@ -346,15 +390,22 @@ fn cmd_compare(opts: &Options) -> ExitCode {
 }
 
 /// The fixed bench matrix: the paper's four management policies crossed
-/// with 1/2/4-core LLC-miss-heavy mixes (mcf and libquantum are the two
+/// with 1/2/4/8-core LLC-miss-heavy mixes (mcf and libquantum are the two
 /// highest-LLC-MPKI apps of Table I, so every entry exercises the LLC miss
-/// path the scratch-buffer rewrite targets).
+/// path the scratch-buffer rewrite targets; the 8-core mix stresses
+/// scheduler-heap and sharer-bitmap scaling).
 fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
     use SpecApp::{Libquantum, Mcf};
-    let mixes: [(&str, Vec<SpecApp>); 3] = [
+    let mixes: [(&str, Vec<SpecApp>); 4] = [
         ("1core", vec![Mcf]),
         ("2core", vec![Mcf, Libquantum]),
         ("4core-llcmiss", vec![Mcf, Mcf, Libquantum, Libquantum]),
+        (
+            "8core",
+            vec![
+                Mcf, Libquantum, Mcf, Libquantum, Mcf, Libquantum, Mcf, Libquantum,
+            ],
+        ),
     ];
     let policies = [
         ("baseline", PolicySpec::baseline()),
@@ -386,7 +437,10 @@ fn peak_rss_kb() -> Option<u64> {
 
 /// One timed bench-matrix entry. `accesses_per_sec` comes from the fastest
 /// measured batch (noise-robust); `accesses_per_sec_mean` from the whole
-/// measured window.
+/// measured window; `calibration_ratio` is the median over rounds of the
+/// entry's throughput divided by an *immediately adjacent* calibration
+/// measurement (see `cmd_bench`) — the machine-independent number the gate
+/// compares.
 struct BenchEntry {
     name: String,
     cores: usize,
@@ -395,6 +449,7 @@ struct BenchEntry {
     wall_s: f64,
     accesses_per_sec: f64,
     accesses_per_sec_mean: f64,
+    calibration_ratio: f64,
 }
 
 impl BenchEntry {
@@ -410,12 +465,30 @@ impl BenchEntry {
                 "accesses_per_sec_mean",
                 JsonValue::Num(self.accesses_per_sec_mean),
             ),
+            ("calibration_ratio", JsonValue::Num(self.calibration_ratio)),
         ])
     }
 }
 
+/// The entry every bench report must contain: all other entries gate on
+/// their throughput *ratio* to it, so a committed baseline stays valid on
+/// machines of any absolute speed.
+const GATE_CALIBRATION_ENTRY: &str = "1core/baseline";
+
+/// How many interleaved passes over the matrix the timing budget is split
+/// into (see `cmd_bench`).
+const BENCH_ROUNDS: u64 = 5;
+
 /// Compares fresh entries against a committed baseline report, failing on
-/// any per-entry throughput regression beyond `gate_pct`.
+/// any per-entry *relative* throughput regression beyond `gate_pct`.
+///
+/// The compared number is each entry's `calibration_ratio`: its throughput
+/// divided by a calibration measurement (`1core/baseline`) taken
+/// immediately before it in the same run. A uniformly faster or slower
+/// machine — or a speed epoch that drifts across the run — shifts both
+/// halves of every pair but no ratio, so the gate catches per-entry
+/// regressions (an 8-core path getting slower relative to the 1-core
+/// path) without re-blessing per machine.
 fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
@@ -426,20 +499,37 @@ fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Res
         .ok_or_else(|| format!("baseline {baseline_path}: no 'entries' array"))?;
     let mut failures = Vec::new();
     for e in entries {
+        // The calibration entry's ratio is ~1 by construction; gating it
+        // against itself would be meaningless.
+        if e.name == GATE_CALIBRATION_ENTRY {
+            continue;
+        }
         let Some(base) = base_entries
             .iter()
             .find(|b| b.get("name").and_then(JsonValue::as_str) == Some(e.name.as_str()))
-            .and_then(|b| b.get("accesses_per_sec"))
-            .and_then(JsonValue::as_f64)
         else {
             eprintln!("gate: no baseline entry for {} — skipping", e.name);
             continue;
         };
-        let delta_pct = (e.accesses_per_sec / base - 1.0) * 100.0;
+        let Some(base_ratio) = base.get("calibration_ratio").and_then(JsonValue::as_f64) else {
+            return Err(format!(
+                "baseline {baseline_path}: entry {} has no 'calibration_ratio' — \
+                 re-bless the baseline with this binary",
+                e.name
+            ));
+        };
+        if base_ratio <= 0.0 {
+            return Err(format!(
+                "baseline {baseline_path}: entry {} has non-positive calibration_ratio",
+                e.name
+            ));
+        }
+        let fresh_ratio = e.calibration_ratio;
+        let delta_pct = (fresh_ratio / base_ratio - 1.0) * 100.0;
         let verdict = if delta_pct < -gate_pct {
             failures.push(format!(
-                "{}: {:.0} acc/s vs baseline {:.0} ({:+.1}% < -{gate_pct}%)",
-                e.name, e.accesses_per_sec, base, delta_pct
+                "{}: ratio {:.3} vs baseline ratio {:.3} ({:+.1}% < -{gate_pct}%)",
+                e.name, fresh_ratio, base_ratio, delta_pct
             ));
             "FAIL"
         } else {
@@ -448,7 +538,8 @@ fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Res
         println!("gate {:20} {delta_pct:+7.1}%  {verdict}", e.name);
         if delta_pct > gate_pct {
             eprintln!(
-                "gate: {} improved {delta_pct:+.1}% — consider re-blessing the baseline",
+                "gate: {} improved {delta_pct:+.1}% relative to '{GATE_CALIBRATION_ENTRY}' — \
+                 consider re-blessing the baseline",
                 e.name
             );
         }
@@ -457,7 +548,7 @@ fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Res
         Ok(())
     } else {
         Err(format!(
-            "throughput regressed beyond {gate_pct}%:\n  {}",
+            "relative throughput regressed beyond {gate_pct}%:\n  {}",
             failures.join("\n  ")
         ))
     }
@@ -474,37 +565,102 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         opts.target_ms
     );
     let t_total = std::time::Instant::now();
+    let matrix = bench_matrix();
+
+    // One untimed run per entry pins the deterministic access count and
+    // doubles as warm-up before the timed rounds.
+    let accesses: Vec<u64> = matrix
+        .iter()
+        .map(|(_, apps, spec)| {
+            let r = MixRun::new(cfg, apps).spec(spec).run();
+            r.threads
+                .iter()
+                .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
+                .sum()
+        })
+        .collect();
+
+    // The timing budget is split into rounds interleaved across the whole
+    // matrix rather than spent contiguously per entry, and inside each
+    // round an entry is timed *alternating iteration-by-iteration* with
+    // the calibration workload (`1core/baseline`). Host speed drifts on a
+    // timescale of seconds to tens of seconds (frequency scaling,
+    // co-tenants); the gate compares the entry/calibration *ratio*, and
+    // with the two series interleaved at sub-second granularity their
+    // minima land in the same speed epoch, so the ratio stays clean
+    // however the run straddles epochs. The per-entry ratio is the median
+    // over rounds; absolute throughput keeps the fastest iteration across
+    // all rounds. A single run costs ≥25 ms, so per-iteration `Instant`
+    // overhead is noise and no batching is needed.
+    let cal = matrix
+        .iter()
+        .position(|(n, _, _)| n == GATE_CALIBRATION_ENTRY)
+        .expect("bench matrix contains the calibration entry");
+    let (_, cal_apps, cal_spec) = matrix[cal].clone();
+    let rounds = BENCH_ROUNDS.min(opts.target_ms.max(1));
+    let per_round = std::time::Duration::from_millis((opts.target_ms / rounds).max(1));
+    let mut best_npi = vec![f64::INFINITY; matrix.len()];
+    let mut iters = vec![0u64; matrix.len()];
+    let mut nanos = vec![0u128; matrix.len()];
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); matrix.len()];
+    for _ in 0..rounds {
+        for (i, (_, apps, spec)) in matrix.iter().enumerate() {
+            let round_start = std::time::Instant::now();
+            let mut best_entry = u128::MAX;
+            let mut best_cal = u128::MAX;
+            let mut pairs = 0u32;
+            loop {
+                let t0 = std::time::Instant::now();
+                let _ = MixRun::new(cfg, &cal_apps).spec(&cal_spec).run();
+                best_cal = best_cal.min(t0.elapsed().as_nanos());
+                let t0 = std::time::Instant::now();
+                let _ = MixRun::new(cfg, apps).spec(spec).run();
+                let entry_nanos = t0.elapsed().as_nanos();
+                best_entry = best_entry.min(entry_nanos);
+                iters[i] += 1;
+                nanos[i] += entry_nanos;
+                pairs += 1;
+                // A min over one sample is no min at all — entries whose
+                // single run overshoots the round budget (the 8-core mixes
+                // at small --target-ms) still get two pairs.
+                if round_start.elapsed() >= per_round && pairs >= 2 {
+                    break;
+                }
+            }
+            best_npi[i] = best_npi[i].min(best_entry as f64);
+            let entry_aps = accesses[i] as f64 * 1e9 / best_entry as f64;
+            let cal_aps = accesses[cal] as f64 * 1e9 / best_cal as f64;
+            ratios[i].push(entry_aps / cal_aps);
+        }
+    }
+
     let mut entries = Vec::new();
-    let mut table = Table::new(&["entry", "cores", "accesses", "iters", "Macc/s"]);
-    for (name, apps, spec) in bench_matrix() {
-        // One untimed run pins the deterministic access count and doubles
-        // as warm-up before `time_it` calibrates its batch size.
-        let r = MixRun::new(cfg, &apps).spec(&spec).run();
-        let accesses: u64 = r
-            .threads
-            .iter()
-            .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
-            .sum();
-        let m = time_it(&name, opts.target_ms, || {
-            let _ = MixRun::new(cfg, &apps).spec(&spec).run();
-        });
-        let accesses_per_sec = accesses as f64 * 1e9 / m.best_nanos_per_iter();
-        let accesses_per_sec_mean = accesses as f64 * 1e9 / m.nanos_per_iter();
+    let mut table = Table::new(&["entry", "cores", "accesses", "iters", "Macc/s", "ratio"]);
+    for (i, (name, apps, _)) in matrix.into_iter().enumerate() {
+        let accesses_per_sec = accesses[i] as f64 * 1e9 / best_npi[i];
+        let accesses_per_sec_mean = accesses[i] as f64 * 1e9 * iters[i] as f64 / nanos[i] as f64;
+        let calibration_ratio = {
+            let r = &mut ratios[i];
+            r.sort_by(f64::total_cmp);
+            r[r.len() / 2]
+        };
         table.add_row(vec![
             name.clone(),
             apps.len().to_string(),
-            accesses.to_string(),
-            m.iters.to_string(),
+            accesses[i].to_string(),
+            iters[i].to_string(),
             format!("{:.2}", accesses_per_sec / 1e6),
+            format!("{calibration_ratio:.3}"),
         ]);
         entries.push(BenchEntry {
             name,
             cores: apps.len(),
-            accesses,
-            iters: m.iters,
-            wall_s: m.nanos as f64 / 1e9,
+            accesses: accesses[i],
+            iters: iters[i],
+            wall_s: nanos[i] as f64 / 1e9,
             accesses_per_sec,
             accesses_per_sec_mean,
+            calibration_ratio,
         });
     }
     print!("{table}");
@@ -524,7 +680,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     }
     if let Some(path) = &opts.json {
         let doc = JsonValue::object([
-            ("schema", JsonValue::Str("tla-bench-report-v1".into())),
+            ("schema", JsonValue::Str("tla-bench-report-v2".into())),
             (
                 "config",
                 JsonValue::object([
@@ -553,22 +709,215 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     code
 }
 
+/// The paper-flavoured default config of the simulation commands.
+fn sim_base_cfg() -> SimConfig {
+    SimConfig::scaled_down()
+        .warmup(800_000)
+        .instructions(300_000)
+}
+
+/// Rebuilds the [`SimConfig`] a checkpoint was warmed under from its meta
+/// section, so `snapshot resume` needs no re-typed flags.
+fn cfg_from_info(info: &tla::sim::CheckpointInfo) -> SimConfig {
+    SimConfig::scaled_down()
+        .with_scale(info.scale)
+        .warmup(info.warmup)
+        .instructions(info.instructions)
+        .seed(info.seed)
+        .prefetch(info.prefetch)
+}
+
+fn cmd_snapshot_save(opts: &Options) -> ExitCode {
+    if opts.mix.is_empty() {
+        eprintln!("snapshot save: --mix is required");
+        return ExitCode::FAILURE;
+    }
+    let Some(path) = &opts.out else {
+        eprintln!("snapshot save: --out <path> is required");
+        return ExitCode::FAILURE;
+    };
+    let spec = opts.policy.clone().unwrap_or_else(PolicySpec::baseline);
+    let mut run = MixRun::new(&opts.cfg, &opts.mix).spec(&spec);
+    if let Some(mb) = opts.llc_mb {
+        run = run.llc_capacity_full_scale(mb * 1024 * 1024);
+    }
+    let checkpoint = match opts.window {
+        Some(w) => run.warm_checkpoint_instrumented(Some(w)),
+        None => run.warm_checkpoint(),
+    };
+    let info = match checkpoint.info() {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("error: just-written checkpoint is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = checkpoint.save(path) {
+        eprintln!("error: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "checkpoint written to {path}: mix {} warmed {} instr/thread under {} \
+         ({} global instr, {} bytes{})",
+        info.mix_label(),
+        info.warmup,
+        info.warm_spec,
+        info.total_instr,
+        checkpoint.as_bytes().len(),
+        if info.instrumented {
+            ", instrumented"
+        } else {
+            ""
+        },
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_snapshot_info(path: &str) -> ExitCode {
+    let checkpoint = match Checkpoint::load(path) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let info = match checkpoint.info() {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("checkpoint: {path} ({} bytes)", checkpoint.as_bytes().len());
+    println!("  mix:          {}", info.mix_label());
+    println!("  cores:        {}", info.apps.len());
+    println!("  scale:        1/{}", info.scale);
+    println!("  seed:         {:#x}", info.seed);
+    println!("  warmup:       {} instr/thread", info.warmup);
+    println!("  measure:      {} instr/thread", info.instructions);
+    println!("  prefetch:     {}", info.prefetch);
+    if let Some(bytes) = info.llc_capacity_full_scale {
+        println!("  llc override: {bytes} bytes (full scale)");
+    }
+    println!("  warm policy:  {}", info.warm_spec);
+    println!("  frozen at:    {} global instr", info.total_instr);
+    match (info.instrumented, info.window) {
+        (true, Some(w)) => println!("  telemetry:    instrumented, window {w}"),
+        (true, None) => println!("  telemetry:    instrumented, no time series"),
+        _ => println!("  telemetry:    none"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_snapshot_resume(path: &str, opts: &Options) -> ExitCode {
+    let checkpoint = match Checkpoint::load(path) {
+        Ok(ck) => ck,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let info = match checkpoint.info() {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = cfg_from_info(&info);
+    let spec = opts.policy.clone().unwrap_or_else(PolicySpec::baseline);
+    let build = || {
+        let mut run = MixRun::new(&cfg, &info.apps).spec(&spec);
+        if let Some(bytes) = info.llc_capacity_full_scale {
+            // The builder re-applies the scale divisor, so feed it the
+            // full-scale figure the checkpoint recorded.
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        run
+    };
+    if let Some(json_path) = &opts.json {
+        let window = opts.window.or(info.window);
+        match build().resume_report(&checkpoint, window) {
+            Ok((result, report)) => {
+                print_result(&spec.name, &result);
+                write_json(json_path, &report.to_json_string())
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume {path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match build().resume(&checkpoint) {
+            Ok(result) => {
+                print_result(&spec.name, &result);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot resume {path}: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn cmd_snapshot(rest: &[String]) -> ExitCode {
+    let Some((sub, args)) = rest.split_first() else {
+        eprintln!("error: snapshot needs a subcommand (save|info|resume)");
+        return usage();
+    };
+    match sub.as_str() {
+        "save" => match parse_options(args, sim_base_cfg(), false) {
+            Ok(opts) => cmd_snapshot_save(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        "info" | "resume" => {
+            let Some((path, args)) = args.split_first() else {
+                eprintln!("error: snapshot {sub} needs a checkpoint path");
+                return usage();
+            };
+            if sub == "info" {
+                if !args.is_empty() {
+                    eprintln!("error: snapshot info takes no options");
+                    return usage();
+                }
+                return cmd_snapshot_info(path);
+            }
+            match parse_options(args, sim_base_cfg(), false) {
+                Ok(opts) => cmd_snapshot_resume(path, &opts),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage()
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown snapshot subcommand '{other}'");
+            usage()
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
     };
+    if cmd == "snapshot" {
+        return cmd_snapshot(rest);
+    }
     // `bench` wants long measured runs with no warm-up (throughput, not
     // policy fidelity); the simulation commands keep the paper-flavoured
     // warm-up defaults. Either way the flags can override.
     let base_cfg = if cmd == "bench" {
         SimConfig::scaled_down().warmup(0).instructions(1_000_000)
     } else {
-        SimConfig::scaled_down()
-            .warmup(800_000)
-            .instructions(300_000)
+        sim_base_cfg()
     };
-    let opts = match parse_options(rest, base_cfg) {
+    let opts = match parse_options(rest, base_cfg, true) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -595,6 +944,7 @@ mod tests {
             SimConfig::scaled_down()
                 .warmup(800_000)
                 .instructions(300_000),
+            true,
         )
     }
 
@@ -741,56 +1091,119 @@ mod tests {
     #[test]
     fn bench_matrix_shape() {
         let matrix = bench_matrix();
-        assert_eq!(matrix.len(), 12, "4 policies x 3 core counts");
+        assert_eq!(matrix.len(), 16, "4 policies x 4 core counts");
         // Names are unique (the gate matches entries by name).
         let mut names: Vec<&str> = matrix.iter().map(|(n, _, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 16);
         // The headline LLC-miss-heavy workload is present at 4 cores.
         assert!(matrix
             .iter()
             .any(|(n, apps, _)| n == "4core-llcmiss/baseline" && apps.len() == 4));
+        // The 8-core scaling point rides along at every policy.
+        assert_eq!(
+            matrix
+                .iter()
+                .filter(|(n, apps, _)| n.starts_with("8core/") && apps.len() == 8)
+                .count(),
+            4
+        );
+        // The gate's calibration entry is part of the matrix.
+        assert!(matrix.iter().any(|(n, _, _)| n == GATE_CALIBRATION_ENTRY));
     }
 
     #[test]
-    fn bench_gate_passes_and_fails() {
+    fn bench_gate_compares_ratios_not_absolutes() {
         let dir = std::env::temp_dir().join(format!("tla-gate-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("base.json");
+        // Baseline machine: 8core/qbs ran at half the calibration entry's
+        // throughput (ratio 0.5), at 0.5 Macc/s absolute.
+        let base_entry = |name: &str, aps: f64, ratio: Option<f64>| {
+            let mut fields = vec![
+                ("name", JsonValue::Str(name.into())),
+                ("accesses_per_sec", JsonValue::Num(aps)),
+            ];
+            if let Some(r) = ratio {
+                fields.push(("calibration_ratio", JsonValue::Num(r)));
+            }
+            JsonValue::object(fields)
+        };
         let baseline = JsonValue::object([(
             "entries",
-            JsonValue::array([JsonValue::object([
-                ("name", JsonValue::Str("1core/baseline".into())),
-                ("accesses_per_sec", JsonValue::Num(1_000_000.0)),
-            ])]),
+            JsonValue::array([base_entry("8core/qbs", 500_000.0, Some(0.5))]),
         )]);
         std::fs::write(&path, baseline.to_pretty()).unwrap();
-        let entry = |aps: f64| BenchEntry {
-            name: "1core/baseline".into(),
+        let entry = |name: &str, aps: f64, ratio: f64| BenchEntry {
+            name: name.into(),
             cores: 1,
             accesses: 1,
             iters: 1,
             wall_s: 1.0,
             accesses_per_sec: aps,
             accesses_per_sec_mean: aps,
+            calibration_ratio: ratio,
         };
         let p = path.to_str().unwrap();
-        // Within the gate: equal, slightly slower, much faster.
-        assert!(bench_gate(&[entry(1_000_000.0)], p, 10.0).is_ok());
-        assert!(bench_gate(&[entry(950_000.0)], p, 10.0).is_ok());
-        assert!(bench_gate(&[entry(2_000_000.0)], p, 10.0).is_ok());
-        // Beyond the gate: fails with the entry named.
-        let err = bench_gate(&[entry(800_000.0)], p, 10.0).unwrap_err();
-        assert!(err.contains("1core/baseline"));
-        // Unknown entries are skipped, not failed.
-        let mut stray = entry(1.0);
-        stray.name = "no-such-entry".into();
-        assert!(bench_gate(&[stray], p, 10.0).is_ok());
+        // Same ratio passes, whatever the absolute numbers did: a 3x faster
+        // and a 5x slower machine both keep ratio 0.5 (the portability
+        // property the absolute gate lacked).
+        for aps in [500_000.0, 1_500_000.0, 100_000.0] {
+            assert!(bench_gate(&[entry("8core/qbs", aps, 0.5)], p, 10.0).is_ok());
+        }
+        // The entry slipping relative to calibration fails even though its
+        // absolute throughput beats the baseline's.
+        let err = bench_gate(&[entry("8core/qbs", 900_000.0, 0.3)], p, 10.0).unwrap_err();
+        assert!(err.contains("8core/qbs"), "{err}");
+        // Within the gate margin: ratio 0.46 vs 0.5 is an -8% slip.
+        assert!(bench_gate(&[entry("8core/qbs", 460_000.0, 0.46)], p, 10.0).is_ok());
+        // A big relative improvement still passes (one-sided gate).
+        assert!(bench_gate(&[entry("8core/qbs", 900_000.0, 0.9)], p, 10.0).is_ok());
+        // The calibration entry itself is never gated (its ratio is ~1 by
+        // construction and it has no baseline counterpart here).
+        assert!(bench_gate(&[entry(GATE_CALIBRATION_ENTRY, 1.0, 1.0)], p, 10.0).is_ok());
+        // Entries unknown to the baseline are skipped, not failed.
+        assert!(bench_gate(&[entry("no-such-entry", 1.0, 1.0)], p, 10.0).is_ok());
+        // A pre-ratio baseline (no calibration_ratio field) demands a
+        // re-bless instead of gating on garbage.
+        let old = dir.join("old.json");
+        let doc = JsonValue::object([(
+            "entries",
+            JsonValue::array([base_entry("8core/qbs", 500_000.0, None)]),
+        )]);
+        std::fs::write(&old, doc.to_pretty()).unwrap();
+        let err =
+            bench_gate(&[entry("8core/qbs", 1.0, 0.5)], old.to_str().unwrap(), 10.0).unwrap_err();
+        assert!(err.contains("calibration_ratio"), "{err}");
         // Malformed baseline reports an error.
         let bad = dir.join("bad.json");
         std::fs::write(&bad, "{}").unwrap();
-        assert!(bench_gate(&[entry(1.0)], bad.to_str().unwrap(), 10.0).is_err());
+        assert!(bench_gate(&[entry("8core/qbs", 1.0, 0.5)], bad.to_str().unwrap(), 10.0).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_options_parse() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            super::parse_options(&v, sim_base_cfg(), false)
+        };
+        let o = parse(&[
+            "--mix",
+            "lib,sje",
+            "--out",
+            "warm.tlas",
+            "--window",
+            "50000",
+        ])
+        .unwrap();
+        assert_eq!(o.out.as_deref(), Some("warm.tlas"));
+        // Without the json requirement, a bare --window instruments the
+        // checkpoint.
+        assert_eq!(o.window, Some(50_000));
+        assert!(!o.warm_start);
+        let o = parse(&["--mix", "lib,sje", "--warm-start"]).unwrap();
+        assert!(o.warm_start);
     }
 }

@@ -1,0 +1,188 @@
+//! Resume determinism: for every bench-matrix policy, a run resumed from
+//! a warm checkpoint must be byte-identical (in report JSON) to the same
+//! run executed straight through, and corrupt or mismatched checkpoints
+//! must fail with descriptive errors — never silently diverge.
+
+use tla::sim::{Checkpoint, MixRun, PolicySpec, SimConfig, SnapshotError};
+use tla::workloads::SpecApp;
+
+fn cfg() -> SimConfig {
+    SimConfig::scaled_down()
+        .warmup(100_000)
+        .instructions(50_000)
+        .seed(42)
+}
+
+const MIX: [SpecApp; 2] = [SpecApp::Libquantum, SpecApp::Sjeng];
+const WINDOW: u64 = 25_000;
+
+/// The four bench-matrix policies.
+fn matrix_policies() -> [PolicySpec; 4] {
+    [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+    ]
+}
+
+#[test]
+fn resumed_reports_match_straight_runs_for_every_matrix_policy() {
+    for spec in matrix_policies() {
+        let (_, straight) = MixRun::new(&cfg(), &MIX)
+            .spec(&spec)
+            .run_report(Some(WINDOW));
+        let checkpoint = MixRun::new(&cfg(), &MIX)
+            .spec(&spec)
+            .warm_checkpoint_instrumented(Some(WINDOW));
+        let (_, resumed) = MixRun::new(&cfg(), &MIX)
+            .spec(&spec)
+            .resume_report(&checkpoint, Some(WINDOW))
+            .unwrap();
+        assert_eq!(
+            resumed.to_json_string(),
+            straight.to_json_string(),
+            "{}: resumed report differs from straight-through report",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn checkpoint_survives_disk_round_trip() {
+    let dir = std::env::temp_dir().join(format!("tla-snapshot-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("warm.tlas");
+
+    let checkpoint = MixRun::new(&cfg(), &MIX).warm_checkpoint();
+    checkpoint.save(&path).unwrap();
+    let loaded = Checkpoint::load(&path).unwrap();
+    assert_eq!(loaded.as_bytes(), checkpoint.as_bytes());
+
+    // A second save of the loaded checkpoint is byte-identical on disk.
+    let path2 = dir.join("warm2.tlas");
+    loaded.save(&path2).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&path2).unwrap()
+    );
+
+    let direct = MixRun::new(&cfg(), &MIX)
+        .spec(&PolicySpec::eci())
+        .resume(&checkpoint)
+        .unwrap();
+    let via_disk = MixRun::new(&cfg(), &MIX)
+        .spec(&PolicySpec::eci())
+        .resume(&loaded)
+        .unwrap();
+    assert_eq!(direct.global, via_disk.global);
+    for (a, b) in direct.threads.iter().zip(&via_disk.threads) {
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.cycles, b.cycles);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_checkpoints_fail_loudly() {
+    let bytes = MixRun::new(&cfg(), &MIX)
+        .warm_checkpoint()
+        .as_bytes()
+        .to_vec();
+
+    // Bad magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] = b'X';
+    assert!(matches!(
+        Checkpoint::from_bytes(bad_magic).unwrap_err(),
+        SnapshotError::BadMagic
+    ));
+
+    // Unsupported version byte.
+    let mut bad_version = bytes.clone();
+    bad_version[4] = 0xFF;
+    match Checkpoint::from_bytes(bad_version).unwrap_err() {
+        SnapshotError::BadVersion { found, .. } => assert_eq!(found, 0xFF),
+        other => panic!("expected BadVersion, got {other}"),
+    }
+
+    // Any flipped payload byte trips the checksum.
+    for frac in [3, 2] {
+        let mut corrupt = bytes.clone();
+        let at = corrupt.len() / frac;
+        corrupt[at] ^= 0x10;
+        assert!(matches!(
+            Checkpoint::from_bytes(corrupt).unwrap_err(),
+            SnapshotError::BadChecksum
+        ));
+    }
+
+    // Truncation anywhere fails (short header is Truncated; a longer cut
+    // loses the checksum alignment).
+    for cut in [2, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            Checkpoint::from_bytes(bytes[..cut].to_vec()).is_err(),
+            "cut at {cut} must be rejected"
+        );
+    }
+    assert!(matches!(
+        Checkpoint::from_bytes(bytes[..8].to_vec()).unwrap_err(),
+        SnapshotError::Truncated
+    ));
+
+    // Errors render descriptively.
+    let msg = SnapshotError::BadChecksum.to_string();
+    assert!(msg.contains("checksum"), "{msg}");
+}
+
+#[test]
+fn resume_pins_every_axis_but_the_policy() {
+    let checkpoint = MixRun::new(&cfg(), &MIX).warm_checkpoint();
+
+    // The policy axis is free: every matrix policy resumes fine.
+    for spec in matrix_policies() {
+        assert!(MixRun::new(&cfg(), &MIX)
+            .spec(&spec)
+            .resume(&checkpoint)
+            .is_ok());
+    }
+
+    // Everything else is pinned with a Mismatch naming the axis.
+    let expect = |err: SnapshotError, needle: &str| match err {
+        SnapshotError::Mismatch(msg) => {
+            assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+        }
+        other => panic!("expected Mismatch for {needle}, got {other}"),
+    };
+    let other_mix = [SpecApp::Mcf, SpecApp::Sjeng];
+    expect(
+        MixRun::new(&cfg(), &other_mix)
+            .resume(&checkpoint)
+            .unwrap_err(),
+        "mix",
+    );
+    expect(
+        MixRun::new(&cfg().seed(7), &MIX)
+            .resume(&checkpoint)
+            .unwrap_err(),
+        "seed",
+    );
+    expect(
+        MixRun::new(&cfg().warmup(1), &MIX)
+            .resume(&checkpoint)
+            .unwrap_err(),
+        "warm-up",
+    );
+    expect(
+        MixRun::new(&cfg().instructions(1), &MIX)
+            .resume(&checkpoint)
+            .unwrap_err(),
+        "instruction quota",
+    );
+    expect(
+        MixRun::new(&cfg().prefetch(false), &MIX)
+            .resume(&checkpoint)
+            .unwrap_err(),
+        "prefetch",
+    );
+}
