@@ -80,6 +80,37 @@ fn bench_hierarchy_access(ms: u64, with_sink: bool) -> Vec<Measurement> {
     .collect()
 }
 
+/// Per-scan cost of each probe kernel at representative widths: the LLC's
+/// 16 ways, the old 64-way bitmap ceiling, and the wide victim-cache
+/// sweeps the multi-word masks unlock. The needle mostly misses (as real
+/// probes do); `black_box` on both inputs keeps the compiler from
+/// specializing a kernel to the fixed array.
+fn bench_probe_kernels(ms: u64) -> Vec<Measurement> {
+    use tla_cache::probe::{probe_naive, probe_portable, ProbeFn};
+    let mut out = Vec::new();
+    for &ways in &[16usize, 64, 128, 256] {
+        let addrs: Vec<LineAddr> = (0..ways as u64)
+            .map(|i| LineAddr::new(i * 64 + 7))
+            .collect();
+        let mut kernels: Vec<(&str, ProbeFn)> =
+            vec![("naive", probe_naive), ("scalar4", probe_portable)];
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            kernels.push(("avx2", tla_cache::probe::probe_avx2));
+        }
+        for (name, func) in kernels {
+            let mut i = 0u64;
+            let m = time_it(&format!("probe/{name}/ways{ways}"), ms, || {
+                let needle = LineAddr::new(i.wrapping_mul(0x9E37_79B9) % (ways as u64 * 64));
+                black_box(func(black_box(&addrs), needle));
+                i += 1;
+            });
+            out.push(m);
+        }
+    }
+    out
+}
+
 fn bench_end_to_end(ms: u64) -> Measurement {
     let cfg = SimConfig::scaled_down().instructions(25_000);
     time_it("end_to_end/mix_25k_instr_per_thread", ms, || {
@@ -94,6 +125,7 @@ fn main() {
     let ms = target_millis();
     bench_progress!("micro_cache", "measuring {ms} ms per benchmark");
     let mut results = bench_cache_access(ms);
+    results.extend(bench_probe_kernels(ms));
     results.extend(bench_hierarchy_access(ms, false));
     results.extend(bench_hierarchy_access(ms, true));
     results.push(bench_end_to_end(ms));

@@ -16,6 +16,13 @@
 //!   against in §VI.
 //! * [`StreamPrefetcher`] — the 16-detector stream prefetcher that trains on
 //!   L2 misses and fills the L2.
+//! * [`probe`] — the set-probe kernels behind every tag scan: an AVX2 path
+//!   comparing 8 tags per step on capable x86-64, a 4-lane portable scalar
+//!   path elsewhere, selected once per process at first use
+//!   (`TLA_FORCE_SCALAR=1` pins the scalar path for byte-for-byte
+//!   reproducibility checks). The [`WayMask`] multi-word bitmap the kernels
+//!   return is also the per-set valid/dirty/tag storage, lifting the
+//!   associativity limit to [`MAX_WAYS`] = 256.
 //!
 //! # Examples
 //!
@@ -36,6 +43,7 @@ mod config;
 mod line;
 mod mshr;
 mod prefetch;
+pub mod probe;
 mod replacement;
 mod set_assoc;
 mod victim;
@@ -44,6 +52,7 @@ pub use config::{CacheConfig, ConfigError, MAX_WAYS};
 pub use line::{CoreBitmap, LineState};
 pub use mshr::MshrFile;
 pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig};
+pub use probe::{kernel_name, ProbeKernel, WayMask};
 pub use replacement::{Policy, Replacer};
 pub use set_assoc::{CacheStats, Evicted, SetAssocCache};
 pub use victim::{VictimCache, VictimEntry};

@@ -8,7 +8,7 @@
 //!
 //! A [`Replacer`] owns any cross-set policy state (LRU stamps, the DRRIP
 //! PSEL counter, the Random policy's RNG) and operates on one set's packed
-//! state: a `valid` way bitmap plus the slice of per-way `repl` words (the
+//! state: a `valid` [`WayMask`] plus the slice of per-way `repl` words (the
 //! struct-of-arrays layout [`SetAssocCache`](crate::SetAssocCache) keeps).
 //! Beyond the usual hit/fill/victim operations it exposes
 //! [`Replacer::order_into`], the full eviction-priority ordering of a set,
@@ -18,6 +18,7 @@
 //! victim selection scans the set directly and ordering fills a
 //! caller-provided buffer — because they sit on the LLC miss path.
 
+use crate::probe::WayMask;
 use std::fmt;
 use tla_rng::SmallRng;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
@@ -32,21 +33,6 @@ const BRRIP_LONG_INTERVAL: u64 = 32;
 const DUEL_MODULUS: usize = 32;
 /// Saturation bound for the DRRIP PSEL counter.
 const PSEL_MAX: i32 = 1 << 9;
-
-/// Iterates the set bits of a way bitmap in ascending way order — the
-/// hardware's left-to-right scan.
-#[inline]
-fn bits(mut v: u64) -> impl Iterator<Item = usize> {
-    std::iter::from_fn(move || {
-        if v == 0 {
-            None
-        } else {
-            let w = v.trailing_zeros() as usize;
-            v &= v - 1;
-            Some(w)
-        }
-    })
-}
 
 /// A cache replacement policy.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -102,7 +88,7 @@ impl fmt::Display for Policy {
 
 /// Runtime state for a [`Policy`] over one cache.
 ///
-/// All operations take one set's `valid` way bitmap and its `repl` slice
+/// All operations take one set's `valid` [`WayMask`] and its `repl` slice
 /// (one policy word per way) plus the set's index; the caller owns that
 /// storage in struct-of-arrays form.
 #[derive(Debug, Clone)]
@@ -114,8 +100,11 @@ pub struct Replacer {
     fills: u64,
     /// DRRIP policy-selection counter; >= 0 favours SRRIP.
     psel: i32,
-    /// PLRU tree bits, one word per set.
+    /// PLRU tree bits, [`Replacer::tree_words`] words per set (internal
+    /// nodes 1..ways fit in `ways` bits, so one word per 64 ways).
     trees: Vec<u64>,
+    /// Words per set in `trees` (0 for every policy but PLRU).
+    tree_words: usize,
     /// Reusable shuffle buffer for the Random policy's victim selection
     /// (keeps `victim` allocation-free while consuming the RNG stream
     /// exactly like a full set shuffle).
@@ -124,17 +113,24 @@ pub struct Replacer {
 }
 
 impl Replacer {
-    /// Creates replacement state for a cache with `sets` sets.
+    /// Creates replacement state for a cache with `sets` sets of `ways`
+    /// ways (`ways` sizes the per-set PLRU tree storage).
     ///
     /// `seed` feeds the Random policy (and BRRIP/DRRIP tie-breaking); runs
     /// with equal seeds are fully deterministic.
-    pub fn new(policy: Policy, sets: usize, seed: u64) -> Self {
+    pub fn new(policy: Policy, sets: usize, ways: usize, seed: u64) -> Self {
+        let tree_words = if policy == Policy::Plru {
+            ways.div_ceil(64)
+        } else {
+            0
+        };
         Replacer {
             policy,
             stamp: 0,
             fills: 0,
             psel: 0,
-            trees: vec![0; if policy == Policy::Plru { sets } else { 0 }],
+            trees: vec![0; sets * tree_words],
+            tree_words,
             scratch: Vec::new(),
             rng: SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_71A5_EED0),
         }
@@ -145,8 +141,13 @@ impl Replacer {
         self.policy
     }
 
+    /// The PLRU tree words of `set_idx` (empty for other policies).
+    fn tree(&self, set_idx: usize) -> &[u64] {
+        &self.trees[set_idx * self.tree_words..(set_idx + 1) * self.tree_words]
+    }
+
     /// Records a demand hit on `way`.
-    pub fn on_hit(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
+    pub fn on_hit(&mut self, set_idx: usize, valid: WayMask, repl: &mut [u64], way: usize) {
         match self.policy {
             Policy::Lru => {
                 self.stamp += 1;
@@ -168,13 +169,13 @@ impl Replacer {
     /// the LLC ("update its replacement state [to MRU]", §III-A/C).
     ///
     /// For every policy here promotion coincides with the hit update.
-    pub fn promote(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
+    pub fn promote(&mut self, set_idx: usize, valid: WayMask, repl: &mut [u64], way: usize) {
         self.on_hit(set_idx, valid, repl, way);
     }
 
     /// Records a fill into `way` (whose `repl` word the caller has reset to
     /// zero and whose `valid` bit is already set in the bitmap).
-    pub fn on_fill(&mut self, set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
+    pub fn on_fill(&mut self, set_idx: usize, valid: WayMask, repl: &mut [u64], way: usize) {
         match self.policy {
             Policy::Lru | Policy::Fifo => {
                 self.stamp += 1;
@@ -232,11 +233,11 @@ impl Replacer {
     /// the victim's RRPV reaches the distant value, mirroring the hardware
     /// "increment all until a distant line exists" loop even when the TLA
     /// policy skipped over better candidates.
-    pub fn on_evict(&mut self, _set_idx: usize, valid: u64, repl: &mut [u64], way: usize) {
+    pub fn on_evict(&mut self, _set_idx: usize, valid: WayMask, repl: &mut [u64], way: usize) {
         if matches!(self.policy, Policy::Srrip | Policy::Brrip | Policy::Drrip) {
             let delta = RRPV_MAX.saturating_sub(repl[way]);
             if delta > 0 {
-                for w in bits(valid) {
+                for w in valid.iter() {
                     repl[w] = (repl[w] + delta).min(RRPV_MAX);
                 }
             }
@@ -249,14 +250,14 @@ impl Replacer {
     /// identical to a full [`Replacer::order_into`] call).
     ///
     /// Returns `None` if the set has no valid line.
-    pub fn victim(&mut self, set_idx: usize, valid: u64, repl: &[u64]) -> Option<usize> {
+    pub fn victim(&mut self, set_idx: usize, valid: WayMask, repl: &[u64]) -> Option<usize> {
         match self.policy {
             // Lowest stamp wins; ties (possible via LIP's saturating
             // LRU-end insertion) go to the lowest way, like the stable
             // sort in `order_into`.
             Policy::Lru | Policy::Fifo | Policy::Lip | Policy::Bip | Policy::Dip => {
                 let mut best: Option<(u64, usize)> = None;
-                for w in bits(valid) {
+                for w in valid.iter() {
                     if best.is_none_or(|(k, _)| repl[w] < k) {
                         best = Some((repl[w], w));
                     }
@@ -266,7 +267,7 @@ impl Replacer {
             // First candidate (bit set) in way order, else first valid way.
             Policy::Nru => {
                 let mut first = None;
-                for w in bits(valid) {
+                for w in valid.iter() {
                     if repl[w] != 0 {
                         return Some(w);
                     }
@@ -278,19 +279,19 @@ impl Replacer {
             }
             Policy::Random => {
                 self.scratch.clear();
-                self.scratch.extend(bits(valid));
+                self.scratch.extend(valid.iter());
                 for i in (1..self.scratch.len()).rev() {
                     let j = self.rng.gen_range(0..=i);
                     self.scratch.swap(i, j);
                 }
                 self.scratch.first().copied()
             }
-            Policy::Plru => plru_first_valid(self.trees[set_idx], 1, repl.len(), valid),
+            Policy::Plru => plru_first_valid(self.tree(set_idx), 1, repl.len(), valid),
             // Highest RRPV is evicted first; ties go to the lowest way
             // (the hardware's left-to-right scan).
             Policy::Srrip | Policy::Brrip | Policy::Drrip => {
                 let mut best: Option<(u64, usize)> = None;
-                for w in bits(valid) {
+                for w in valid.iter() {
                     if best.is_none_or(|(k, _)| repl[w] > k) {
                         best = Some((repl[w], w));
                     }
@@ -307,11 +308,17 @@ impl Replacer {
     ///
     /// The ordering is a snapshot; it does not age or otherwise mutate
     /// per-way state (aging happens in [`Replacer::on_evict`]).
-    pub fn order_into(&mut self, set_idx: usize, valid: u64, repl: &[u64], out: &mut Vec<usize>) {
+    pub fn order_into(
+        &mut self,
+        set_idx: usize,
+        valid: WayMask,
+        repl: &[u64],
+        out: &mut Vec<usize>,
+    ) {
         out.clear();
         match self.policy {
             Policy::Lru | Policy::Fifo | Policy::Lip | Policy::Bip | Policy::Dip => {
-                out.extend(bits(valid));
+                out.extend(valid.iter());
                 // Way index in the key reproduces the stable scan order on
                 // equal stamps.
                 out.sort_unstable_by_key(|&w| (repl[w], w));
@@ -319,12 +326,12 @@ impl Replacer {
             Policy::Nru => {
                 // Candidates (bit == 1, stored as repl == 1) first, each
                 // group in way order — the hardware scan order.
-                out.extend(bits(valid));
+                out.extend(valid.iter());
                 out.sort_unstable_by_key(|&w| (repl[w] == 0, w));
             }
             Policy::Random => {
                 // Fisher-Yates over the valid ways.
-                out.extend(bits(valid));
+                out.extend(valid.iter());
                 for i in (1..out.len()).rev() {
                     let j = self.rng.gen_range(0..=i);
                     out.swap(i, j);
@@ -333,12 +340,12 @@ impl Replacer {
             Policy::Plru => {
                 // The tree walk emits leaves in eviction-rank order;
                 // filtering to valid ways preserves it.
-                plru_walk_into(self.trees[set_idx], 1, repl.len(), valid, out);
+                plru_walk_into(self.tree(set_idx), 1, repl.len(), valid, out);
             }
             Policy::Srrip | Policy::Brrip | Policy::Drrip => {
                 // Higher RRPV is evicted sooner; ties broken by way index
                 // (the hardware's left-to-right scan).
-                out.extend(bits(valid));
+                out.extend(valid.iter());
                 out.sort_unstable_by_key(|&w| (std::cmp::Reverse(repl[w]), w));
             }
         }
@@ -349,10 +356,10 @@ impl Replacer {
     /// NRU reference-bit update: `repl == 1` means "not recently used"
     /// (eviction candidate); touching clears the bit, and when no candidate
     /// remains all *other* valid lines become candidates again.
-    fn nru_touch(&mut self, valid: u64, repl: &mut [u64], way: usize) {
+    fn nru_touch(&mut self, valid: WayMask, repl: &mut [u64], way: usize) {
         repl[way] = 0;
-        if bits(valid).all(|w| repl[w] == 0) {
-            for w in bits(valid) {
+        if valid.iter().all(|w| repl[w] == 0) {
+            for w in valid.iter() {
                 if w != way {
                     repl[w] = 1;
                 }
@@ -376,12 +383,13 @@ impl Replacer {
     /// Inserts `way` into the LRU stack: at MRU (fresh stamp) or at the
     /// LRU end (just below the current set minimum, so the line is the
     /// next victim unless it gets a hit first).
-    fn lru_insert(&mut self, valid: u64, repl: &mut [u64], way: usize, mru: bool) {
+    fn lru_insert(&mut self, valid: WayMask, repl: &mut [u64], way: usize, mru: bool) {
         if mru {
             self.stamp += 1;
             repl[way] = self.stamp;
         } else {
-            let min = bits(valid)
+            let min = valid
+                .iter()
                 .filter(|&w| w != way)
                 .map(|w| repl[w])
                 .min()
@@ -399,22 +407,24 @@ impl Replacer {
     // --- PLRU --------------------------------------------------------
     //
     // Classic binary-tree PLRU: node bits select the colder child
-    // (0 = left, 1 = right). Nodes are stored heap-style in one u64 per
-    // set: node 1 is the root, node n has children 2n and 2n+1; for `ways`
-    // leaves, nodes 1..ways are internal and leaf w corresponds to heap
-    // position ways + w.
+    // (0 = left, 1 = right). Nodes are stored heap-style in `tree_words`
+    // words per set: node 1 is the root, node n has children 2n and 2n+1;
+    // for `ways` leaves, nodes 1..ways are internal and leaf w corresponds
+    // to heap position ways + w. Internal-node bits fit in `ways` bits, so
+    // associativities past 64 simply span more words.
 
     fn plru_touch(&mut self, set_idx: usize, ways: usize, way: usize) {
-        let tree = &mut self.trees[set_idx];
+        let base = set_idx * self.tree_words;
+        let tree = &mut self.trees[base..base + self.tree_words];
         let mut node = ways + way;
         while node > 1 {
             let parent = node / 2;
             let came_from_right = node & 1 == 1;
             // Point the bit away from the touched leaf.
             if came_from_right {
-                *tree &= !(1u64 << parent);
+                tree[parent >> 6] &= !(1u64 << (parent & 63));
             } else {
-                *tree |= 1u64 << parent;
+                tree[parent >> 6] |= 1u64 << (parent & 63);
             }
             node = parent;
         }
@@ -425,7 +435,9 @@ impl Snapshot for Replacer {
     // The policy itself and the scratch buffer are configuration/transient
     // state: the receiver is constructed with its own policy (the warm-start
     // fan-out deliberately resumes one warm state under *different* LLC
-    // policies), and scratch contents never outlive a call.
+    // policies), and scratch contents never outlive a call. `tree_words` is
+    // geometry, rebuilt from the config; for up to 64 ways the tree stride
+    // is one word per set, so pre-multi-word images decode unchanged.
     fn write_state(&self, w: &mut SnapshotWriter) {
         w.write_u64(self.stamp);
         w.write_u64(self.fills);
@@ -441,12 +453,12 @@ impl Snapshot for Replacer {
         self.psel = i32::try_from(psel)
             .map_err(|_| SnapshotError::Corrupt(format!("PSEL value {psel} out of range")))?;
         let trees = r.read_u64_vec()?;
-        // PLRU keeps one tree word per set, every other policy keeps none.
+        // PLRU keeps tree words per set, every other policy keeps none.
         // A PLRU replacer can only resume a snapshot taken under PLRU with
-        // the same set count; non-PLRU replacers interchange freely.
+        // the same geometry; non-PLRU replacers interchange freely.
         if trees.len() != self.trees.len() && !trees.is_empty() && !self.trees.is_empty() {
             return Err(SnapshotError::Mismatch(format!(
-                "PLRU trees: snapshot has {} sets, this cache has {}",
+                "PLRU trees: snapshot has {} words, this cache has {}",
                 trees.len(),
                 self.trees.len()
             )));
@@ -464,30 +476,36 @@ impl Snapshot for Replacer {
     }
 }
 
+/// Reads bit `node` of a multi-word PLRU tree.
+#[inline]
+fn tree_bit(tree: &[u64], node: usize) -> usize {
+    ((tree[node >> 6] >> (node & 63)) & 1) as usize
+}
+
 /// Walks the PLRU tree emitting *valid* leaves in eviction-rank order:
 /// within a subtree, the pointed-to child's leaves all come before the
-/// other child's leaves. Recursion depth is log2(ways) <= 6.
-fn plru_walk_into(tree: u64, node: usize, ways: usize, valid: u64, out: &mut Vec<usize>) {
+/// other child's leaves. Recursion depth is log2(ways) <= 8.
+fn plru_walk_into(tree: &[u64], node: usize, ways: usize, valid: WayMask, out: &mut Vec<usize>) {
     if node >= ways {
         let w = node - ways;
-        if valid & (1u64 << w) != 0 {
+        if valid.contains(w) {
             out.push(w);
         }
         return;
     }
-    let bit = ((tree >> node) & 1) as usize;
+    let bit = tree_bit(tree, node);
     plru_walk_into(tree, 2 * node + bit, ways, valid, out);
     plru_walk_into(tree, 2 * node + 1 - bit, ways, valid, out);
 }
 
 /// The first valid leaf the PLRU tree walk reaches — the victim — without
 /// materializing the full order.
-fn plru_first_valid(tree: u64, node: usize, ways: usize, valid: u64) -> Option<usize> {
+fn plru_first_valid(tree: &[u64], node: usize, ways: usize, valid: WayMask) -> Option<usize> {
     if node >= ways {
         let w = node - ways;
-        return (valid & (1u64 << w) != 0).then_some(w);
+        return valid.contains(w).then_some(w);
     }
-    let bit = ((tree >> node) & 1) as usize;
+    let bit = tree_bit(tree, node);
     plru_first_valid(tree, 2 * node + bit, ways, valid)
         .or_else(|| plru_first_valid(tree, 2 * node + 1 - bit, ways, valid))
 }
@@ -497,12 +515,24 @@ mod tests {
     use super::*;
 
     /// A full set of `n` ways with zeroed policy words.
-    fn set_of(n: usize) -> (u64, Vec<u64>) {
-        ((1u64 << n) - 1, vec![0; n])
+    fn set_of(n: usize) -> (WayMask, Vec<u64>) {
+        (WayMask::all(n), vec![0; n])
+    }
+
+    /// A way mask from a low-word bit pattern (test shorthand).
+    fn mask(bits_pattern: u64) -> WayMask {
+        let mut m = WayMask::EMPTY;
+        let mut v = bits_pattern;
+        while v != 0 {
+            let w = v.trailing_zeros() as usize;
+            v &= v - 1;
+            m.set(w);
+        }
+        m
     }
 
     /// Convenience wrapper collecting `order_into` output.
-    fn order(r: &mut Replacer, set_idx: usize, valid: u64, repl: &[u64]) -> Vec<usize> {
+    fn order(r: &mut Replacer, set_idx: usize, valid: WayMask, repl: &[u64]) -> Vec<usize> {
         let mut out = Vec::new();
         r.order_into(set_idx, valid, repl, &mut out);
         out
@@ -510,7 +540,7 @@ mod tests {
 
     #[test]
     fn lru_orders_by_recency() {
-        let mut r = Replacer::new(Policy::Lru, 1, 0);
+        let mut r = Replacer::new(Policy::Lru, 1, 4, 0);
         let (valid, mut repl) = set_of(4);
         for w in 0..4 {
             r.on_fill(0, valid, &mut repl, w);
@@ -523,7 +553,7 @@ mod tests {
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut r = Replacer::new(Policy::Fifo, 1, 0);
+        let mut r = Replacer::new(Policy::Fifo, 1, 3, 0);
         let (valid, mut repl) = set_of(3);
         for w in 0..3 {
             r.on_fill(0, valid, &mut repl, w);
@@ -534,7 +564,7 @@ mod tests {
 
     #[test]
     fn nru_scan_order_and_refresh() {
-        let mut r = Replacer::new(Policy::Nru, 1, 0);
+        let mut r = Replacer::new(Policy::Nru, 1, 4, 0);
         let (valid, mut repl) = set_of(4);
         repl.fill(1); // all candidates initially
         r.on_hit(0, valid, &mut repl, 2);
@@ -551,7 +581,7 @@ mod tests {
 
     #[test]
     fn nru_order_puts_candidates_first() {
-        let mut r = Replacer::new(Policy::Nru, 1, 0);
+        let mut r = Replacer::new(Policy::Nru, 1, 4, 0);
         let (valid, mut repl) = set_of(4);
         repl.fill(1);
         r.on_hit(0, valid, &mut repl, 0);
@@ -561,7 +591,7 @@ mod tests {
 
     #[test]
     fn srrip_inserts_long_hits_reset() {
-        let mut r = Replacer::new(Policy::Srrip, 1, 0);
+        let mut r = Replacer::new(Policy::Srrip, 1, 2, 0);
         let (valid, mut repl) = set_of(2);
         r.on_fill(0, valid, &mut repl, 0);
         assert_eq!(repl[0], RRPV_MAX - 1);
@@ -574,7 +604,7 @@ mod tests {
 
     #[test]
     fn srrip_eviction_ages_set() {
-        let mut r = Replacer::new(Policy::Srrip, 1, 0);
+        let mut r = Replacer::new(Policy::Srrip, 1, 2, 0);
         let (valid, mut repl) = set_of(2);
         r.on_fill(0, valid, &mut repl, 0);
         r.on_fill(0, valid, &mut repl, 1);
@@ -586,7 +616,7 @@ mod tests {
 
     #[test]
     fn brrip_mostly_inserts_distant() {
-        let mut r = Replacer::new(Policy::Brrip, 1, 0);
+        let mut r = Replacer::new(Policy::Brrip, 1, 1, 0);
         let (valid, mut repl) = set_of(1);
         let mut distant = 0;
         for _ in 0..BRRIP_LONG_INTERVAL {
@@ -600,7 +630,7 @@ mod tests {
 
     #[test]
     fn drrip_leader_sets_vote() {
-        let mut r = Replacer::new(Policy::Drrip, DUEL_MODULUS * 2, 0);
+        let mut r = Replacer::new(Policy::Drrip, DUEL_MODULUS * 2, 1, 0);
         // Misses in the SRRIP leader set push PSEL negative -> BRRIP wins.
         for _ in 0..10 {
             r.on_miss(0);
@@ -623,7 +653,7 @@ mod tests {
 
     #[test]
     fn random_orders_every_valid_way_exactly_once() {
-        let mut r = Replacer::new(Policy::Random, 1, 42);
+        let mut r = Replacer::new(Policy::Random, 1, 8, 42);
         let (valid, repl) = set_of(8);
         let mut o = order(&mut r, 0, valid, &repl);
         o.sort_unstable();
@@ -633,8 +663,8 @@ mod tests {
     #[test]
     fn random_is_seed_deterministic() {
         let (valid, repl) = set_of(8);
-        let mut a = Replacer::new(Policy::Random, 1, 7);
-        let mut b = Replacer::new(Policy::Random, 1, 7);
+        let mut a = Replacer::new(Policy::Random, 1, 8, 7);
+        let mut b = Replacer::new(Policy::Random, 1, 8, 7);
         assert_eq!(
             order(&mut a, 0, valid, &repl),
             order(&mut b, 0, valid, &repl)
@@ -646,8 +676,8 @@ mod tests {
         // `victim` must draw from the RNG exactly as `order_into` does so
         // that mixing the two calls keeps runs deterministic.
         let (valid, repl) = set_of(8);
-        let mut a = Replacer::new(Policy::Random, 1, 9);
-        let mut b = Replacer::new(Policy::Random, 1, 9);
+        let mut a = Replacer::new(Policy::Random, 1, 8, 9);
+        let mut b = Replacer::new(Policy::Random, 1, 8, 9);
         let v = a.victim(0, valid, &repl);
         let o = order(&mut b, 0, valid, &repl);
         assert_eq!(v, o.first().copied());
@@ -657,7 +687,7 @@ mod tests {
 
     #[test]
     fn plru_victim_avoids_recent_touch() {
-        let mut r = Replacer::new(Policy::Plru, 1, 0);
+        let mut r = Replacer::new(Policy::Plru, 1, 4, 0);
         let (valid, mut repl) = set_of(4);
         for w in 0..4 {
             r.on_fill(0, valid, &mut repl, w);
@@ -672,7 +702,7 @@ mod tests {
 
     #[test]
     fn plru_order_is_a_permutation() {
-        let mut r = Replacer::new(Policy::Plru, 1, 0);
+        let mut r = Replacer::new(Policy::Plru, 1, 8, 0);
         let (valid, mut repl) = set_of(8);
         for w in [0, 3, 5, 1, 7] {
             r.on_fill(0, valid, &mut repl, w);
@@ -684,22 +714,45 @@ mod tests {
 
     #[test]
     fn plru_victim_matches_order_head_with_invalid_ways() {
-        let mut r = Replacer::new(Policy::Plru, 1, 0);
+        let mut r = Replacer::new(Policy::Plru, 1, 8, 0);
         let (_, mut repl) = set_of(8);
-        let valid = 0b1011_0101u64; // holes in the leaf row
-        for w in bits(valid) {
+        let valid = mask(0b1011_0101); // holes in the leaf row
+        for w in valid.iter() {
             r.on_fill(0, valid, &mut repl, w);
         }
         let o = order(&mut r, 0, valid, &repl);
-        assert_eq!(o.len(), valid.count_ones() as usize);
+        assert_eq!(o.len(), valid.count());
         assert_eq!(r.victim(0, valid, &repl), o.first().copied());
     }
 
     #[test]
+    fn plru_works_past_64_ways() {
+        // 128 leaves -> 128 internal-node bits spanning two tree words.
+        let mut r = Replacer::new(Policy::Plru, 2, 128, 0);
+        let (valid, mut repl) = set_of(128);
+        for set in 0..2 {
+            for w in 0..128 {
+                r.on_fill(set, valid, &mut repl, w);
+            }
+            let mut o = order(&mut r, set, valid, &repl);
+            assert_eq!(o.len(), 128);
+            // The last touch (way 127) must be deepest in the order.
+            assert_eq!(*o.last().unwrap(), 127);
+            assert_eq!(r.victim(set, valid, &repl), o.first().copied());
+            o.sort_unstable();
+            assert_eq!(o, (0..128).collect::<Vec<_>>());
+        }
+        // Touching the victim moves it off the head.
+        let v = r.victim(0, valid, &repl).unwrap();
+        r.on_hit(0, valid, &mut repl, v);
+        assert_ne!(r.victim(0, valid, &repl), Some(v));
+    }
+
+    #[test]
     fn order_skips_invalid_ways() {
-        let mut r = Replacer::new(Policy::Lru, 1, 0);
+        let mut r = Replacer::new(Policy::Lru, 1, 4, 0);
         let (_, mut repl) = set_of(4);
-        let valid = 0b1011u64; // way 2 invalid
+        let valid = mask(0b1011); // way 2 invalid
         for w in [0, 1, 3] {
             r.on_fill(0, valid, &mut repl, w);
         }
@@ -710,15 +763,15 @@ mod tests {
 
     #[test]
     fn victim_none_when_all_invalid() {
-        let mut r = Replacer::new(Policy::Nru, 1, 0);
+        let mut r = Replacer::new(Policy::Nru, 1, 2, 0);
         let (_, repl) = set_of(2);
-        assert_eq!(r.victim(0, 0, &repl), None);
+        assert_eq!(r.victim(0, WayMask::EMPTY, &repl), None);
     }
 
     #[test]
     fn promote_equals_hit_for_lru() {
-        let mut a = Replacer::new(Policy::Lru, 1, 0);
-        let mut b = Replacer::new(Policy::Lru, 1, 0);
+        let mut a = Replacer::new(Policy::Lru, 1, 4, 0);
+        let mut b = Replacer::new(Policy::Lru, 1, 4, 0);
         let (valid, mut ra) = set_of(4);
         let (_, mut rb) = set_of(4);
         for w in 0..4 {
@@ -736,13 +789,13 @@ mod lip_tests {
     use super::*;
     use tla_types::LineAddr;
 
-    fn set_of(n: usize) -> (u64, Vec<u64>) {
-        ((1u64 << n) - 1, vec![0; n])
+    fn set_of(n: usize) -> (WayMask, Vec<u64>) {
+        (WayMask::all(n), vec![0; n])
     }
 
     #[test]
     fn lip_inserts_at_lru_end() {
-        let mut r = Replacer::new(Policy::Lip, 1, 0);
+        let mut r = Replacer::new(Policy::Lip, 1, 4, 0);
         let (valid, mut repl) = set_of(4);
         for w in 0..3 {
             r.on_hit(0, valid, &mut repl, w); // establish an LRU stack 0 < 1 < 2
@@ -757,7 +810,7 @@ mod lip_tests {
 
     #[test]
     fn bip_occasionally_inserts_at_mru() {
-        let mut r = Replacer::new(Policy::Bip, 1, 0);
+        let mut r = Replacer::new(Policy::Bip, 1, 2, 0);
         let (valid, mut repl) = set_of(2);
         r.on_hit(0, valid, &mut repl, 0);
         let mut saw_mru = false;
@@ -772,7 +825,7 @@ mod lip_tests {
 
     #[test]
     fn dip_follows_the_winning_leader() {
-        let mut r = Replacer::new(Policy::Dip, DUEL_MODULUS * 2, 0);
+        let mut r = Replacer::new(Policy::Dip, DUEL_MODULUS * 2, 4, 0);
         // Misses in the LRU leader set push PSEL negative -> BIP mode.
         for _ in 0..20 {
             r.on_miss(0);

@@ -5,8 +5,15 @@
 //! park here with their directory bits, inclusion back-invalidation is
 //! deferred until a line falls out of the victim cache, and an LLC miss that
 //! hits the victim cache is rescued back into the LLC.
+//!
+//! Entries are stored struct-of-arrays so the fully-associative address scan
+//! runs over a dense `LineAddr` slice through [`probe::find_index`] — the
+//! same SIMD-or-scalar kernel the set-associative caches use. At the
+//! paper's 32 entries the scan is cheap either way; the >64-entry sweeps in
+//! EXPERIMENTS.md are where the kernel pays.
 
 use crate::line::CoreBitmap;
+use crate::probe;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_types::LineAddr;
 
@@ -22,9 +29,16 @@ pub struct VictimEntry {
 }
 
 /// Fully-associative LRU victim cache.
+///
+/// Parallel arrays indexed by entry slot; `addrs` is the dense probe target,
+/// the other arrays carry the per-entry payload. All four always have the
+/// same length.
 #[derive(Debug, Clone)]
 pub struct VictimCache {
-    entries: Vec<(VictimEntry, u64)>,
+    addrs: Vec<LineAddr>,
+    dirty: Vec<bool>,
+    cores: Vec<CoreBitmap>,
+    stamps: Vec<u64>,
     capacity: usize,
     stamp: u64,
     hits: u64,
@@ -40,7 +54,10 @@ impl VictimCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "victim cache capacity must be at least 1");
         VictimCache {
-            entries: Vec::with_capacity(capacity),
+            addrs: Vec::with_capacity(capacity),
+            dirty: Vec::with_capacity(capacity),
+            cores: Vec::with_capacity(capacity),
+            stamps: Vec::with_capacity(capacity),
             capacity,
             stamp: 0,
             hits: 0,
@@ -55,12 +72,12 @@ impl VictimCache {
 
     /// Current occupancy in lines.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.addrs.len()
     }
 
     /// Whether the victim cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.addrs.is_empty()
     }
 
     /// Lookups that hit.
@@ -73,28 +90,41 @@ impl VictimCache {
         self.lookups
     }
 
+    fn swap_remove(&mut self, i: usize) -> VictimEntry {
+        let e = VictimEntry {
+            addr: self.addrs.swap_remove(i),
+            dirty: self.dirty.swap_remove(i),
+            cores: self.cores.swap_remove(i),
+        };
+        self.stamps.swap_remove(i);
+        e
+    }
+
     /// Inserts a line evicted from the LLC. If the victim cache is full its
     /// LRU entry is displaced and returned — the caller must then perform
     /// the deferred inclusion back-invalidation for that entry.
     pub fn insert(&mut self, entry: VictimEntry) -> Option<VictimEntry> {
         debug_assert!(
-            !self.entries.iter().any(|(e, _)| e.addr == entry.addr),
+            probe::find_index(&self.addrs, entry.addr).is_none(),
             "line already parked in victim cache"
         );
         self.stamp += 1;
-        let displaced = if self.entries.len() == self.capacity {
+        let displaced = if self.addrs.len() == self.capacity {
             let lru = self
-                .entries
+                .stamps
                 .iter()
                 .enumerate()
-                .min_by_key(|(_, (_, s))| *s)
+                .min_by_key(|(_, s)| **s)
                 .map(|(i, _)| i)
                 .expect("full victim cache has entries");
-            Some(self.entries.swap_remove(lru).0)
+            Some(self.swap_remove(lru))
         } else {
             None
         };
-        self.entries.push((entry, self.stamp));
+        self.addrs.push(entry.addr);
+        self.dirty.push(entry.dirty);
+        self.cores.push(entry.cores);
+        self.stamps.push(self.stamp);
         displaced
     }
 
@@ -102,23 +132,23 @@ impl VictimCache {
     /// line back). Counts as a lookup.
     pub fn take(&mut self, line: LineAddr) -> Option<VictimEntry> {
         self.lookups += 1;
-        let pos = self.entries.iter().position(|(e, _)| e.addr == line)?;
+        let pos = probe::find_index(&self.addrs, line)?;
         self.hits += 1;
-        Some(self.entries.swap_remove(pos).0)
+        Some(self.swap_remove(pos))
     }
 
     /// Whether `line` is parked here, without removing it.
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.entries.iter().any(|(e, _)| e.addr == line)
+        probe::find_index(&self.addrs, line).is_some()
     }
 
     /// Marks a parked line dirty (a core wrote back while the line was
     /// parked with deferred back-invalidation). Returns `true` if the line
     /// was present.
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        match self.entries.iter_mut().find(|(e, _)| e.addr == line) {
-            Some((e, _)) => {
-                e.dirty = true;
+        match probe::find_index(&self.addrs, line) {
+            Some(i) => {
+                self.dirty[i] = true;
                 true
             }
             None => false,
@@ -128,14 +158,16 @@ impl VictimCache {
 
 impl Snapshot for VictimCache {
     // `swap_remove` makes entry order part of the state (it decides future
-    // swap positions), so entries travel in Vec order with their stamps.
+    // swap positions), so entries travel in slot order with their stamps.
+    // The interleaved per-entry layout predates the struct-of-arrays
+    // storage and is kept so existing images stay byte-compatible.
     fn write_state(&self, w: &mut SnapshotWriter) {
-        w.write_u64(self.entries.len() as u64);
-        for (e, stamp) in &self.entries {
-            w.write_u64(e.addr.raw());
-            w.write_bool(e.dirty);
-            w.write_u64(e.cores.to_raw());
-            w.write_u64(*stamp);
+        w.write_u64(self.addrs.len() as u64);
+        for i in 0..self.addrs.len() {
+            w.write_u64(self.addrs[i].raw());
+            w.write_bool(self.dirty[i]);
+            w.write_u64(self.cores[i].to_raw());
+            w.write_u64(self.stamps[i]);
         }
         w.write_u64(self.stamp);
         w.write_u64(self.hits);
@@ -150,15 +182,15 @@ impl Snapshot for VictimCache {
                 self.capacity
             )));
         }
-        self.entries.clear();
+        self.addrs.clear();
+        self.dirty.clear();
+        self.cores.clear();
+        self.stamps.clear();
         for _ in 0..n {
-            let entry = VictimEntry {
-                addr: LineAddr::new(r.read_u64()?),
-                dirty: r.read_bool()?,
-                cores: CoreBitmap::from_raw(r.read_u64()?),
-            };
-            let stamp = r.read_u64()?;
-            self.entries.push((entry, stamp));
+            self.addrs.push(LineAddr::new(r.read_u64()?));
+            self.dirty.push(r.read_bool()?);
+            self.cores.push(CoreBitmap::from_raw(r.read_u64()?));
+            self.stamps.push(r.read_u64()?);
         }
         self.stamp = r.read_u64()?;
         self.hits = r.read_u64()?;
@@ -228,6 +260,52 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_panics() {
         let _ = VictimCache::new(0);
+    }
+
+    #[test]
+    fn large_victim_cache_scans_correctly() {
+        // 128 entries exercises the kernel's chunked scan well past one
+        // 8-lane step (§VI high-associativity sweep geometry).
+        let mut vc = VictimCache::new(128);
+        for i in 0..128 {
+            vc.insert(entry(i));
+        }
+        assert_eq!(vc.len(), 128);
+        for i in [0u64, 7, 63, 64, 65, 127] {
+            assert!(vc.probe(LineAddr::new(i)), "entry {i}");
+        }
+        assert!(!vc.probe(LineAddr::new(500)));
+        // Full: next insert displaces the LRU entry (stamp 1 = line 0).
+        let displaced = vc.insert(entry(200)).unwrap();
+        assert_eq!(displaced.addr, LineAddr::new(0));
+        let got = vc.take(LineAddr::new(127)).unwrap();
+        assert_eq!(got.addr, LineAddr::new(127));
+        assert!(got.dirty);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_slot_order() {
+        let mut vc = VictimCache::new(8);
+        for i in 0..8 {
+            vc.insert(entry(i));
+        }
+        vc.take(LineAddr::new(3)); // swap_remove scrambles slot order
+        vc.insert(entry(20));
+        let mut w = SnapshotWriter::new();
+        vc.write_state(&mut w);
+        let bytes = w.finish();
+        let mut fresh = VictimCache::new(8);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        fresh.read_state(&mut r).unwrap();
+        assert_eq!(fresh.addrs, vc.addrs);
+        assert_eq!(fresh.stamps, vc.stamps);
+        let mut w2 = SnapshotWriter::new();
+        fresh.write_state(&mut w2);
+        assert_eq!(
+            bytes,
+            w2.finish(),
+            "restored state reserializes identically"
+        );
     }
 }
 

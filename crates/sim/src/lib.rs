@@ -29,6 +29,7 @@ mod report;
 mod run;
 mod runner;
 mod sched;
+mod warmcache;
 
 pub use checkpoint::{Checkpoint, CheckpointInfo};
 pub use config::SimConfig;
@@ -37,8 +38,9 @@ pub use report::{Table, TableError};
 pub use run::{MixRun, RunResult, RunTelemetry, ThreadResult};
 pub use runner::{
     mpki_table, normalized_throughput, run_alone, run_alone_many, run_mix_suite,
-    run_mix_suite_warm_start, run_policy_reports, run_policy_reports_warm_start, SuiteResult,
-    Table1Row,
+    run_mix_suite_warm_start, run_policy_reports, run_policy_reports_warm_start,
+    run_policy_reports_warm_start_cached, SuiteResult, Table1Row,
 };
 pub use tla_snapshot::SnapshotError;
 pub use tla_telemetry::{RunReport, Window};
+pub use warmcache::{WarmCache, WarmCacheEntry};

@@ -147,13 +147,21 @@ impl PolicySpec {
         )
     }
 
-    /// Inclusive LLC backed by a 32-entry victim cache (§VI comparison).
-    pub fn victim_cache_32() -> Self {
+    /// Inclusive LLC backed by an `entries`-line victim cache. The paper's
+    /// §VI point is 32 entries ([`PolicySpec::victim_cache_32`]); larger
+    /// sizes drive the fully-associative sweep in EXPERIMENTS.md, whose
+    /// linear probe is what the SIMD set-scan kernels accelerate.
+    pub fn victim_cache(entries: usize) -> Self {
         PolicySpec {
-            name: "VC-32".to_string(),
-            victim_cache: Some(32),
+            name: format!("VC-{entries}"),
+            victim_cache: Some(entries),
             ..Self::baseline()
         }
+    }
+
+    /// Inclusive LLC backed by a 32-entry victim cache (§VI comparison).
+    pub fn victim_cache_32() -> Self {
+        Self::victim_cache(32)
     }
 
     /// A TLA policy applied on a *non-inclusive* base (Figure 9b).
@@ -195,6 +203,9 @@ mod tests {
         assert_eq!(PolicySpec::qbs().name, "QBS");
         assert_eq!(PolicySpec::qbs_limited(2).name, "QBS-q2");
         assert_eq!(PolicySpec::victim_cache_32().victim_cache, Some(32));
+        assert_eq!(PolicySpec::victim_cache_32().name, "VC-32");
+        assert_eq!(PolicySpec::victim_cache(128).victim_cache, Some(128));
+        assert_eq!(PolicySpec::victim_cache(128).name, "VC-128");
         assert_eq!(
             PolicySpec::on_non_inclusive(TlaPolicy::qbs()).inclusion,
             InclusionPolicy::NonInclusive

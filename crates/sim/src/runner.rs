@@ -7,10 +7,11 @@
 //! bit-identical to serial execution and outputs keep input order; the
 //! job count only changes wall-clock time.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointInfo};
 use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::run::{MixRun, RunResult, ThreadResult};
+use crate::warmcache::WarmCache;
 use tla_pool::scoped_map;
 use tla_snapshot::SnapshotError;
 use tla_telemetry::RunReport;
@@ -191,6 +192,54 @@ fn warm_once(
     }
 }
 
+/// The [`CheckpointInfo`] the baseline warm-up of this configuration will
+/// produce, with `total_instr` still zero — everything [`WarmCache::key`]
+/// needs, computable before any simulation runs.
+fn prewarm_info(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<Option<u64>>,
+) -> CheckpointInfo {
+    CheckpointInfo {
+        apps: apps.to_vec(),
+        scale: cfg.scale(),
+        seed: cfg.seed_value(),
+        warmup: cfg.warmup_quota(),
+        instructions: cfg.instruction_quota(),
+        prefetch: cfg.prefetch_enabled(),
+        llc_capacity_full_scale,
+        warm_spec: PolicySpec::baseline().name,
+        total_instr: 0,
+        instrumented: window.is_some(),
+        window: window.flatten(),
+    }
+}
+
+/// [`warm_once`] with an optional on-disk cache in front: a valid cached
+/// image is returned as-is, otherwise the warm-up runs and (best-effort)
+/// populates the cache. A store failure is not fatal — the freshly warmed
+/// checkpoint is correct either way, the next invocation just warms again.
+fn warm_once_cached(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<Option<u64>>,
+    cache: Option<&WarmCache>,
+) -> Checkpoint {
+    if let Some(cache) = cache {
+        let expected = prewarm_info(cfg, apps, llc_capacity_full_scale, window);
+        if let Some(ck) = cache.lookup(&expected) {
+            return ck;
+        }
+        let ck = warm_once(cfg, apps, llc_capacity_full_scale, window);
+        let _ = cache.store(&ck);
+        ck
+    } else {
+        warm_once(cfg, apps, llc_capacity_full_scale, window)
+    }
+}
+
 /// Warm-start variant of [`run_policy_reports`]: runs the warm-up phase
 /// *once* (under the inclusive baseline), checkpoints it, then fans the
 /// per-policy measured phases out over the pool, each resuming the same
@@ -216,6 +265,29 @@ pub fn run_policy_reports_warm_start(
     llc_capacity_full_scale: Option<usize>,
     window: Option<u64>,
 ) -> Result<Vec<(RunResult, Option<RunReport>)>, SnapshotError> {
+    run_policy_reports_warm_start_cached(cfg, apps, specs, llc_capacity_full_scale, window, None)
+}
+
+/// [`run_policy_reports_warm_start`] with an optional [`WarmCache`]: when a
+/// cache directory is supplied and already holds the warm image for this
+/// exact configuration, the warm-up phase is skipped entirely; otherwise
+/// the warm-up runs once and its image is stored for next time. Results
+/// are bit-identical with and without the cache (the image *is* the warm
+/// state).
+///
+/// # Errors
+///
+/// Fails only if a resume rejects the warm checkpoint, which indicates a
+/// bug or an impossible configuration (cache corruption is handled by
+/// ignoring the bad file and re-warming).
+pub fn run_policy_reports_warm_start_cached(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+    warm_cache: Option<&WarmCache>,
+) -> Result<Vec<(RunResult, Option<RunReport>)>, SnapshotError> {
     if cfg.warmup_quota() == 0 {
         return Ok(run_policy_reports(
             cfg,
@@ -225,7 +297,13 @@ pub fn run_policy_reports_warm_start(
             window,
         ));
     }
-    let ck = warm_once(cfg, apps, llc_capacity_full_scale, window.map(Some));
+    let ck = warm_once_cached(
+        cfg,
+        apps,
+        llc_capacity_full_scale,
+        window.map(Some),
+        warm_cache,
+    );
     scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
         let mut run = MixRun::new(cfg, apps).spec(&spec);
         if let Some(bytes) = llc_capacity_full_scale {
@@ -400,6 +478,49 @@ mod tests {
                 assert!(run.throughput() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn warm_cache_hits_are_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("tla-runner-warmcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = WarmCache::open(&dir).unwrap();
+        let cfg = quick().warmup(20_000).instructions(5_000);
+        let apps = [SpecApp::Mcf, SpecApp::Libquantum];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+
+        let uncached = run_policy_reports_warm_start(&cfg, &apps, &specs, None, None).unwrap();
+        // First cached call warms and populates the directory...
+        let first =
+            run_policy_reports_warm_start_cached(&cfg, &apps, &specs, None, None, Some(&cache))
+                .unwrap();
+        let stored = cache.entries().unwrap();
+        assert_eq!(stored.len(), 1, "one warm image per configuration");
+        let expected = super::prewarm_info(&cfg, &apps, None, None);
+        assert!(
+            stored[0]
+                .path
+                .to_string_lossy()
+                .contains(&WarmCache::key(&expected)),
+            "file is named by the configuration key"
+        );
+        // ... second call resumes the stored image without re-warming.
+        let second =
+            run_policy_reports_warm_start_cached(&cfg, &apps, &specs, None, None, Some(&cache))
+                .unwrap();
+        for ((u, _), ((f, _), (s, _))) in uncached.iter().zip(first.iter().zip(&second)) {
+            assert_eq!(u.global, f.global);
+            assert_eq!(f.global, s.global);
+            assert_eq!(f.threads[0].stats, s.threads[0].stats);
+        }
+
+        // A corrupt cache file is ignored, not fatal.
+        std::fs::write(&stored[0].path, b"garbage").unwrap();
+        let after =
+            run_policy_reports_warm_start_cached(&cfg, &apps, &specs, None, None, Some(&cache))
+                .unwrap();
+        assert_eq!(after[1].0.global, second[1].0.global);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

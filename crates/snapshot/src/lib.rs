@@ -38,7 +38,19 @@ use tla_types::{GlobalStats, PerCoreStats};
 pub const MAGIC: [u8; 4] = *b"TLAS";
 
 /// Current format version. Bump on any wire-incompatible change.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// Version history:
+/// * 1 — initial format; per-set bitmaps are a single `u64`.
+/// * 2 — multi-word set bitmaps (caches wider than 64 ways serialize
+///   `ways.div_ceil(64)` words per set). For ≤ 64 ways the byte layout is
+///   unchanged, so version-1 images decode through the same readers.
+pub const FORMAT_VERSION: u8 = 2;
+
+/// Oldest format version this build still reads. Every version in
+/// `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` is accepted by
+/// [`SnapshotReader::new`]; new snapshots are always written at
+/// [`FORMAT_VERSION`].
+pub const MIN_SUPPORTED_VERSION: u8 = 1;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -63,7 +75,7 @@ pub enum SnapshotError {
     BadVersion {
         /// Version byte found in the snapshot.
         found: u8,
-        /// Version this build writes and reads.
+        /// Newest version this build reads (and the one it writes).
         expected: u8,
     },
     /// The trailing checksum does not match the payload.
@@ -84,7 +96,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::BadMagic => f.write_str("not a TLAS snapshot (bad magic)"),
             SnapshotError::BadVersion { found, expected } => write!(
                 f,
-                "unsupported snapshot version {found} (this build reads version {expected})"
+                "unsupported snapshot version {found} (this build reads versions \
+                 {MIN_SUPPORTED_VERSION}..={expected})"
             ),
             SnapshotError::BadChecksum => {
                 f.write_str("snapshot checksum mismatch (file is corrupt)")
@@ -261,7 +274,7 @@ impl<'a> SnapshotReader<'a> {
             return Err(SnapshotError::BadMagic);
         }
         let version = bytes[4];
-        if version != FORMAT_VERSION {
+        if !(MIN_SUPPORTED_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::BadVersion {
                 found: version,
                 expected: FORMAT_VERSION,
@@ -576,20 +589,42 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn rejects_bad_version() {
-        let mut bytes = sample();
-        bytes[4] = FORMAT_VERSION + 1;
-        // Patch the checksum so only the version differs.
+    /// Re-stamps a snapshot's version byte, fixing up the checksum so only
+    /// the version differs.
+    fn with_version(mut bytes: Vec<u8>, version: u8) -> Vec<u8> {
+        bytes[4] = version;
         let end = bytes.len() - 8;
         let sum = fnv1a(&bytes[..end]).to_le_bytes();
         bytes[end..].copy_from_slice(&sum);
-        match SnapshotReader::new(&bytes) {
-            Err(SnapshotError::BadVersion { found, expected }) => {
-                assert_eq!(found, FORMAT_VERSION + 1);
-                assert_eq!(expected, FORMAT_VERSION);
+        bytes
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        for bad in [MIN_SUPPORTED_VERSION - 1, FORMAT_VERSION + 1] {
+            let bytes = with_version(sample(), bad);
+            match SnapshotReader::new(&bytes) {
+                Err(SnapshotError::BadVersion { found, expected }) => {
+                    assert_eq!(found, bad);
+                    assert_eq!(expected, FORMAT_VERSION);
+                    let msg = SnapshotError::BadVersion { found, expected }.to_string();
+                    assert!(msg.contains("1..=2"), "range in message: {msg}");
+                }
+                other => panic!("expected BadVersion, got {other:?}"),
             }
-            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reads_all_supported_versions() {
+        // A version-1 image (the pre-multi-word format) must still load:
+        // for ≤ 64-way geometries the body layout is identical, so the same
+        // readers decode it.
+        for v in MIN_SUPPORTED_VERSION..=FORMAT_VERSION {
+            let bytes = with_version(sample(), v);
+            let mut r = SnapshotReader::new(&bytes).expect("supported version must parse");
+            r.begin_section("meta").unwrap();
+            assert_eq!(r.read_u64().unwrap(), 42);
         }
     }
 

@@ -83,7 +83,12 @@ impl From<u64> for Addr {
 
 /// A cache-line address: a byte address with the low [`LINE_SHIFT`] bits
 /// dropped. All cache state is keyed by `LineAddr`.
+///
+/// `repr(transparent)`: dense `LineAddr` arrays are guaranteed to have the
+/// layout of `u64` arrays, which the SIMD set-probe kernels rely on to load
+/// tags directly from per-set address slices.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct LineAddr(u64);
 
 impl LineAddr {

@@ -18,8 +18,8 @@
 
 use std::process::ExitCode;
 use tla::sim::{
-    mpki_table, run_policy_reports, run_policy_reports_warm_start, Checkpoint, MixRun, PolicySpec,
-    RunReport, SimConfig, Table,
+    mpki_table, run_policy_reports, run_policy_reports_warm_start_cached, Checkpoint, MixRun,
+    PolicySpec, RunReport, SimConfig, Table, WarmCache,
 };
 use tla::telemetry::json::JsonValue;
 use tla::workloads::{table2_mixes, SpecApp};
@@ -44,12 +44,17 @@ fn usage() -> ExitCode {
          \x20 snapshot resume <f.tlas> [--policy p] [--json out]\n\
          \x20                         finish the measured phase from a\n\
          \x20                         checkpoint (config comes from the file)\n\
+         \x20 snapshot cache-info <dir>\n\
+         \x20                         list a --warm-cache directory (reads\n\
+         \x20                         only; nothing is evicted or touched)\n\
          \n\
          options:\n\
          \x20 --mix <apps|MIX_nn>     comma-separated app names (see `list`)\n\
          \x20 --policy <name>         baseline, tlh-il1, tlh-dl1, tlh-l1, tlh-l2,\n\
          \x20                         tlh-l1-l2, eci, qbs, qbs-il1, qbs-dl1, qbs-l1,\n\
-         \x20                         qbs-l2, non-inclusive, exclusive, vc32\n\
+         \x20                         qbs-l2, non-inclusive, exclusive, vc<N>\n\
+         \x20                         (vc32 = the paper's victim cache; any\n\
+         \x20                         entry count up to 256 works, e.g. vc128)\n\
          \x20 --scale <1|2|4|8>       cache down-scaling (default 8)\n\
          \x20 --measure <n>           measured instructions/thread (default 300000)\n\
          \x20 --warmup <n>            warm-up instructions/thread (default 800000)\n\
@@ -65,6 +70,10 @@ fn usage() -> ExitCode {
          \x20 --out <path>            checkpoint file for snapshot save\n\
          \x20 --warm-start            share one warm-up across compare's\n\
          \x20                         policies via an in-memory checkpoint\n\
+         \x20 --warm-cache <dir>      persist compare's warm images to <dir>\n\
+         \x20                         keyed by configuration; later runs with\n\
+         \x20                         the same config skip the warm-up\n\
+         \x20                         entirely (implies --warm-start)\n\
          \n\
          bench options:\n\
          \x20 --json <path>           write the BENCH_*.json report\n\
@@ -91,9 +100,20 @@ struct Options {
     target_ms: u64,
     out: Option<String>,
     warm_start: bool,
+    warm_cache: Option<String>,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
+    // `vc<N>` is a family, not a fixed name: vc32 is the paper's §VI victim
+    // cache, larger sizes (up to the 256-way structure limit) drive the
+    // fully-associative probe sweeps.
+    if let Some(n) = name.strip_prefix("vc") {
+        let entries: usize = n.parse().ok()?;
+        if !(1..=tla::cache::MAX_WAYS).contains(&entries) {
+            return None;
+        }
+        return Some(PolicySpec::victim_cache(entries));
+    }
     Some(match name {
         "baseline" | "inclusive" => PolicySpec::baseline(),
         "tlh-il1" => PolicySpec::tlh_il1(),
@@ -109,7 +129,6 @@ fn parse_policy(name: &str) -> Option<PolicySpec> {
         "qbs-l2" => PolicySpec::qbs_l2(),
         "non-inclusive" => PolicySpec::non_inclusive(),
         "exclusive" => PolicySpec::exclusive(),
-        "vc32" => PolicySpec::victim_cache_32(),
         _ => return None,
     })
 }
@@ -140,6 +159,7 @@ fn parse_options(
         target_ms: 800,
         out: None,
         warm_start: false,
+        warm_cache: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -219,6 +239,12 @@ fn parse_options(
                 opts.out = Some(value("--out")?);
             }
             "--warm-start" => {
+                opts.warm_start = true;
+            }
+            "--warm-cache" => {
+                opts.warm_cache = Some(value("--warm-cache")?);
+                // A persistent cache only makes sense on the warm-once
+                // path, so asking for one opts into it.
                 opts.warm_start = true;
             }
             other => return Err(format!("unknown option '{other}'")),
@@ -308,7 +334,12 @@ fn cmd_list() -> ExitCode {
         println!("  {m}");
     }
     println!("\npolicies: baseline tlh-il1 tlh-dl1 tlh-l1 tlh-l2 tlh-l1-l2 eci qbs");
-    println!("          qbs-il1 qbs-dl1 qbs-l1 qbs-l2 non-inclusive exclusive vc32");
+    println!("          qbs-il1 qbs-dl1 qbs-l1 qbs-l2 non-inclusive exclusive");
+    println!(
+        "          vc<N> (victim cache with N entries, 1..={}; vc32 = paper §VI)",
+        tla::cache::MAX_WAYS
+    );
+    println!("\nprobe kernel: {}", tla::cache::kernel_name());
     ExitCode::SUCCESS
 }
 
@@ -361,9 +392,27 @@ fn cmd_compare(opts: &Options) -> ExitCode {
         .as_ref()
         .map(|_| opts.window.unwrap_or(DEFAULT_WINDOW));
     let llc = opts.llc_mb.map(|mb| mb * 1024 * 1024);
+    let warm_cache = match &opts.warm_cache {
+        Some(dir) => match WarmCache::open(dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("error: cannot open warm cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let results = if opts.warm_start {
-        // Warm once under the baseline, fan the measured phases out.
-        match run_policy_reports_warm_start(&opts.cfg, &opts.mix, &specs, llc, window) {
+        // Warm once under the baseline (or pull the warm image from the
+        // cache directory), fan the measured phases out.
+        match run_policy_reports_warm_start_cached(
+            &opts.cfg,
+            &opts.mix,
+            &specs,
+            llc,
+            window,
+            warm_cache.as_ref(),
+        ) {
             Ok(results) => results,
             Err(e) => {
                 eprintln!("error: warm-start resume failed: {e}");
@@ -419,6 +468,15 @@ fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
             matrix.push((format!("{mix_name}/{pol_name}"), apps.clone(), spec.clone()));
         }
     }
+    // Probe-heavy entry: a 128-entry fully-associative victim cache behind
+    // the LLC makes the linear tag scan (the code the SIMD set-probe
+    // kernels accelerate) the dominant cost of every LLC miss; mcf's
+    // LLC-miss-heavy stream keeps that path hot.
+    matrix.push((
+        "1core-vc128/vc128".to_string(),
+        vec![Mcf],
+        PolicySpec::victim_cache(128),
+    ));
     matrix
 }
 
@@ -450,6 +508,9 @@ struct BenchEntry {
     accesses_per_sec: f64,
     accesses_per_sec_mean: f64,
     calibration_ratio: f64,
+    /// Probe kernel the run dispatched to (`avx2`, `scalar4`, ...), so a
+    /// committed baseline records which kernel produced its numbers.
+    kernel: &'static str,
 }
 
 impl BenchEntry {
@@ -466,6 +527,7 @@ impl BenchEntry {
                 JsonValue::Num(self.accesses_per_sec_mean),
             ),
             ("calibration_ratio", JsonValue::Num(self.calibration_ratio)),
+            ("kernel", JsonValue::Str(self.kernel.into())),
         ])
     }
 }
@@ -557,12 +619,13 @@ fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Res
 fn cmd_bench(opts: &Options) -> ExitCode {
     let cfg = &opts.cfg;
     eprintln!(
-        "bench: measure={} warmup={} seed={} scale=1/{} target={}ms per entry",
+        "bench: measure={} warmup={} seed={} scale=1/{} target={}ms per entry, kernel={}",
         cfg.instruction_quota(),
         cfg.warmup_quota(),
         cfg.seed_value(),
         cfg.scale(),
-        opts.target_ms
+        opts.target_ms,
+        tla::cache::kernel_name(),
     );
     let t_total = std::time::Instant::now();
     let matrix = bench_matrix();
@@ -661,6 +724,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
             accesses_per_sec,
             accesses_per_sec_mean,
             calibration_ratio,
+            kernel: tla::cache::kernel_name(),
         });
     }
     print!("{table}");
@@ -861,9 +925,71 @@ fn cmd_snapshot_resume(path: &str, opts: &Options) -> ExitCode {
     }
 }
 
+/// Lists a warm-cache directory without modifying it (the cache never
+/// evicts; this command never writes).
+fn cmd_snapshot_cache_info(dir: &str) -> ExitCode {
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("error: {dir}: not a directory");
+        return ExitCode::FAILURE;
+    }
+    let cache = match WarmCache::open(dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("error: {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match cache.entries() {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        println!("warm cache {dir}: empty");
+        return ExitCode::SUCCESS;
+    }
+    let mut t = Table::new(&["file", "mix", "warmed under", "warmup", "seed", "size"]);
+    let mut total = 0u64;
+    for e in &entries {
+        total += e.size_bytes;
+        let file = e
+            .path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let row = match &e.info {
+            Some(info) => vec![
+                file,
+                info.mix_label(),
+                info.warm_spec.clone(),
+                format!("{} instr", info.warmup),
+                format!("{:#x}", info.seed),
+                format!("{} B", e.size_bytes),
+            ],
+            None => vec![
+                file,
+                "(not a checkpoint)".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("{} B", e.size_bytes),
+            ],
+        };
+        t.add_row(row);
+    }
+    print!("{t}");
+    println!(
+        "warm cache {dir}: {} image(s), {total} bytes total",
+        entries.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_snapshot(rest: &[String]) -> ExitCode {
     let Some((sub, args)) = rest.split_first() else {
-        eprintln!("error: snapshot needs a subcommand (save|info|resume)");
+        eprintln!("error: snapshot needs a subcommand (save|info|resume|cache-info)");
         return usage();
     };
     match sub.as_str() {
@@ -874,6 +1000,17 @@ fn cmd_snapshot(rest: &[String]) -> ExitCode {
                 usage()
             }
         },
+        "cache-info" => {
+            let Some((dir, extra)) = args.split_first() else {
+                eprintln!("error: snapshot cache-info needs a cache directory");
+                return usage();
+            };
+            if !extra.is_empty() {
+                eprintln!("error: snapshot cache-info takes no options");
+                return usage();
+            }
+            cmd_snapshot_cache_info(dir)
+        }
         "info" | "resume" => {
             let Some((path, args)) = args.split_first() else {
                 eprintln!("error: snapshot {sub} needs a checkpoint path");
@@ -966,11 +1103,19 @@ mod tests {
             "non-inclusive",
             "exclusive",
             "vc32",
+            "vc128",
+            "vc256",
         ] {
             assert!(parse_policy(name).is_some(), "{name} must parse");
         }
         assert!(parse_policy("bogus").is_none());
         assert_eq!(parse_policy("inclusive").unwrap().name, "Inclusive");
+        // The vc family is parameterized but bounded by the way-mask width.
+        assert_eq!(parse_policy("vc32").unwrap().victim_cache, Some(32));
+        assert_eq!(parse_policy("vc128").unwrap().name, "VC-128");
+        assert!(parse_policy("vc0").is_none(), "empty victim cache");
+        assert!(parse_policy("vc257").is_none(), "beyond MAX_WAYS");
+        assert!(parse_policy("vcxyz").is_none());
     }
 
     #[test]
@@ -1091,12 +1236,20 @@ mod tests {
     #[test]
     fn bench_matrix_shape() {
         let matrix = bench_matrix();
-        assert_eq!(matrix.len(), 16, "4 policies x 4 core counts");
+        assert_eq!(
+            matrix.len(),
+            17,
+            "4 policies x 4 core counts + the probe-heavy vc128 entry"
+        );
         // Names are unique (the gate matches entries by name).
         let mut names: Vec<&str> = matrix.iter().map(|(n, _, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
+        // The probe-heavy entry runs a 128-entry victim cache on one core.
+        assert!(matrix.iter().any(|(n, apps, spec)| n == "1core-vc128/vc128"
+            && apps.len() == 1
+            && spec.victim_cache == Some(128)));
         // The headline LLC-miss-heavy workload is present at 4 cores.
         assert!(matrix
             .iter()
@@ -1144,6 +1297,7 @@ mod tests {
             accesses_per_sec: aps,
             accesses_per_sec_mean: aps,
             calibration_ratio: ratio,
+            kernel: "scalar4",
         };
         let p = path.to_str().unwrap();
         // Same ratio passes, whatever the absolute numbers did: a 3x faster
@@ -1205,5 +1359,11 @@ mod tests {
         assert!(!o.warm_start);
         let o = parse(&["--mix", "lib,sje", "--warm-start"]).unwrap();
         assert!(o.warm_start);
+        assert!(o.warm_cache.is_none());
+        // --warm-cache carries the directory and opts into warm-start.
+        let o = parse(&["--mix", "lib,sje", "--warm-cache", "/tmp/warm"]).unwrap();
+        assert_eq!(o.warm_cache.as_deref(), Some("/tmp/warm"));
+        assert!(o.warm_start, "--warm-cache implies --warm-start");
+        assert!(parse(&["--warm-cache"]).unwrap_err().contains("warm-cache"));
     }
 }
