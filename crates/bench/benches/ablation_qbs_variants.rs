@@ -7,7 +7,7 @@
 //! penalty on rescued lines.
 
 use tla_bench::BenchEnv;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         PolicySpec::qbs(),
         PolicySpec::qbs_invalidating(),
     ];
-    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+    let suites = env.run_suite(&mixes, &specs, None);
 
     let mut t = Table::new(&["mix", "QBS", "QBS-inval"]);
     let qbs = suites[1].normalized_throughput(&suites[0]);

@@ -10,7 +10,7 @@
 
 use tla_bench::BenchEnv;
 use tla_cache::Policy;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
             PolicySpec::qbs().with_llc_replacement(policy),
             PolicySpec::non_inclusive().with_llc_replacement(policy),
         ];
-        let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+        let suites = env.run_suite(&mixes, &specs, None);
         let qbs = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
         let ni = stats::geomean(suites[2].normalized_throughput(&suites[0])).unwrap();
         t.add_row(vec![

@@ -11,7 +11,7 @@
 //! per other core per LLC miss.
 
 use tla_bench::BenchEnv;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
         PolicySpec::non_inclusive(),
         PolicySpec::exclusive(),
     ];
-    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+    let suites = env.run_suite(&mixes, &specs, None);
 
     let mut t = Table::new(&[
         "configuration",

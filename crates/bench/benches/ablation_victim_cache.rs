@@ -6,7 +6,7 @@
 //! far outperform it. ECI is effectively an *in-LLC* victim cache.
 
 use tla_bench::BenchEnv;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -21,7 +21,7 @@ fn main() {
         PolicySpec::qbs(),
     ];
     tla_bench::bench_progress!("ablation_vc", "{} specs x {} mixes", specs.len(), all.len());
-    let suites = run_mix_suite(&env.cfg, &all, &specs, None);
+    let suites = env.run_suite(&all, &specs, None);
 
     let mut t = Table::new(&["configuration", "vs inclusive (geomean)", "paper"]);
     let paper = ["+0.8%", "+4.5%", "+6.5%"];

@@ -8,7 +8,7 @@
 //! while TLH-L1-L2 recovers it.
 
 use tla_bench::{fmt_norm, BenchEnv};
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 const LLC_SIZES_MB: [usize; 4] = [1, 2, 4, 8];
@@ -41,7 +41,7 @@ fn main() {
     ]);
     for (i, mb) in LLC_SIZES_MB.iter().enumerate() {
         tla_bench::bench_progress!("fig10", "LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
-        let suites = run_mix_suite(&env.cfg, &mixes, &specs, Some(mb * 1024 * 1024));
+        let suites = env.run_suite(&mixes, &specs, Some(mb * 1024 * 1024));
         let mut row = vec![format!("1:{}", 2 * mb)];
         for suite in &suites[1..] {
             let g = stats::geomean(suite.normalized_throughput(&suites[0])).unwrap_or(0.0);

@@ -9,7 +9,7 @@
 //! stays at non-inclusive performance.
 
 use tla_bench::BenchEnv;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 use tla_workloads::random_mixes;
 
@@ -38,7 +38,7 @@ fn main() {
         // the core count (2 MB per 2 cores at full scale).
         let cores = mixes[0].cores();
         let llc = cores / 2 * 2 * 1024 * 1024;
-        let suites = run_mix_suite(&env.cfg, mixes, &specs, Some(llc));
+        let suites = env.run_suite(mixes, &specs, Some(llc));
         let qbs = suites[1].normalized_throughput(&suites[0]);
         let ni = suites[2].normalized_throughput(&suites[0]);
         t.add_row(vec![

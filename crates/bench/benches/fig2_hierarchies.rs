@@ -6,7 +6,7 @@
 //! non-inclusive and exclusive advantage grows, with exclusive on top.
 
 use tla_bench::{fmt_norm, BenchEnv};
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 /// Full-scale LLC capacities swept (the paper's 1, 2, 4 and 8 MB points;
@@ -37,7 +37,7 @@ fn main() {
     ]);
     for (i, mb) in LLC_SIZES_MB.iter().enumerate() {
         tla_bench::bench_progress!("fig2", "LLC {mb} MB ({}/{})", i + 1, LLC_SIZES_MB.len());
-        let suites = run_mix_suite(&env.cfg, &mixes, &specs, Some(mb * 1024 * 1024));
+        let suites = env.run_suite(&mixes, &specs, Some(mb * 1024 * 1024));
         let ni = suites[1].normalized_throughput(&suites[0]);
         let ex = suites[2].normalized_throughput(&suites[0]);
         let ratio = 512.0 / (*mb as f64 * 1024.0); // 2 cores x 256 KB L2

@@ -10,7 +10,7 @@
 //! most of the inclusive->non-inclusive gap, TLH-L2 roughly half.
 
 use tla_bench::{bar_table, print_s_curve, BenchEnv};
-use tla_sim::{run_mix_suite, MixRun, PolicySpec, Table};
+use tla_sim::{MixRun, PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -52,7 +52,7 @@ fn main() {
         specs.len(),
         mixes.len()
     );
-    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+    let suites = env.run_suite(&mixes, &specs, None);
 
     let n = showcase.len();
     let series: Vec<(&str, Vec<f64>, Vec<f64>)> = suites[1..]

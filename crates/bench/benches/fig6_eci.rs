@@ -6,7 +6,7 @@
 //! because it scales with LLC misses.
 
 use tla_bench::{bar_table, print_s_curve, BenchEnv};
-use tla_sim::{run_mix_suite, PolicySpec};
+use tla_sim::PolicySpec;
 use tla_types::stats;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
         specs.len(),
         mixes.len()
     );
-    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+    let suites = env.run_suite(&mixes, &specs, None);
 
     let n = showcase.len();
     let (eci_sc, eci_all) = tla_bench::split_series(&suites[1], &suites[0], n);

@@ -9,7 +9,7 @@
 //! performance, and one or two queries capture nearly all of the benefit.
 
 use tla_bench::{bar_table, print_s_curve, BenchEnv};
-use tla_sim::{run_mix_suite, MixRun, PolicySpec};
+use tla_sim::{MixRun, PolicySpec};
 use tla_types::stats;
 
 fn main() {
@@ -36,7 +36,7 @@ fn main() {
         specs.len(),
         mixes.len()
     );
-    let suites = run_mix_suite(&env.cfg, &mixes, &specs, None);
+    let suites = env.run_suite(&mixes, &specs, None);
 
     let n = showcase.len();
     let series: Vec<(&str, Vec<f64>, Vec<f64>)> = suites[1..]

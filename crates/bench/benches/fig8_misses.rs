@@ -6,7 +6,7 @@
 //! configuration with genuinely more capacity — pulls far ahead (18.2%).
 
 use tla_bench::{print_s_curve, BenchEnv};
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
         specs.len(),
         all.len()
     );
-    let suites = run_mix_suite(&env.cfg, &all, &specs, None);
+    let suites = env.run_suite(&all, &specs, None);
 
     let mut t = Table::new(&["policy", "avg LLC miss reduction", "paper"]);
     let paper = ["8.2%", "4.8%", "6.5%", "9.6%", "9.3%", "18.2%"];

@@ -9,7 +9,7 @@
 
 use tla_bench::BenchEnv;
 use tla_core::TlaPolicy;
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     let mut specs_a = vec![PolicySpec::baseline()];
     specs_a.extend(PolicySpec::figure9_set());
     tla_bench::bench_progress!("fig9a", "{} specs x {} mixes", specs_a.len(), all.len());
-    let suites_a = run_mix_suite(&env.cfg, &all, &specs_a, None);
+    let suites_a = env.run_suite(&all, &specs_a, None);
 
     let gm = |v: Vec<f64>| stats::geomean(v).unwrap_or(1.0);
     let mut t = Table::new(&["policy", "vs inclusive (geomean)"]);
@@ -44,7 +44,7 @@ fn main() {
         PolicySpec::exclusive(),
     ];
     tla_bench::bench_progress!("fig9b", "{} specs x {} mixes", specs_b.len(), all.len());
-    let suites_b = run_mix_suite(&env.cfg, &all, &specs_b, None);
+    let suites_b = env.run_suite(&all, &specs_b, None);
 
     let mut t = Table::new(&["policy", "vs non-inclusive (geomean)"]);
     for suite in &suites_b[1..] {

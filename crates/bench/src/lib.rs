@@ -20,8 +20,15 @@
 //!   cores). Results are bit-identical for any value; only wall-clock
 //!   changes. Resolved inside [`SimConfig::effective_jobs`], so every
 //!   `run_mix_suite`/`mpki_table` call a bench makes obeys it.
+//! * `TLA_WARM_CACHE=<dir>` — directory for persistent warm images shared
+//!   by [`BenchEnv::run_suite`] callers (default
+//!   `target/tla-warm-cache`; `0`/`off` disables caching). A figure
+//!   re-run over the same configuration skips every warm-up it has
+//!   already done.
 
-use tla_sim::{SimConfig, SuiteResult, Table};
+use tla_sim::{
+    run_mix_suite_warm_start_cached, PolicySpec, SimConfig, SuiteResult, Table, WarmCache,
+};
 use tla_types::stats;
 use tla_workloads::{all_two_core_mixes, table2_mixes, Mix};
 
@@ -53,6 +60,54 @@ impl BenchEnv {
             .instructions(measure)
             .warmup(warmup);
         BenchEnv { cfg, full }
+    }
+
+    /// The warm-image cache the figure benches share, resolved from
+    /// `TLA_WARM_CACHE` (default `target/tla-warm-cache` in the
+    /// workspace; `0`, `off` or an empty value disables caching). An
+    /// unopenable directory degrades to no caching rather than failing
+    /// the bench.
+    pub fn warm_cache(&self) -> Option<WarmCache> {
+        let dir = match std::env::var("TLA_WARM_CACHE") {
+            Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => return None,
+            Ok(v) => std::path::PathBuf::from(v),
+            Err(_) => {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tla-warm-cache")
+            }
+        };
+        match WarmCache::open(&dir) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                bench_progress!(
+                    "tla-bench",
+                    "warm cache {} unavailable ({e}) — warming uncached",
+                    dir.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// The suite runner every figure bench goes through: warm each mix
+    /// once under the inclusive baseline (pulling the image from the
+    /// [`BenchEnv::warm_cache`] directory when it is already there), then
+    /// fan the `(spec, mix)` measurement grid out. Re-running a figure
+    /// over an unchanged configuration skips all warm-up work.
+    pub fn run_suite(
+        &self,
+        mixes: &[Mix],
+        specs: &[PolicySpec],
+        llc_capacity_full_scale: Option<usize>,
+    ) -> Vec<SuiteResult> {
+        let cache = self.warm_cache();
+        run_mix_suite_warm_start_cached(
+            &self.cfg,
+            mixes,
+            specs,
+            llc_capacity_full_scale,
+            cache.as_ref(),
+        )
+        .expect("resuming a just-written warm checkpoint cannot fail")
     }
 
     /// The 12 showcase mixes of Table II.
@@ -326,6 +381,58 @@ mod tests {
         assert!(m.iters > 0);
         assert!(m.nanos_per_iter() >= 0.0);
         assert!(m.line().contains("noop"));
+    }
+
+    /// Serializes the tests that mutate `TLA_WARM_CACHE` (the process env
+    /// is shared across test threads).
+    static WARM_CACHE_ENV: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn warm_cache_env_controls_caching() {
+        let _guard = WARM_CACHE_ENV.lock().unwrap();
+        // Tests share the process env; restore whatever was there.
+        let saved = std::env::var("TLA_WARM_CACHE").ok();
+        let env = BenchEnv::from_env();
+        for off in ["0", "off", "OFF", ""] {
+            std::env::set_var("TLA_WARM_CACHE", off);
+            assert!(env.warm_cache().is_none(), "'{off}' must disable caching");
+        }
+        let dir = std::env::temp_dir().join(format!("tla-bench-warmcache-{}", std::process::id()));
+        std::env::set_var("TLA_WARM_CACHE", &dir);
+        let cache = env.warm_cache().expect("explicit directory opens");
+        assert_eq!(cache.entries().unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+        match saved {
+            Some(v) => std::env::set_var("TLA_WARM_CACHE", v),
+            None => std::env::remove_var("TLA_WARM_CACHE"),
+        }
+    }
+
+    #[test]
+    fn run_suite_matches_uncached_warm_start() {
+        let _guard = WARM_CACHE_ENV.lock().unwrap();
+        let saved = std::env::var("TLA_WARM_CACHE").ok();
+        let dir = std::env::temp_dir().join(format!("tla-bench-suite-{}", std::process::id()));
+        std::env::set_var("TLA_WARM_CACHE", &dir);
+        let mut env = BenchEnv::from_env();
+        env.cfg = env.cfg.with_scale(8).warmup(10_000).instructions(5_000);
+        let mixes = &table2_mixes()[..1];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+        let first = env.run_suite(mixes, &specs, None);
+        // Second invocation resumes the stored warm image, bit-identically.
+        let second = env.run_suite(mixes, &specs, None);
+        assert_eq!(first.len(), 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.spec.name, b.spec.name);
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                assert_eq!(ra.global, rb.global);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        match saved {
+            Some(v) => std::env::set_var("TLA_WARM_CACHE", v),
+            None => std::env::remove_var("TLA_WARM_CACHE"),
+        }
     }
 
     #[test]

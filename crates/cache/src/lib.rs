@@ -39,6 +39,7 @@
 //! # Ok::<(), tla_cache::ConfigError>(())
 //! ```
 
+mod attribution;
 mod config;
 mod line;
 mod mshr;
@@ -48,11 +49,12 @@ mod replacement;
 mod set_assoc;
 mod victim;
 
+pub use attribution::{MissClass, VictimCause, VictimTracker};
 pub use config::{CacheConfig, ConfigError, MAX_WAYS};
 pub use line::{CoreBitmap, LineState};
 pub use mshr::MshrFile;
 pub use prefetch::{StreamPrefetcher, StreamPrefetcherConfig};
-pub use probe::{kernel_name, ProbeKernel, WayMask};
+pub use probe::{kernel_name, min_index, ProbeKernel, WayMask};
 pub use replacement::{Policy, Replacer};
 pub use set_assoc::{CacheStats, Evicted, SetAssocCache};
 pub use victim::{VictimCache, VictimEntry};

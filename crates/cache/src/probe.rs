@@ -385,6 +385,147 @@ pub fn find_index(addrs: &[LineAddr], needle: LineAddr) -> Option<usize> {
     None
 }
 
+/// Signature of a min-reduce kernel: position of the smallest element of
+/// `vals` (the first one on ties), or `None` when the slice is empty.
+pub type MinIndexFn = fn(vals: &[u64]) -> Option<usize>;
+
+/// Naive reference min-reduce: the obvious `min_by_key` scan. Ground truth
+/// for the differential tests.
+pub fn min_index_naive(vals: &[u64]) -> Option<usize> {
+    vals.iter()
+        .enumerate()
+        .min_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+}
+
+/// Portable min-reduce: 4 independent strided lanes, reduced at the end.
+///
+/// Each lane keeps its first minimum (strict `<`), and the final reduce
+/// breaks value ties by the lower index, so the result is always the
+/// *first* global minimum — the same element `min_by_key` picks.
+pub fn min_index_portable(vals: &[u64]) -> Option<usize> {
+    if vals.is_empty() {
+        return None;
+    }
+    let n = vals.len();
+    let mut lane_val = [u64::MAX; 4];
+    let mut lane_idx = [0usize; 4];
+    let mut i = 0;
+    while i + 4 <= n {
+        for j in 0..4 {
+            if vals[i + j] < lane_val[j] {
+                lane_val[j] = vals[i + j];
+                lane_idx[j] = i + j;
+            }
+        }
+        i += 4;
+    }
+    let mut best = u64::MAX;
+    let mut best_i = 0usize;
+    for j in 0..4 {
+        if lane_val[j] < best || (lane_val[j] == best && lane_idx[j] < best_i) {
+            best = lane_val[j];
+            best_i = lane_idx[j];
+        }
+    }
+    while i < n {
+        if vals[i] < best {
+            best = vals[i];
+            best_i = i;
+        }
+        i += 1;
+    }
+    Some(best_i)
+}
+
+/// AVX2 min-reduce: 4 lanes per step via sign-biased signed compares
+/// (AVX2 has no unsigned 64-bit compare; XOR-ing both operands with the
+/// sign bit makes `_mm256_cmpgt_epi64` order unsigned values correctly).
+///
+/// Safe wrapper — dispatch only selects it after AVX2 detection.
+#[cfg(target_arch = "x86_64")]
+pub fn min_index_avx2(vals: &[u64]) -> Option<usize> {
+    // SAFETY: only reachable when AVX2 was detected at dispatch time (or
+    // explicitly, from tests that performed the same detection).
+    unsafe { min_index_avx2_impl(vals) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn min_index_avx2_impl(vals: &[u64]) -> Option<usize> {
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi64, _mm256_blendv_epi8, _mm256_cmpgt_epi64, _mm256_loadu_si256,
+        _mm256_set1_epi64x, _mm256_setr_epi64x, _mm256_storeu_si256, _mm256_xor_si256,
+    };
+    let n = vals.len();
+    if n < 8 {
+        return min_index_portable(vals);
+    }
+    let bias = _mm256_set1_epi64x(i64::MIN);
+    let step = _mm256_set1_epi64x(4);
+    // Lane j tracks the first minimum over the stride-4 column j, j+4, ...
+    // (strict less-than keeps the earliest occurrence within a lane).
+    let mut min_v = _mm256_xor_si256(_mm256_loadu_si256(vals.as_ptr().cast::<__m256i>()), bias);
+    let mut min_i = _mm256_setr_epi64x(0, 1, 2, 3);
+    let mut cur_i = _mm256_add_epi64(min_i, step);
+    let mut i = 4;
+    while i + 4 <= n {
+        let v = _mm256_xor_si256(
+            _mm256_loadu_si256(vals.as_ptr().add(i).cast::<__m256i>()),
+            bias,
+        );
+        let lt = _mm256_cmpgt_epi64(min_v, v);
+        min_v = _mm256_blendv_epi8(min_v, v, lt);
+        min_i = _mm256_blendv_epi8(min_i, cur_i, lt);
+        cur_i = _mm256_add_epi64(cur_i, step);
+        i += 4;
+    }
+    let mut lane_val = [0u64; 4];
+    let mut lane_idx = [0u64; 4];
+    _mm256_storeu_si256(lane_val.as_mut_ptr().cast::<__m256i>(), min_v);
+    _mm256_storeu_si256(lane_idx.as_mut_ptr().cast::<__m256i>(), min_i);
+    let mut best = u64::MAX;
+    let mut best_i = 0usize;
+    for j in 0..4 {
+        let v = lane_val[j] ^ (1u64 << 63);
+        let idx = lane_idx[j] as usize;
+        if v < best || (v == best && idx < best_i) {
+            best = v;
+            best_i = idx;
+        }
+    }
+    // Tail elements sit past every vector-processed index, so on a value
+    // tie the vector candidate (lower index) must win: strict less-than.
+    while i < n {
+        if vals[i] < best {
+            best = vals[i];
+            best_i = i;
+        }
+        i += 1;
+    }
+    Some(best_i)
+}
+
+static MIN_SELECTED: OnceLock<MinIndexFn> = OnceLock::new();
+
+/// Position of the smallest element of `vals` (first on ties), computed
+/// with the min-reduce kernel selected once per process under the same
+/// rules as [`probe_kernel`] (`TLA_FORCE_SCALAR` pins the portable lanes).
+/// The victim cache's LRU displacement scan uses this.
+pub fn min_index(vals: &[u64]) -> Option<usize> {
+    let f = MIN_SELECTED.get_or_init(|| {
+        if force_scalar() {
+            return min_index_portable as MinIndexFn;
+        }
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return min_index_avx2 as MinIndexFn;
+        }
+        min_index_portable
+    });
+    f(vals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +640,61 @@ mod tests {
         assert_eq!(find_index(&addrs, LineAddr::new(1599)), Some(599));
         assert_eq!(find_index(&addrs, LineAddr::new(7)), None);
         assert_eq!(find_index(&[], LineAddr::new(7)), None);
+    }
+
+    /// Differential sweep for the min-reduce kernels: on random streams —
+    /// including heavy-duplicate streams where the first-minimum tie-break
+    /// is load-bearing — the portable lanes, the AVX2 kernel (when the
+    /// host supports it) and the dispatched kernel all agree with the
+    /// naive `min_by_key` reference, index for index.
+    #[test]
+    fn min_kernels_agree_on_random_streams() {
+        let mut rng = SmallRng::seed_from_u64(0x31171dec);
+        for &len in &[0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32, 100, 257] {
+            for round in 0..200 {
+                // Small value universes force duplicate minima.
+                let universe = 1 + (round % 6) as u64;
+                let vals: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=universe)).collect();
+                let expect = min_index_naive(&vals);
+                assert_eq!(
+                    min_index_portable(&vals),
+                    expect,
+                    "portable min-reduce diverges at len={len}: {vals:?}"
+                );
+                #[cfg(target_arch = "x86_64")]
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    assert_eq!(
+                        min_index_avx2(&vals),
+                        expect,
+                        "avx2 min-reduce diverges at len={len}: {vals:?}"
+                    );
+                }
+                assert_eq!(
+                    min_index(&vals),
+                    expect,
+                    "dispatched min-reduce diverges at len={len}: {vals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn min_index_edge_cases() {
+        assert_eq!(min_index(&[]), None);
+        assert_eq!(min_index(&[7]), Some(0));
+        assert_eq!(min_index(&[5, 5, 5, 5, 5, 5, 5, 5, 5]), Some(0));
+        assert_eq!(min_index(&[u64::MAX; 12]), Some(0));
+        let mut v = vec![u64::MAX; 33];
+        v[32] = 0;
+        assert_eq!(min_index(&v), Some(32));
+        // First-minimum semantics across lane and tail boundaries.
+        let mut v = vec![9u64; 21];
+        v[6] = 2;
+        v[13] = 2;
+        v[20] = 2;
+        assert_eq!(min_index(&v), Some(6));
+        assert_eq!(min_index_portable(&v), Some(6));
+        assert_eq!(min_index_naive(&v), Some(6));
     }
 
     #[test]

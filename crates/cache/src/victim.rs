@@ -110,13 +110,9 @@ impl VictimCache {
         );
         self.stamp += 1;
         let displaced = if self.addrs.len() == self.capacity {
-            let lru = self
-                .stamps
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| **s)
-                .map(|(i, _)| i)
-                .expect("full victim cache has entries");
+            // The stamps are unique, so the min-reduce kernel's
+            // first-minimum pick is exactly the LRU entry.
+            let lru = probe::min_index(&self.stamps).expect("full victim cache has entries");
             Some(self.swap_remove(lru))
         } else {
             None

@@ -9,7 +9,10 @@
 use crate::config::{HierarchyConfig, InclusionPolicy};
 use crate::policy::{QbsConfig, TlaPolicy};
 use crate::stats::{GlobalStats, PerCoreStats};
-use tla_cache::{CoreBitmap, SetAssocCache, StreamPrefetcher, VictimCache, VictimEntry};
+use tla_cache::{
+    CoreBitmap, MissClass, SetAssocCache, StreamPrefetcher, VictimCache, VictimCause, VictimEntry,
+    VictimTracker,
+};
 use tla_rng::SmallRng;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{EventKind, TelemetryEvent, TelemetrySink};
@@ -81,6 +84,13 @@ pub struct CacheHierarchy {
     /// Global instruction clock stamped onto telemetry events; advanced by
     /// the driver via [`CacheHierarchy::set_now`].
     now_instr: u64,
+    /// Per-core miss-attribution trackers (cold / capacity /
+    /// inclusion-victim classification with the causing policy decision).
+    trackers: Vec<VictimTracker>,
+    /// Whether to emit [`EventKind::LlcAccess`] events (the reuse-distance
+    /// profiler's input stream). Off by default so the demand hot path
+    /// stays a single branch.
+    profile_accesses: bool,
 }
 
 impl CacheHierarchy {
@@ -115,6 +125,8 @@ impl CacheHierarchy {
             order_buf: Vec::with_capacity(cfg.llc().ways()),
             sink: SinkSlot::default(),
             now_instr: 0,
+            trackers: vec![VictimTracker::new(); cfg.num_cores()],
+            profile_accesses: false,
         }
     }
 
@@ -175,6 +187,19 @@ impl CacheHierarchy {
     /// Whether a telemetry sink is installed.
     pub fn has_sink(&self) -> bool {
         self.sink.0.is_some()
+    }
+
+    /// Enables (or disables) LLC access profiling: with a sink installed,
+    /// every demand access that reaches the LLC emits an
+    /// [`EventKind::LlcAccess`] event carrying its set and line address —
+    /// the reuse-distance profiler's input. Off by default.
+    pub fn set_access_profiling(&mut self, on: bool) {
+        self.profile_accesses = on;
+    }
+
+    /// Whether LLC access profiling is enabled.
+    pub fn access_profiling(&self) -> bool {
+        self.profile_accesses
     }
 
     /// Advances the instruction clock stamped onto telemetry events.
@@ -257,6 +282,23 @@ impl CacheHierarchy {
         }
         self.per_core[ci].l2_misses += 1;
 
+        // Attribute the core-cache miss: cold, capacity, or an inclusion
+        // victim the LLC created — and if the latter, charge the policy
+        // decision that killed the line.
+        match self.trackers[ci].classify(line) {
+            MissClass::Cold => self.per_core[ci].misses_cold += 1,
+            MissClass::Capacity => self.per_core[ci].misses_capacity += 1,
+            MissClass::InclusionVictim(cause) => {
+                self.per_core[ci].misses_inclusion_victim += 1;
+                match cause {
+                    VictimCause::Replacement => self.global.victim_misses_replacement += 1,
+                    VictimCause::QbsLimit => self.global.victim_misses_qbs_limit += 1,
+                    VictimCause::Eci => self.global.victim_misses_eci += 1,
+                    VictimCause::VictimCacheOverflow => self.global.victim_misses_vc += 1,
+                }
+            }
+        }
+
         // Train the stream prefetcher on the L2 demand miss; prefetches are
         // issued after the demand miss completes (they ride in its shadow).
         let mut pf_lines = std::mem::take(&mut self.pf_buf);
@@ -299,6 +341,16 @@ impl CacheHierarchy {
     fn llc_demand(&mut self, core: CoreId, line: LineAddr) -> (DataSource, bool) {
         let ci = core.index();
         self.per_core[ci].llc_accesses += 1;
+
+        if self.profile_accesses && self.has_sink() {
+            let set = self.llc.set_of(line) as u32;
+            self.emit(
+                self.event(EventKind::LlcAccess)
+                    .with_core(core)
+                    .with_set(set)
+                    .with_addr(line),
+            );
+        }
 
         if self.inclusion == InclusionPolicy::Exclusive {
             if self.llc.touch(line) {
@@ -382,9 +434,17 @@ impl CacheHierarchy {
         self.llc.victim_order_into(set, &mut order);
         debug_assert!(!order.is_empty());
 
-        let chosen = match self.tla {
-            TlaPolicy::Qbs(cfg) => self.qbs_select(&order, cfg),
-            _ => 0,
+        let (chosen, cause) = match self.tla {
+            TlaPolicy::Qbs(cfg) => {
+                let (i, limit_forced) = self.qbs_select(&order, cfg);
+                let cause = if limit_forced {
+                    VictimCause::QbsLimit
+                } else {
+                    VictimCause::Replacement
+                };
+                (i, cause)
+            }
+            _ => (0, VictimCause::Replacement),
         };
         let (way, _) = order[chosen];
 
@@ -401,7 +461,7 @@ impl CacheHierarchy {
         if ev.dirty {
             self.global.llc_writebacks += 1;
         }
-        self.handle_llc_eviction(ev);
+        self.handle_llc_eviction(ev, cause);
 
         self.llc.fill_way(set, way, line, dirty, sharers);
 
@@ -420,8 +480,11 @@ impl CacheHierarchy {
 
     /// QBS victim selection: walk candidates in replacement order, querying
     /// the core caches; rejected candidates are promoted to MRU. Returns the
-    /// index into `order` of the line to evict.
-    fn qbs_select(&mut self, order: &[(usize, LineAddr)], cfg: QbsConfig) -> usize {
+    /// index into `order` of the line to evict, and whether the pick was
+    /// *limit-forced* — evicted despite (possibly) being core-resident
+    /// because the query budget ran out (attribution tags such kills
+    /// [`VictimCause::QbsLimit`]).
+    fn qbs_select(&mut self, order: &[(usize, LineAddr)], cfg: QbsConfig) -> (usize, bool) {
         // All candidates share one set; resolve it once for telemetry.
         let set = if self.has_sink() {
             order.first().map(|&(_, l)| self.llc.set_of(l) as u32)
@@ -436,7 +499,7 @@ impl CacheHierarchy {
                 if let Some(s) = set {
                     self.emit(self.event(EventKind::QbsLimitHit).with_set(s));
                 }
-                return i;
+                return (i, true);
             }
             self.global.qbs_queries += 1;
             if let Some(s) = set {
@@ -447,7 +510,7 @@ impl CacheHierarchy {
                 .iter()
                 .any(|cc| cc.holds(cand, cfg.check_l1i, cfg.check_l1d, cfg.check_l2));
             if !resident {
-                return i;
+                return (i, false);
             }
             self.global.qbs_rejections += 1;
             if let Some(s) = set {
@@ -475,7 +538,7 @@ impl CacheHierarchy {
         if let Some(s) = set {
             self.emit(self.event(EventKind::QbsLimitHit).with_set(s));
         }
-        order.len() - 1
+        (order.len() - 1, true)
     }
 
     /// Sends an early invalidation for `target` to the cores in its
@@ -499,29 +562,35 @@ impl CacheHierarchy {
                         .with_set(s),
                 );
             }
-            self.invalidate_in_core(c, target, false);
+            if self.invalidate_in_core(c, target, false) {
+                self.trackers[c.index()].note_kill(target, VictimCause::Eci);
+            }
         }
         self.llc.clear_sharers(target);
         self.llc.set_tag(target, true);
     }
 
     /// Applies the configured inclusion behaviour to an LLC eviction.
-    fn handle_llc_eviction(&mut self, ev: tla_cache::Evicted) {
+    /// `cause` is the policy decision that picked the victim, carried into
+    /// the attribution trackers by the back-invalidates it triggers.
+    fn handle_llc_eviction(&mut self, ev: tla_cache::Evicted, cause: VictimCause) {
         match self.inclusion {
             InclusionPolicy::Inclusive => {
                 if let Some(vc) = self.victim.as_mut() {
                     // Park in the victim cache; inclusion back-invalidation
-                    // is deferred until the line leaves the victim cache.
+                    // is deferred until the line leaves the victim cache —
+                    // so a kill that does fire is charged to the
+                    // displacement, not to the original eviction decision.
                     let displaced = vc.insert(VictimEntry {
                         addr: ev.addr,
                         dirty: ev.dirty,
                         cores: ev.cores,
                     });
                     if let Some(d) = displaced {
-                        self.back_invalidate(d.addr, d.cores);
+                        self.back_invalidate(d.addr, d.cores, VictimCause::VictimCacheOverflow);
                     }
                 } else {
-                    self.back_invalidate(ev.addr, ev.cores);
+                    self.back_invalidate(ev.addr, ev.cores, cause);
                 }
             }
             // Non-inclusive / exclusive: core-cache copies survive.
@@ -530,8 +599,9 @@ impl CacheHierarchy {
     }
 
     /// Back-invalidates `line` from the caches of every core in `cores`,
-    /// counting inclusion victims.
-    fn back_invalidate(&mut self, line: LineAddr, cores: CoreBitmap) {
+    /// counting inclusion victims and recording `cause` against each core
+    /// the removal actually took a copy from.
+    fn back_invalidate(&mut self, line: LineAddr, cores: CoreBitmap, cause: VictimCause) {
         // `set_of` is pure index arithmetic, valid even though the line has
         // already left the LLC.
         let set = if self.has_sink() {
@@ -548,14 +618,17 @@ impl CacheHierarchy {
                         .with_set(s),
                 );
             }
-            self.invalidate_in_core(c, line, true);
+            if self.invalidate_in_core(c, line, true) {
+                self.trackers[c.index()].note_kill(line, cause);
+            }
         }
     }
 
-    /// Removes `line` from one core's caches. `count_victims` distinguishes
-    /// inclusion back-invalidation (counted as inclusion victims) from ECI
-    /// early invalidation (counted separately by the caller).
-    fn invalidate_in_core(&mut self, core: CoreId, line: LineAddr, count_victims: bool) {
+    /// Removes `line` from one core's caches, returning whether any copy
+    /// was actually removed. `count_victims` distinguishes inclusion
+    /// back-invalidation (counted as inclusion victims) from ECI early
+    /// invalidation (counted separately by the caller).
+    fn invalidate_in_core(&mut self, core: CoreId, line: LineAddr, count_victims: bool) -> bool {
         let ci = core.index();
         let cc = &mut self.cores[ci];
         let mut in_l1 = false;
@@ -585,6 +658,7 @@ impl CacheHierarchy {
             // The dirty core copy is written back to memory on its way out.
             self.global.llc_writebacks += 1;
         }
+        in_l1 || in_l2
     }
 
     // ------------------------------------------------------------------
@@ -881,10 +955,12 @@ impl CacheHierarchy {
 /// Checkpoint coverage for the whole hierarchy.
 ///
 /// Serialized: every cache array, the victim cache, the prefetchers, the
-/// per-core and global counters, the TLH filtering RNG and the telemetry
-/// instruction clock. Transient (rebuilt from configuration or run
-/// scoped): `inclusion`, `tla`, the `pf_buf`/`order_buf` scratch buffers
-/// and the telemetry sink. The policy fields are deliberately *not*
+/// per-core and global counters, the TLH filtering RNG, the telemetry
+/// instruction clock and the per-core attribution trackers (sorted, so
+/// identical logical state always produces identical bytes). Transient
+/// (rebuilt from configuration or run scoped): `inclusion`, `tla`, the
+/// `pf_buf`/`order_buf` scratch buffers, the `profile_accesses` flag and
+/// the telemetry sink. The policy fields are deliberately *not*
 /// pinned: warm-start fan-out resumes one warmed image under several TLA
 /// policies, which is exactly a change of `tla`/LLC replacement on an
 /// otherwise identical state.
@@ -911,6 +987,9 @@ impl Snapshot for CacheHierarchy {
         self.global.write_state(w);
         self.rng.write_state(w);
         w.write_u64(self.now_instr);
+        for t in &self.trackers {
+            t.write_state(w);
+        }
     }
 
     fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
@@ -959,6 +1038,9 @@ impl Snapshot for CacheHierarchy {
         self.global.read_state(r)?;
         self.rng.read_state(r)?;
         self.now_instr = r.read_u64()?;
+        for t in &mut self.trackers {
+            t.read_state(r)?;
+        }
         Ok(())
     }
 }
@@ -1016,6 +1098,140 @@ mod tests {
         );
         assert!(h.global_stats().back_invalidates > 0);
         assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn fig3_misses_are_attributed() {
+        let mut h = tiny(TlaPolicy::Baseline);
+        fig3_pattern(&mut h);
+        let s = h.per_core_stats(CoreId::new(0));
+        // Every L2 miss is classified exactly once.
+        assert_eq!(
+            s.misses_cold + s.misses_capacity + s.misses_inclusion_victim,
+            s.l2_misses
+        );
+        // Lines a..f are cold once each; the hot line's re-misses are the
+        // LLC's fault.
+        assert_eq!(s.misses_cold, 6);
+        assert!(
+            s.misses_inclusion_victim > 0,
+            "hot line re-misses must be charged to inclusion"
+        );
+        // Baseline kills come from ordinary replacement decisions only.
+        let g = h.global_stats();
+        assert_eq!(g.victim_misses_replacement, s.misses_inclusion_victim);
+        assert_eq!(g.victim_misses(), s.misses_inclusion_victim);
+        assert_eq!(g.victim_misses_eci, 0);
+        assert_eq!(g.victim_misses_qbs_limit, 0);
+        assert_eq!(g.victim_misses_vc, 0);
+    }
+
+    #[test]
+    fn eci_victim_misses_are_tagged_with_eci() {
+        let mut h = tiny(TlaPolicy::eci());
+        fig3_pattern(&mut h);
+        let g = h.global_stats();
+        assert!(
+            g.victim_misses_eci > 0,
+            "re-reference to an early-invalidated line is an ECI-caused miss"
+        );
+        let s = h.per_core_stats(CoreId::new(0));
+        assert_eq!(g.victim_misses(), s.misses_inclusion_victim);
+        assert_eq!(
+            s.misses_cold + s.misses_capacity + s.misses_inclusion_victim,
+            s.l2_misses
+        );
+    }
+
+    #[test]
+    fn qbs_limit_victim_misses_are_tagged() {
+        // Two hot lines pinned in the L1s (line 1 in the L1D, line 2 in
+        // the L1I) stay LLC-LRU while a stream forces evictions. With a
+        // 1-query budget QBS rejects the first hot candidate but must
+        // evict the second unqueried — a limit-forced kill of a resident
+        // line, whose next miss is charged to the query limit.
+        let mut h =
+            CacheHierarchy::new(&HierarchyConfig::tiny_fig3().tla(TlaPolicy::qbs_limited(1)));
+        for i in 0..30u64 {
+            load(&mut h, 0, 1);
+            h.access(CoreId::new(0), LineAddr::new(2), AccessKind::IFetch);
+            load(&mut h, 0, 10 + i);
+        }
+        let g = h.global_stats();
+        assert!(g.qbs_limit_hits > 0);
+        assert!(
+            g.victim_misses_qbs_limit > 0,
+            "limit-forced evictions of resident lines must surface as \
+             qbs_limit victim misses"
+        );
+        let s = h.per_core_stats(CoreId::new(0));
+        assert_eq!(g.victim_misses(), s.misses_inclusion_victim);
+    }
+
+    #[test]
+    fn victim_cache_overflow_misses_are_tagged() {
+        let mut h = CacheHierarchy::new(
+            &HierarchyConfig::tiny_fig3().victim_cache(VictimCacheConfig { entries: 2 }),
+        );
+        // Keep line 1 hot in the L1 while streaming pushes it out of the
+        // LLC and through the 2-entry victim cache: the deferred
+        // back-invalidate fires on victim-cache displacement.
+        for i in 0..20u64 {
+            load(&mut h, 0, 1);
+            load(&mut h, 0, 10 + i);
+        }
+        let g = h.global_stats();
+        assert!(
+            g.victim_misses_vc > 0,
+            "hot-line misses after a victim-cache displacement must be \
+             charged to the displacement"
+        );
+        let s = h.per_core_stats(CoreId::new(0));
+        assert_eq!(g.victim_misses(), s.misses_inclusion_victim);
+        assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn non_inclusive_and_exclusive_have_no_victim_misses() {
+        for mode in [InclusionPolicy::NonInclusive, InclusionPolicy::Exclusive] {
+            let mut h = tiny_mode(mode);
+            fig3_pattern(&mut h);
+            let s = h.per_core_stats(CoreId::new(0));
+            assert_eq!(s.misses_inclusion_victim, 0, "{mode:?}");
+            assert_eq!(h.global_stats().victim_misses(), 0, "{mode:?}");
+            assert_eq!(
+                s.misses_cold + s.misses_capacity,
+                s.l2_misses,
+                "{mode:?}: every miss is cold or capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn llc_access_events_require_profiling_flag() {
+        use tla_telemetry::{CountingSink, SharedSink};
+        let shared = SharedSink::new(CountingSink::default());
+        let mut h = tiny(TlaPolicy::Baseline);
+        h.set_sink(shared.clone());
+        fig3_pattern(&mut h);
+        assert_eq!(
+            shared.with(|c| c.count(EventKind::LlcAccess)),
+            0,
+            "no LlcAccess events while profiling is off"
+        );
+
+        let shared = SharedSink::new(CountingSink::default());
+        let mut h = tiny(TlaPolicy::Baseline);
+        h.set_sink(shared.clone());
+        h.set_access_profiling(true);
+        assert!(h.access_profiling());
+        fig3_pattern(&mut h);
+        let llc_accesses = h.per_core_stats(CoreId::new(0)).llc_accesses;
+        assert_eq!(
+            shared.with(|c| c.count(EventKind::LlcAccess)),
+            llc_accesses,
+            "one LlcAccess event per LLC demand access"
+        );
     }
 
     #[test]

@@ -11,8 +11,9 @@ use tla_core::{
 use tla_cpu::CoreModel;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{
-    ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, RunReport, SetHistogramReport,
-    SharedSink, TelemetrySink, ThreadReport, Window, WindowedSeries,
+    ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, ReuseProfiler, ReuseReport,
+    RunReport, SetHistogramReport, SharedSink, TelemetrySink, ThreadReport, Window, WindowedSeries,
+    DEFAULT_REUSE_BUCKETS,
 };
 use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
 use tla_workloads::{SpecApp, SyntheticTrace, TraceSource};
@@ -149,6 +150,7 @@ pub struct MixRun<'a> {
     apps: Vec<SpecApp>,
     spec: PolicySpec,
     llc_capacity_full_scale: Option<usize>,
+    profile_llc: bool,
 }
 
 impl<'a> MixRun<'a> {
@@ -165,6 +167,7 @@ impl<'a> MixRun<'a> {
             apps: apps.to_vec(),
             spec: PolicySpec::baseline(),
             llc_capacity_full_scale: None,
+            profile_llc: false,
         }
     }
 
@@ -293,7 +296,48 @@ impl<'a> MixRun<'a> {
             window_size: telemetry.window_size,
             windows: telemetry.windows,
             set_histogram: Some(telemetry.set_histogram),
+            opt_misses: None,
+            gap_to_opt: None,
+            inclusion_victim_rate: None,
+            reuse: None,
         };
+        (result, report)
+    }
+
+    /// [`run_report`](MixRun::run_report) with the analytics layer
+    /// attached: the hierarchy emits per-access LLC telemetry into an
+    /// online reuse-distance profiler sampling every `sample_every`-th
+    /// LLC set, and the report carries the resulting [`ReuseReport`]
+    /// plus the measured inclusion-victim rate (the fraction of L2
+    /// misses the attribution hooks charged to LLC-caused kills).
+    ///
+    /// The per-access event stream is observation-only, so the
+    /// [`RunResult`] is bit-identical to a plain [`run`](MixRun::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn run_report_analyzed(
+        mut self,
+        window: Option<u64>,
+        sample_every: u32,
+    ) -> (RunResult, RunReport) {
+        let mix = self.mix_label();
+        let config = self.config_echo();
+        let spec_name = self.spec.name.clone();
+        let apps = self.apps.clone();
+        let llc_sets = self.hierarchy_config().llc().sets();
+        let profiler = SharedSink::new(ReuseProfiler::new(
+            llc_sets,
+            sample_every,
+            DEFAULT_REUSE_BUCKETS,
+        ));
+        self.profile_llc = true;
+        let (result, telemetry) = self.execute(Some(window), Some(Box::new(profiler.clone())));
+        let telemetry = telemetry.expect("telemetry was requested");
+        let mut report = build_report(mix, spec_name, config, &apps, &result, telemetry);
+        report.reuse = Some(profiler.with(|p| ReuseReport::from(p)));
+        report.inclusion_victim_rate = Some(report.measured_victim_rate());
         (result, report)
     }
 
@@ -548,6 +592,10 @@ fn build_report(
         window_size: telemetry.window_size,
         windows: telemetry.windows,
         set_histogram: Some(telemetry.set_histogram),
+        opt_misses: None,
+        gap_to_opt: None,
+        inclusion_victim_rate: None,
+        reuse: None,
     }
 }
 
@@ -589,6 +637,7 @@ impl Engine {
         let scale = run.cfg.scale();
         let hcfg = run.hierarchy_config();
         let mut hier = CacheHierarchy::new(&hcfg);
+        hier.set_access_profiling(run.profile_llc);
 
         // Telemetry collectors. The counting sink and histogram hang off
         // the hierarchy's event stream; the windowed series is driven from
@@ -1096,6 +1145,36 @@ mod tests {
         let hist = report.set_histogram.as_ref().unwrap();
         assert!(hist.evictions.iter().map(|&e| e as u64).sum::<u64>() > 0);
         // The report survives a JSON round trip byte-for-byte.
+        let text = report.to_json_string();
+        let back = RunReport::parse(&text).unwrap();
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn analyzed_report_carries_reuse_and_victim_rate() {
+        let cfg = quick().instructions(100_000);
+        let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+        let (result, report) = MixRun::new(&cfg, &mix)
+            .spec(&PolicySpec::qbs())
+            .run_report_analyzed(Some(20_000), 4);
+        // The analytics sinks are observation-only: the run result is
+        // bit-identical to a plain run.
+        let plain = MixRun::new(&cfg, &mix).spec(&PolicySpec::qbs()).run();
+        assert_eq!(result.global, plain.global);
+        assert_eq!(result.threads[0].stats, plain.threads[0].stats);
+
+        let reuse = report.reuse.as_ref().expect("analyzed report has reuse");
+        assert_eq!(reuse.sample_every, 4);
+        assert!(
+            reuse.global.total() + reuse.global.cold() > 0,
+            "libquantum must drive LLC accesses into the sampled sets"
+        );
+        assert!(!reuse.per_set.is_empty());
+        let rate = report.inclusion_victim_rate.expect("rate attached");
+        assert!((0.0..=1.0).contains(&rate), "rate {rate}");
+        // The attached rate is exactly the per-thread counters' quotient.
+        assert_eq!(rate, report.measured_victim_rate());
+        // The analyzed report still round-trips byte-for-byte.
         let text = report.to_json_string();
         let back = RunReport::parse(&text).unwrap();
         assert_eq!(back.to_json_string(), text);

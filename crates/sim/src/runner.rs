@@ -175,6 +175,33 @@ pub fn run_policy_reports(
     })
 }
 
+/// The engine behind `tla-cli analyze`: every policy on one mix with the
+/// analytics layer attached (reuse-distance profiler sampling every
+/// `sample_every`-th LLC set, inclusion-victim attribution), in `specs`
+/// order. Each report carries its [`tla_telemetry::ReuseReport`] and measured
+/// inclusion-victim rate; the caller pairs them with the MIN oracle to
+/// fill in `opt_misses` / `gap_to_opt`.
+///
+/// Like every batch helper, the output is bit-identical for any job
+/// count, and each [`RunResult`] is bit-identical to a plain run (the
+/// analytics stream is observation-only).
+pub fn run_policy_reports_analyzed(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+    sample_every: u32,
+) -> Vec<(RunResult, RunReport)> {
+    scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
+        let mut run = MixRun::new(cfg, apps).spec(&spec);
+        if let Some(bytes) = llc_capacity_full_scale {
+            run = run.llc_capacity_full_scale(bytes);
+        }
+        run.run_report_analyzed(window, sample_every)
+    })
+}
+
 /// Builds one warm baseline checkpoint for `apps` under `cfg`.
 fn warm_once(
     cfg: &SimConfig,
@@ -338,12 +365,38 @@ pub fn run_mix_suite_warm_start(
     specs: &[PolicySpec],
     llc_capacity_full_scale: Option<usize>,
 ) -> Result<Vec<SuiteResult>, SnapshotError> {
+    run_mix_suite_warm_start_cached(cfg, mixes, specs, llc_capacity_full_scale, None)
+}
+
+/// [`run_mix_suite_warm_start`] with an optional [`WarmCache`]: each
+/// mix's warm image is looked up in (and stored to) the cache directory,
+/// so a suite re-run — e.g. consecutive bench invocations over the same
+/// figure grid — skips every warm-up it has already done. Results are
+/// bit-identical with and without the cache.
+///
+/// # Errors
+///
+/// Fails only if a resume rejects a warm checkpoint (cache corruption is
+/// handled by ignoring the bad file and re-warming).
+pub fn run_mix_suite_warm_start_cached(
+    cfg: &SimConfig,
+    mixes: &[Mix],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    warm_cache: Option<&WarmCache>,
+) -> Result<Vec<SuiteResult>, SnapshotError> {
     if cfg.warmup_quota() == 0 {
         return Ok(run_mix_suite(cfg, mixes, specs, llc_capacity_full_scale));
     }
     let checkpoints: Vec<Checkpoint> =
         scoped_map(cfg.effective_jobs(), (0..mixes.len()).collect(), |m| {
-            warm_once(cfg, &mixes[m].apps, llc_capacity_full_scale, None)
+            warm_once_cached(
+                cfg,
+                &mixes[m].apps,
+                llc_capacity_full_scale,
+                None,
+                warm_cache,
+            )
         });
     let grid: Vec<(usize, usize)> = (0..specs.len())
         .flat_map(|s| (0..mixes.len()).map(move |m| (s, m)))
@@ -521,6 +574,28 @@ mod tests {
                 .unwrap();
         assert_eq!(after[1].0.global, second[1].0.global);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analyzed_reports_keep_order_and_carry_analytics() {
+        let cfg = quick().instructions(5_000);
+        let apps = [SpecApp::Mcf, SpecApp::Libquantum];
+        let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+        let out = run_policy_reports_analyzed(&cfg, &apps, &specs, None, Some(2_000), 4);
+        assert_eq!(out.len(), 2);
+        for ((result, report), spec) in out.iter().zip(&specs) {
+            assert_eq!(result.spec_name, spec.name);
+            assert_eq!(report.policy, spec.name);
+            let reuse = report.reuse.as_ref().expect("analytics attached");
+            assert_eq!(reuse.sample_every, 4);
+            let rate = report.inclusion_victim_rate.expect("victim rate attached");
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        // Observation-only: bit-identical to the plain suite.
+        let plain = run_policy_reports(&cfg, &apps, &specs, None, None);
+        for ((a, _), (p, _)) in out.iter().zip(&plain) {
+            assert_eq!(a.global, p.global);
+        }
     }
 
     #[test]

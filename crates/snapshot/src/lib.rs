@@ -487,6 +487,9 @@ impl Snapshot for PerCoreStats {
         w.write_u64(self.inclusion_victims_l1);
         w.write_u64(self.inclusion_victims_l2);
         w.write_u64(self.tlh_hints);
+        w.write_u64(self.misses_cold);
+        w.write_u64(self.misses_capacity);
+        w.write_u64(self.misses_inclusion_victim);
     }
 
     fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
@@ -502,6 +505,9 @@ impl Snapshot for PerCoreStats {
         self.inclusion_victims_l1 = r.read_u64()?;
         self.inclusion_victims_l2 = r.read_u64()?;
         self.tlh_hints = r.read_u64()?;
+        self.misses_cold = r.read_u64()?;
+        self.misses_capacity = r.read_u64()?;
+        self.misses_inclusion_victim = r.read_u64()?;
         Ok(())
     }
 }
@@ -520,6 +526,10 @@ impl Snapshot for GlobalStats {
         w.write_u64(self.prefetches);
         w.write_u64(self.victim_cache_rescues);
         w.write_u64(self.snoop_probes);
+        w.write_u64(self.victim_misses_replacement);
+        w.write_u64(self.victim_misses_qbs_limit);
+        w.write_u64(self.victim_misses_eci);
+        w.write_u64(self.victim_misses_vc);
     }
 
     fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
@@ -535,6 +545,10 @@ impl Snapshot for GlobalStats {
         self.prefetches = r.read_u64()?;
         self.victim_cache_rescues = r.read_u64()?;
         self.snoop_probes = r.read_u64()?;
+        self.victim_misses_replacement = r.read_u64()?;
+        self.victim_misses_qbs_limit = r.read_u64()?;
+        self.victim_misses_eci = r.read_u64()?;
+        self.victim_misses_vc = r.read_u64()?;
         Ok(())
     }
 }

@@ -1,7 +1,7 @@
 //! Telemetry event vocabulary.
 
 use std::fmt;
-use tla_types::{CacheLevel, CoreId};
+use tla_types::{CacheLevel, CoreId, LineAddr};
 
 /// The kind of a policy-relevant hierarchy event.
 ///
@@ -30,11 +30,15 @@ pub enum EventKind {
     Prefetch,
     /// An LLC miss was satisfied from the victim cache.
     VictimCacheRescue,
+    /// A demand access reached the LLC (emitted only when access profiling
+    /// is enabled — the reuse-distance profiler's food).
+    LlcAccess,
 }
 
 impl EventKind {
-    /// Every kind, in declaration order.
-    pub const ALL: [EventKind; 10] = [
+    /// Every kind, in declaration order. New kinds are appended so the
+    /// dense indices of existing kinds stay stable across snapshots.
+    pub const ALL: [EventKind; 11] = [
         EventKind::LlcEviction,
         EventKind::BackInvalidate,
         EventKind::EciInvalidate,
@@ -45,6 +49,7 @@ impl EventKind {
         EventKind::TlhHint,
         EventKind::Prefetch,
         EventKind::VictimCacheRescue,
+        EventKind::LlcAccess,
     ];
 
     /// Stable machine-readable name (used as a JSON key).
@@ -60,6 +65,7 @@ impl EventKind {
             EventKind::TlhHint => "tlh_hint",
             EventKind::Prefetch => "prefetch",
             EventKind::VictimCacheRescue => "victim_cache_rescue",
+            EventKind::LlcAccess => "llc_access",
         }
     }
 
@@ -93,6 +99,9 @@ pub struct TelemetryEvent {
     pub level: Option<CacheLevel>,
     /// LLC set index, for set-resolved collectors.
     pub set: Option<u32>,
+    /// The line the event concerns, for address-resolved collectors
+    /// (carried only by [`EventKind::LlcAccess`] today).
+    pub addr: Option<LineAddr>,
     /// Global instruction timestamp: total instructions committed across
     /// all cores when the event fired (0 outside a timed run).
     pub instr: u64,
@@ -106,6 +115,7 @@ impl TelemetryEvent {
             core: None,
             level: None,
             set: None,
+            addr: None,
             instr,
         }
     }
@@ -128,6 +138,13 @@ impl TelemetryEvent {
     #[must_use]
     pub const fn with_set(mut self, set: u32) -> Self {
         self.set = Some(set);
+        self
+    }
+
+    /// Attributes the event to a line address.
+    #[must_use]
+    pub const fn with_addr(mut self, addr: LineAddr) -> Self {
+        self.addr = Some(addr);
         self
     }
 }

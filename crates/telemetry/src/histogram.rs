@@ -10,7 +10,7 @@
 use crate::event::{EventKind, TelemetryEvent};
 use crate::sink::TelemetrySink;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
-use tla_types::{CacheLevel, CoreId};
+use tla_types::{CacheLevel, CoreId, LineAddr};
 
 /// Default capacity of the example-event reservoir.
 pub const DEFAULT_RESERVOIR: usize = 64;
@@ -132,6 +132,10 @@ fn write_event(w: &mut SnapshotWriter, e: &TelemetryEvent) {
     if let Some(s) = e.set {
         w.write_u32(s);
     }
+    w.write_bool(e.addr.is_some());
+    if let Some(a) = e.addr {
+        w.write_u64(a.raw());
+    }
     w.write_u64(e.instr);
 }
 
@@ -166,12 +170,18 @@ fn read_event(r: &mut SnapshotReader) -> Result<TelemetryEvent, SnapshotError> {
     } else {
         None
     };
+    let addr = if r.read_bool()? {
+        Some(LineAddr::new(r.read_u64()?))
+    } else {
+        None
+    };
     let instr = r.read_u64()?;
     Ok(TelemetryEvent {
         kind,
         core,
         level,
         set,
+        addr,
         instr,
     })
 }

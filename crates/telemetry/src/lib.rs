@@ -34,13 +34,18 @@ mod event;
 mod histogram;
 pub mod json;
 mod report;
+mod reuse;
 mod sink;
 mod window;
 
 pub use event::{EventKind, TelemetryEvent};
 pub use histogram::{PerSetHistogram, SetHistogramSummary};
 pub use report::{
-    ConfigEcho, ReportError, RunReport, SetHistogramReport, ThreadReport, SCHEMA_VERSION,
+    ConfigEcho, ReportError, ReuseReport, RunReport, SetHistogramReport, ThreadReport,
+    SCHEMA_VERSION,
+};
+pub use reuse::{
+    ReuseError, ReuseHistogram, ReuseProfiler, DEFAULT_REUSE_BUCKETS, DEFAULT_SAMPLE_EVERY,
 };
 pub use sink::{CountingSink, EventLog, MultiSink, NullSink, SharedSink, TelemetrySink};
 pub use window::{Window, WindowedSeries};

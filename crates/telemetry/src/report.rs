@@ -11,13 +11,20 @@
 use crate::event::EventKind;
 use crate::histogram::PerSetHistogram;
 use crate::json::{JsonError, JsonValue};
+use crate::reuse::{ReuseHistogram, ReuseProfiler};
 use crate::window::Window;
 use std::fmt;
 use tla_types::{GlobalStats, PerCoreStats};
 
 /// Version stamp written into every report; bump on breaking schema
 /// changes so downstream tooling can detect them.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: miss-classification counters (`misses_cold` / `misses_capacity` /
+/// `misses_inclusion_victim`) joined the per-core stats, victim-cause
+/// counters joined the global stats, and reports may carry optional
+/// gap-to-optimal (`opt_misses`, `gap_to_opt`, `inclusion_victim_rate`)
+/// and reuse-distance (`reuse`) payloads.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Ordered key → value echo of the configuration a run used.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -113,6 +120,73 @@ impl From<&PerSetHistogram> for SetHistogramReport {
     }
 }
 
+/// Reuse-distance payload of a report: the profiler's global histogram
+/// plus one histogram per sampled LLC set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReuseReport {
+    /// The set-sampling stride the profiler used.
+    pub sample_every: u32,
+    /// Aggregate over every sampled set.
+    pub global: ReuseHistogram,
+    /// `(set index, histogram)` per sampled set, ascending.
+    pub per_set: Vec<(u32, ReuseHistogram)>,
+}
+
+impl From<&ReuseProfiler> for ReuseReport {
+    fn from(p: &ReuseProfiler) -> Self {
+        ReuseReport {
+            sample_every: p.sample_every(),
+            global: p.global().clone(),
+            per_set: p.per_set().map(|(s, h)| (s, h.clone())).collect(),
+        }
+    }
+}
+
+fn reuse_to_json(r: &ReuseReport) -> JsonValue {
+    JsonValue::object([
+        ("sample_every", JsonValue::from(r.sample_every)),
+        ("global", r.global.to_json()),
+        (
+            "per_set",
+            JsonValue::array(r.per_set.iter().map(|(set, h)| {
+                let mut obj = vec![("set".to_string(), JsonValue::from(*set))];
+                if let JsonValue::Obj(pairs) = h.to_json() {
+                    obj.extend(pairs);
+                }
+                JsonValue::Obj(obj)
+            })),
+        ),
+    ])
+}
+
+fn reuse_from_json(v: &JsonValue) -> Result<ReuseReport, ReportError> {
+    let sample_every = field_u64(v, "sample_every")?;
+    if sample_every == 0 || sample_every > u32::MAX as u64 {
+        return Err(ReportError::new("bad 'sample_every'"));
+    }
+    let global = ReuseHistogram::from_json(field(v, "global")?)
+        .ok_or_else(|| ReportError::new("bad 'global' reuse histogram"))?;
+    let per_set = field(v, "per_set")?
+        .as_array()
+        .ok_or_else(|| ReportError::new("'per_set' is not an array"))?
+        .iter()
+        .map(|e| {
+            let set = field_u64(e, "set")?;
+            if set > u32::MAX as u64 {
+                return Err(ReportError::new("bad per-set 'set' index"));
+            }
+            let h = ReuseHistogram::from_json(e)
+                .ok_or_else(|| ReportError::new("bad per-set reuse histogram"))?;
+            Ok((set as u32, h))
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(ReuseReport {
+        sample_every: sample_every as u32,
+        global,
+        per_set,
+    })
+}
+
 /// Everything one run produced, ready to serialize.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -134,12 +208,38 @@ pub struct RunReport {
     pub windows: Vec<Window>,
     /// Per-set histograms, when collected.
     pub set_histogram: Option<SetHistogramReport>,
+    /// Belady MIN oracle miss count for this mix/config, when computed.
+    pub opt_misses: Option<u64>,
+    /// `(llc_misses - opt_misses) / opt_misses`, when the oracle ran.
+    pub gap_to_opt: Option<f64>,
+    /// Fraction of core-cache misses classified as inclusion-victim
+    /// misses, when attribution was summarized into the report.
+    pub inclusion_victim_rate: Option<f64>,
+    /// Reuse-distance histograms, when the profiler was attached.
+    pub reuse: Option<ReuseReport>,
 }
 
 impl RunReport {
     /// Sum of thread throughputs (IPCs).
     pub fn throughput(&self) -> f64 {
         self.threads.iter().map(|t| t.ipc()).sum()
+    }
+
+    /// Fraction of L2 demand misses the attribution hooks classified as
+    /// inclusion-victim misses, computed from the per-thread counters
+    /// (the measured value behind the `inclusion_victim_rate` field).
+    pub fn measured_victim_rate(&self) -> f64 {
+        let victims: u64 = self
+            .threads
+            .iter()
+            .map(|t| t.stats.misses_inclusion_victim)
+            .sum();
+        let misses: u64 = self.threads.iter().map(|t| t.stats.l2_misses).sum();
+        if misses == 0 {
+            0.0
+        } else {
+            victims as f64 / misses as f64
+        }
     }
 
     /// Encodes the report as a JSON tree.
@@ -199,6 +299,18 @@ impl RunReport {
                     ),
                 ]),
             ));
+        }
+        if let Some(n) = self.opt_misses {
+            top.push(("opt_misses".to_string(), JsonValue::from(n)));
+        }
+        if let Some(g) = self.gap_to_opt {
+            top.push(("gap_to_opt".to_string(), JsonValue::from(g)));
+        }
+        if let Some(r) = self.inclusion_victim_rate {
+            top.push(("inclusion_victim_rate".to_string(), JsonValue::from(r)));
+        }
+        if let Some(r) = &self.reuse {
+            top.push(("reuse".to_string(), reuse_to_json(r)));
         }
         JsonValue::Obj(top)
     }
@@ -279,6 +391,31 @@ impl RunReport {
             },
             windows,
             set_histogram,
+            opt_misses: match v.get("opt_misses") {
+                None => None,
+                Some(n) => Some(
+                    n.as_u64()
+                        .ok_or_else(|| ReportError::new("bad 'opt_misses'"))?,
+                ),
+            },
+            gap_to_opt: match v.get("gap_to_opt") {
+                None => None,
+                Some(g) => Some(
+                    g.as_f64()
+                        .ok_or_else(|| ReportError::new("bad 'gap_to_opt'"))?,
+                ),
+            },
+            inclusion_victim_rate: match v.get("inclusion_victim_rate") {
+                None => None,
+                Some(r) => Some(
+                    r.as_f64()
+                        .ok_or_else(|| ReportError::new("bad 'inclusion_victim_rate'"))?,
+                ),
+            },
+            reuse: match v.get("reuse") {
+                None => None,
+                Some(r) => Some(reuse_from_json(r)?),
+            },
         })
     }
 
@@ -352,7 +489,7 @@ type FieldTable<S, const N: usize> = [(&'static str, fn(&S) -> u64, fn(&mut S) -
 
 /// `(name, getter)` pairs for every [`PerCoreStats`] field, keeping the
 /// JSON encoding and decoding in lockstep.
-const PER_CORE_FIELDS: FieldTable<PerCoreStats, 12> = [
+const PER_CORE_FIELDS: FieldTable<PerCoreStats, 15> = [
     ("l1i_accesses", |s| s.l1i_accesses, |s| &mut s.l1i_accesses),
     ("l1i_misses", |s| s.l1i_misses, |s| &mut s.l1i_misses),
     ("l1d_accesses", |s| s.l1d_accesses, |s| &mut s.l1d_accesses),
@@ -377,10 +514,21 @@ const PER_CORE_FIELDS: FieldTable<PerCoreStats, 12> = [
         |s| &mut s.inclusion_victims_l2,
     ),
     ("tlh_hints", |s| s.tlh_hints, |s| &mut s.tlh_hints),
+    ("misses_cold", |s| s.misses_cold, |s| &mut s.misses_cold),
+    (
+        "misses_capacity",
+        |s| s.misses_capacity,
+        |s| &mut s.misses_capacity,
+    ),
+    (
+        "misses_inclusion_victim",
+        |s| s.misses_inclusion_victim,
+        |s| &mut s.misses_inclusion_victim,
+    ),
 ];
 
 /// Same for [`GlobalStats`].
-const GLOBAL_FIELDS: FieldTable<GlobalStats, 12> = [
+const GLOBAL_FIELDS: FieldTable<GlobalStats, 16> = [
     (
         "llc_evictions",
         |s| s.llc_evictions,
@@ -421,6 +569,26 @@ const GLOBAL_FIELDS: FieldTable<GlobalStats, 12> = [
         |s| &mut s.victim_cache_rescues,
     ),
     ("snoop_probes", |s| s.snoop_probes, |s| &mut s.snoop_probes),
+    (
+        "victim_misses_replacement",
+        |s| s.victim_misses_replacement,
+        |s| &mut s.victim_misses_replacement,
+    ),
+    (
+        "victim_misses_qbs_limit",
+        |s| s.victim_misses_qbs_limit,
+        |s| &mut s.victim_misses_qbs_limit,
+    ),
+    (
+        "victim_misses_eci",
+        |s| s.victim_misses_eci,
+        |s| &mut s.victim_misses_eci,
+    ),
+    (
+        "victim_misses_vc",
+        |s| s.victim_misses_vc,
+        |s| &mut s.victim_misses_vc,
+    ),
 ];
 
 fn per_core_to_json(s: &PerCoreStats) -> JsonValue {
@@ -559,6 +727,10 @@ mod tests {
                 evictions: vec![3, 0, 6, 0],
                 inclusion_victims: vec![1, 0, 3, 0],
             }),
+            opt_misses: None,
+            gap_to_opt: None,
+            inclusion_victim_rate: None,
+            reuse: None,
         }
     }
 
@@ -587,7 +759,7 @@ mod tests {
     #[test]
     fn report_exposes_expected_json_shape() {
         let v = sample_report().to_json();
-        assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(1));
+        assert_eq!(v.get("schema_version").and_then(|x| x.as_u64()), Some(2));
         assert_eq!(v.get("policy").and_then(|x| x.as_str()), Some("QBS"));
         assert_eq!(
             v.get("config")
@@ -609,6 +781,50 @@ mod tests {
                 .and_then(|x| x.as_u64()),
             Some(9)
         );
+    }
+
+    #[test]
+    fn analytics_fields_round_trip() {
+        let mut report = sample_report();
+        report.opt_misses = Some(5);
+        report.gap_to_opt = Some(0.4);
+        report.inclusion_victim_rate = Some(0.125);
+        let mut global = ReuseHistogram::new(8);
+        global.record(3);
+        global.record_cold();
+        let mut set_hist = ReuseHistogram::new(8);
+        set_hist.record(3);
+        report.reuse = Some(ReuseReport {
+            sample_every: 4,
+            global,
+            per_set: vec![(0, set_hist), (4, ReuseHistogram::new(8))],
+        });
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(report, back);
+        let v = report.to_json();
+        assert_eq!(v.get("opt_misses").and_then(|x| x.as_u64()), Some(5));
+        assert_eq!(v.get("gap_to_opt").and_then(|x| x.as_f64()), Some(0.4));
+        let reuse = v.get("reuse").unwrap();
+        assert_eq!(reuse.get("sample_every").and_then(|x| x.as_u64()), Some(4));
+        assert_eq!(
+            reuse
+                .get("per_set")
+                .and_then(|p| p.as_array())
+                .map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn measured_victim_rate_sums_threads() {
+        let mut report = sample_report();
+        report.threads[0].stats.l2_misses = 6;
+        report.threads[0].stats.misses_inclusion_victim = 3;
+        report.threads[1].stats.l2_misses = 2;
+        assert!((report.measured_victim_rate() - 3.0 / 8.0).abs() < 1e-12);
+        report.threads[0].stats.l2_misses = 0;
+        report.threads[1].stats.l2_misses = 0;
+        assert_eq!(report.measured_victim_rate(), 0.0);
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub struct PerCoreStats {
     pub inclusion_victims_l2: u64,
     /// Temporal locality hints this core sent to the LLC.
     pub tlh_hints: u64,
+    /// L2 demand misses to lines this core had never touched (cold).
+    pub misses_cold: u64,
+    /// L2 demand misses to previously-seen lines that aged out of the
+    /// core caches on their own (capacity/conflict).
+    pub misses_capacity: u64,
+    /// L2 demand misses to lines an inclusion back-invalidate (or ECI)
+    /// forcibly removed from this core's caches — the paper's inclusion
+    /// victims, observed at their point of cost.
+    pub misses_inclusion_victim: u64,
 }
 
 impl PerCoreStats {
@@ -69,6 +78,9 @@ impl PerCoreStats {
             inclusion_victims_l1: self.inclusion_victims_l1 - earlier.inclusion_victims_l1,
             inclusion_victims_l2: self.inclusion_victims_l2 - earlier.inclusion_victims_l2,
             tlh_hints: self.tlh_hints - earlier.tlh_hints,
+            misses_cold: self.misses_cold - earlier.misses_cold,
+            misses_capacity: self.misses_capacity - earlier.misses_capacity,
+            misses_inclusion_victim: self.misses_inclusion_victim - earlier.misses_inclusion_victim,
         }
     }
 }
@@ -104,6 +116,17 @@ pub struct GlobalStats {
     /// (§I/§II); non-inclusive and exclusive hierarchies must check the
     /// other cores' caches on every LLC demand miss.
     pub snoop_probes: u64,
+    /// Inclusion-victim misses caused by an ordinary LLC replacement
+    /// decision (including a QBS-approved eviction).
+    pub victim_misses_replacement: u64,
+    /// Inclusion-victim misses caused by QBS hitting its query limit and
+    /// evicting a line the core caches still held.
+    pub victim_misses_qbs_limit: u64,
+    /// Inclusion-victim misses caused by an ECI early invalidate.
+    pub victim_misses_eci: u64,
+    /// Inclusion-victim misses caused by a victim-cache displacement
+    /// (line fell out of the victim cache while still core-resident).
+    pub victim_misses_vc: u64,
 }
 
 impl GlobalStats {
@@ -123,7 +146,21 @@ impl GlobalStats {
             prefetches: self.prefetches - earlier.prefetches,
             victim_cache_rescues: self.victim_cache_rescues - earlier.victim_cache_rescues,
             snoop_probes: self.snoop_probes - earlier.snoop_probes,
+            victim_misses_replacement: self.victim_misses_replacement
+                - earlier.victim_misses_replacement,
+            victim_misses_qbs_limit: self.victim_misses_qbs_limit - earlier.victim_misses_qbs_limit,
+            victim_misses_eci: self.victim_misses_eci - earlier.victim_misses_eci,
+            victim_misses_vc: self.victim_misses_vc - earlier.victim_misses_vc,
         }
+    }
+
+    /// Total inclusion-victim misses across all causes (should equal the
+    /// sum of the per-core `misses_inclusion_victim` counters).
+    pub fn victim_misses(&self) -> u64 {
+        self.victim_misses_replacement
+            + self.victim_misses_qbs_limit
+            + self.victim_misses_eci
+            + self.victim_misses_vc
     }
 }
 

@@ -92,6 +92,14 @@ impl RecordedTrace {
         &self.instructions
     }
 
+    /// Iterates over one recording pass without touching the replay
+    /// cursor — the second (and third, and n-th) pass an offline analysis
+    /// like the Belady oracle makes over a trace that is simultaneously
+    /// being replayed.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
     /// Resets the replay cursor to the beginning.
     pub fn rewind(&mut self) {
         self.cursor = 0;
@@ -179,6 +187,15 @@ impl RecordedTrace {
     }
 }
 
+impl<'a> IntoIterator for &'a RecordedTrace {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 impl TraceSource for RecordedTrace {
     fn next_instruction(&mut self) -> Instruction {
         let i = self.instructions[self.cursor];
@@ -250,6 +267,22 @@ mod tests {
         rec.rewind();
         assert_eq!(rec.laps(), 0);
         assert_eq!(rec.next_instruction(), first[0]);
+    }
+
+    #[test]
+    fn iter_does_not_disturb_replay() {
+        let mut live = SpecApp::Mcf.trace(8, 0, 7);
+        let mut rec = RecordedTrace::record(&mut live, 20);
+        for _ in 0..5 {
+            rec.next_instruction();
+        }
+        let pass: Vec<_> = rec.iter().copied().collect();
+        assert_eq!(pass.as_slice(), rec.instructions());
+        assert_eq!(rec.iter().count(), 20);
+        // The replay cursor is where the 6th call expects it.
+        assert_eq!(rec.next_instruction(), pass[5]);
+        let via_ref: Vec<_> = (&rec).into_iter().copied().collect();
+        assert_eq!(via_ref, pass);
     }
 
     #[test]

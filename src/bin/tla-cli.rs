@@ -5,6 +5,8 @@
 //! tla-cli table1 [options]                       # isolated MPKI table
 //! tla-cli run --mix lib,sje --policy qbs [opts]  # one run
 //! tla-cli compare --mix lib,sje [opts]           # all policies on one mix
+//! tla-cli analyze --mix lib,sje [opts]           # compare + MIN oracle,
+//!                                                # reuse and victim analytics
 //! tla-cli bench [opts]                           # throughput benchmark
 //! tla-cli snapshot save --mix a,b --out f.tlas   # warm once, checkpoint
 //! tla-cli snapshot info f.tlas                   # inspect a checkpoint
@@ -13,20 +15,22 @@
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
 //!          --jobs <n>  --baseline <path>  --gate <pct>  --target-ms <n>
-//!          --out <path>  --warm-start
+//!          --out <path>  --warm-start  --sample-every <n>
 //! ```
 
 use std::process::ExitCode;
 use tla::sim::{
-    mpki_table, run_policy_reports, run_policy_reports_warm_start_cached, Checkpoint, MixRun,
-    PolicySpec, RunReport, SimConfig, Table, WarmCache,
+    mpki_table, optimal_llc, run_policy_reports, run_policy_reports_analyzed,
+    run_policy_reports_warm_start_cached, Checkpoint, MixRun, PolicySpec, RunReport, RunResult,
+    SimConfig, Table, WarmCache,
 };
 use tla::telemetry::json::JsonValue;
+use tla::telemetry::DEFAULT_SAMPLE_EVERY;
 use tla::workloads::{table2_mixes, SpecApp};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tla-cli <list|table1|run|compare|bench|snapshot> [options]\n\
+        "usage: tla-cli <list|table1|run|compare|analyze|bench|snapshot> [options]\n\
          \n\
          commands:\n\
          \x20 list                    available apps, mixes and policies\n\
@@ -35,6 +39,9 @@ fn usage() -> ExitCode {
          \x20 compare --mix a,b ...   every policy on one mix\n\
          \x20                         (--warm-start: warm once under the\n\
          \x20                         baseline, fan measurement per policy)\n\
+         \x20 analyze --mix a,b ...   compare with the analytics layer:\n\
+         \x20                         Belady MIN oracle gap, reuse-distance\n\
+         \x20                         histograms, inclusion-victim rates\n\
          \x20 bench                   simulator throughput over a fixed\n\
          \x20                         policy x core-count matrix\n\
          \x20 snapshot save --mix a,b --out <f.tlas>\n\
@@ -74,6 +81,8 @@ fn usage() -> ExitCode {
          \x20                         keyed by configuration; later runs with\n\
          \x20                         the same config skip the warm-up\n\
          \x20                         entirely (implies --warm-start)\n\
+         \x20 --sample-every <n>      analyze: profile reuse distance in\n\
+         \x20                         every n-th LLC set (default 4)\n\
          \n\
          bench options:\n\
          \x20 --json <path>           write the BENCH_*.json report\n\
@@ -101,6 +110,7 @@ struct Options {
     out: Option<String>,
     warm_start: bool,
     warm_cache: Option<String>,
+    sample_every: u32,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
@@ -160,6 +170,7 @@ fn parse_options(
         out: None,
         warm_start: false,
         warm_cache: None,
+        sample_every: DEFAULT_SAMPLE_EVERY,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -246,6 +257,15 @@ fn parse_options(
                 // A persistent cache only makes sense on the warm-once
                 // path, so asking for one opts into it.
                 opts.warm_start = true;
+            }
+            "--sample-every" => {
+                let v: u32 = value("--sample-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if v == 0 {
+                    return Err("--sample-every must be positive".into());
+                }
+                opts.sample_every = v;
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -371,12 +391,10 @@ fn cmd_run(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_compare(opts: &Options) -> ExitCode {
-    if opts.mix.is_empty() {
-        eprintln!("compare: --mix is required");
-        return ExitCode::FAILURE;
-    }
-    let specs = [
+/// The 7-policy suite `compare` and `analyze` sweep: the paper's headline
+/// policies plus the non-inclusive/exclusive reference points.
+fn compare_specs() -> [PolicySpec; 7] {
+    [
         PolicySpec::baseline(),
         PolicySpec::tlh_l1(),
         PolicySpec::tlh_l2(),
@@ -384,7 +402,39 @@ fn cmd_compare(opts: &Options) -> ExitCode {
         PolicySpec::qbs(),
         PolicySpec::non_inclusive(),
         PolicySpec::exclusive(),
-    ];
+    ]
+}
+
+/// Gap to the MIN oracle as a fraction of the optimal miss count:
+/// `(measured - opt) / opt`. An oracle with zero misses divides by one
+/// instead, so the gap degenerates to the absolute measured miss count
+/// and the JSON stays finite.
+fn gap_to_opt(measured_misses: u64, opt_misses: u64) -> f64 {
+    (measured_misses as f64 - opt_misses as f64) / (opt_misses.max(1) as f64)
+}
+
+/// Fraction of L2 misses the attribution hooks charged to LLC-caused
+/// back-invalidates (the paper's inclusion victims), summed over cores.
+fn victim_rate(r: &RunResult) -> f64 {
+    let victims: u64 = r
+        .threads
+        .iter()
+        .map(|t| t.stats.misses_inclusion_victim)
+        .sum();
+    let l2_misses: u64 = r.threads.iter().map(|t| t.stats.l2_misses).sum();
+    if l2_misses == 0 {
+        0.0
+    } else {
+        victims as f64 / l2_misses as f64
+    }
+}
+
+fn cmd_compare(opts: &Options) -> ExitCode {
+    if opts.mix.is_empty() {
+        eprintln!("compare: --mix is required");
+        return ExitCode::FAILURE;
+    }
+    let specs = compare_specs();
     // All policies run in parallel (bit-identical to serial, `--jobs`
     // workers); printing happens afterwards, in spec order.
     let window = opts
@@ -422,15 +472,104 @@ fn cmd_compare(opts: &Options) -> ExitCode {
     } else {
         run_policy_reports(&opts.cfg, &opts.mix, &specs, llc, window)
     };
+    // One MIN-oracle replay covers every policy: the oracle sees the same
+    // reference stream whatever the hierarchy does with it.
+    let opt = optimal_llc(&opts.cfg, &opts.mix, llc);
     let mut baseline = None;
     let mut reports = Vec::new();
     for (spec, (r, report)) in specs.iter().zip(results) {
         print_result(&spec.name, &r);
         let tp = r.throughput();
         let base = *baseline.get_or_insert(tp);
-        println!("  -> {:+.1}% vs baseline\n", (tp / base - 1.0) * 100.0);
-        reports.extend(report);
+        let gap = gap_to_opt(r.llc_misses(), opt.misses);
+        println!(
+            "  -> {:+.1}% vs baseline; gap-to-opt {:+.1}% ({} vs {} optimal), \
+             inclusion-victim rate {:.2}%\n",
+            (tp / base - 1.0) * 100.0,
+            gap * 100.0,
+            r.llc_misses(),
+            opt.misses,
+            victim_rate(&r) * 100.0,
+        );
+        if let Some(mut report) = report {
+            report.opt_misses = Some(opt.misses);
+            report.gap_to_opt = Some(gap);
+            report.inclusion_victim_rate = Some(report.measured_victim_rate());
+            reports.push(report);
+        }
     }
+    if let Some(path) = &opts.json {
+        let doc = JsonValue::array(reports.iter().map(RunReport::to_json));
+        return write_json(path, &doc.to_pretty());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_analyze(opts: &Options) -> ExitCode {
+    if opts.mix.is_empty() {
+        eprintln!("analyze: --mix is required");
+        return ExitCode::FAILURE;
+    }
+    let specs = compare_specs();
+    let llc = opts.llc_mb.map(|mb| mb * 1024 * 1024);
+    // Analyze always instruments (the analytics ride on the telemetry
+    // stream), so a window exists with or without --json.
+    let window = opts.window.unwrap_or(DEFAULT_WINDOW);
+    let opt = optimal_llc(&opts.cfg, &opts.mix, llc);
+    let results = run_policy_reports_analyzed(
+        &opts.cfg,
+        &opts.mix,
+        &specs,
+        llc,
+        Some(window),
+        opts.sample_every,
+    );
+    println!(
+        "MIN oracle (demand-fetch, LLC geometry): {} accesses, {} hits, {} misses",
+        opt.accesses, opt.hits, opt.misses
+    );
+    if opts.cfg.prefetch_enabled() {
+        println!(
+            "note: MIN replays demand fetches only; with the stream prefetcher \
+             on, measured demand misses can undercut it and gap-to-opt goes \
+             negative. Use --no-prefetch for a true lower bound."
+        );
+    }
+    let mut table = Table::new(&[
+        "policy",
+        "LLC misses",
+        "opt misses",
+        "gap-to-opt",
+        "victim rate",
+        "reuse p50",
+        "reuse p90",
+    ]);
+    let pct = |p: Option<u64>| p.map_or_else(|| "-".into(), |v| v.to_string());
+    let mut reports = Vec::new();
+    for (r, mut report) in results {
+        report.opt_misses = Some(opt.misses);
+        report.gap_to_opt = Some(gap_to_opt(r.llc_misses(), opt.misses));
+        let reuse = report.reuse.as_ref().expect("analyzed runs carry reuse");
+        table.add_row(vec![
+            r.spec_name.clone(),
+            r.llc_misses().to_string(),
+            opt.misses.to_string(),
+            format!("{:+.1}%", report.gap_to_opt.unwrap_or(0.0) * 100.0),
+            format!(
+                "{:.2}%",
+                report.inclusion_victim_rate.unwrap_or(0.0) * 100.0
+            ),
+            pct(reuse.global.percentile(50.0)),
+            pct(reuse.global.percentile(90.0)),
+        ]);
+        reports.push(report);
+    }
+    print!("{table}");
+    println!(
+        "reuse distances sampled in every {}th LLC set; percentiles are \
+         log-bucket upper bounds in lines",
+        opts.sample_every
+    );
     if let Some(path) = &opts.json {
         let doc = JsonValue::array(reports.iter().map(RunReport::to_json));
         return write_json(path, &doc.to_pretty());
@@ -541,6 +680,16 @@ const GATE_CALIBRATION_ENTRY: &str = "1core/baseline";
 /// into (see `cmd_bench`).
 const BENCH_ROUNDS: u64 = 5;
 
+/// Schema tag written into fresh bench reports. v3 adds the `rounds`
+/// echo; entry-level fields are unchanged, so v2 baselines stay valid
+/// gate inputs.
+const BENCH_SCHEMA: &str = "tla-bench-report-v3";
+
+/// Schema tags [`bench_gate`] accepts as baselines. The gate only reads
+/// entry names and `calibration_ratio`, both of which mean the same
+/// thing in v2 and v3.
+const BENCH_SCHEMAS_ACCEPTED: [&str; 2] = ["tla-bench-report-v2", "tla-bench-report-v3"];
+
 /// Compares fresh entries against a committed baseline report, failing on
 /// any per-entry *relative* throughput regression beyond `gate_pct`.
 ///
@@ -555,6 +704,18 @@ fn bench_gate(entries: &[BenchEntry], baseline_path: &str, gate_pct: f64) -> Res
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
     let doc = JsonValue::parse(&text).map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    // Baselines written before the schema tag existed are accepted as-is;
+    // a *present* tag must be one this binary understands, so a future v4
+    // fails loudly instead of gating on reinterpreted fields.
+    if let Some(schema) = doc.get("schema").and_then(JsonValue::as_str) {
+        if !BENCH_SCHEMAS_ACCEPTED.contains(&schema) {
+            return Err(format!(
+                "baseline {baseline_path}: unsupported schema '{schema}' \
+                 (this binary reads {})",
+                BENCH_SCHEMAS_ACCEPTED.join(", ")
+            ));
+        }
+    }
     let base_entries = doc
         .get("entries")
         .and_then(JsonValue::as_array)
@@ -744,7 +905,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     }
     if let Some(path) = &opts.json {
         let doc = JsonValue::object([
-            ("schema", JsonValue::Str("tla-bench-report-v2".into())),
+            ("schema", JsonValue::Str(BENCH_SCHEMA.into())),
             (
                 "config",
                 JsonValue::object([
@@ -755,6 +916,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
                     ("target_ms", JsonValue::Int(opts.target_ms)),
                 ]),
             ),
+            ("rounds", JsonValue::Int(rounds)),
             ("wall_s_total", JsonValue::Num(wall_total)),
             ("peak_rss_kb", rss.map_or(JsonValue::Null, JsonValue::Int)),
             (
@@ -1054,7 +1216,10 @@ fn main() -> ExitCode {
     } else {
         sim_base_cfg()
     };
-    let opts = match parse_options(rest, base_cfg, true) {
+    // `analyze` always instruments, so a bare --window steers the report's
+    // time series without demanding --json; everywhere else it would be
+    // silently dead.
+    let opts = match parse_options(rest, base_cfg, cmd != "analyze") {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1066,6 +1231,7 @@ fn main() -> ExitCode {
         "table1" => cmd_table1(&opts),
         "run" => cmd_run(&opts),
         "compare" => cmd_compare(&opts),
+        "analyze" => cmd_analyze(&opts),
         "bench" => cmd_bench(&opts),
         _ => usage(),
     }
@@ -1334,6 +1500,92 @@ mod tests {
         let bad = dir.join("bad.json");
         std::fs::write(&bad, "{}").unwrap();
         assert!(bench_gate(&[entry("8core/qbs", 1.0, 0.5)], bad.to_str().unwrap(), 10.0).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sample_every_option_parses() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v)
+        };
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.sample_every, DEFAULT_SAMPLE_EVERY);
+        let o = parse(&["--sample-every", "8"]).unwrap();
+        assert_eq!(o.sample_every, 8);
+        assert!(parse(&["--sample-every", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--sample-every"])
+            .unwrap_err()
+            .contains("sample-every"));
+    }
+
+    #[test]
+    fn gap_to_opt_is_relative_and_finite() {
+        assert_eq!(gap_to_opt(100, 100), 0.0);
+        assert!((gap_to_opt(150, 100) - 0.5).abs() < 1e-12);
+        assert!((gap_to_opt(50, 100) + 0.5).abs() < 1e-12);
+        // Zero-miss oracle: finite (absolute excess), never NaN/inf.
+        assert_eq!(gap_to_opt(7, 0), 7.0);
+        assert_eq!(gap_to_opt(0, 0), 0.0);
+    }
+
+    #[test]
+    fn bench_gate_validates_baseline_schema() {
+        let dir = std::env::temp_dir().join(format!("tla-gate-schema-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let entry = BenchEntry {
+            name: "8core/qbs".into(),
+            cores: 1,
+            accesses: 1,
+            iters: 1,
+            wall_s: 1.0,
+            accesses_per_sec: 1.0,
+            accesses_per_sec_mean: 1.0,
+            calibration_ratio: 0.5,
+            kernel: "scalar4",
+        };
+        let write = |file: &str, schema: Option<&str>| {
+            let mut fields = Vec::new();
+            if let Some(s) = schema {
+                fields.push(("schema", JsonValue::Str(s.into())));
+            }
+            fields.push((
+                "entries",
+                JsonValue::array([JsonValue::object([
+                    ("name", JsonValue::Str("8core/qbs".into())),
+                    ("calibration_ratio", JsonValue::Num(0.5)),
+                ])]),
+            ));
+            let path = dir.join(file);
+            std::fs::write(&path, JsonValue::object(fields).to_pretty()).unwrap();
+            path
+        };
+        // Both tagged generations gate cleanly (BENCH_pr5.json is v2).
+        for (file, schema) in [
+            ("v2.json", Some("tla-bench-report-v2")),
+            ("v3.json", Some("tla-bench-report-v3")),
+            ("untagged.json", None),
+        ] {
+            let p = write(file, schema);
+            assert!(
+                bench_gate(std::slice::from_ref(&entry), p.to_str().unwrap(), 10.0).is_ok(),
+                "{file} must be accepted"
+            );
+        }
+        // An unknown tag is refused with the list of readable schemas.
+        let p = write("v9.json", Some("tla-bench-report-v9"));
+        let err = bench_gate(std::slice::from_ref(&entry), p.to_str().unwrap(), 10.0).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        assert!(err.contains("tla-bench-report-v3"), "{err}");
+        // The committed PR 5 baseline itself stays readable by this binary.
+        if std::path::Path::new("BENCH_pr5.json").exists() {
+            assert!(
+                bench_gate(std::slice::from_ref(&entry), "BENCH_pr5.json", 1e9).is_ok(),
+                "BENCH_pr5.json must remain a valid gate baseline"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 
