@@ -15,7 +15,7 @@
 
 use tla_bench::BenchEnv;
 use tla_cpu::{CoreModelConfig, Latencies};
-use tla_sim::{run_mix_suite, PolicySpec, Table};
+use tla_sim::{run_mix_suite_warm_start_cached, PolicySpec, Table};
 use tla_types::stats;
 
 fn main() {
@@ -23,6 +23,11 @@ fn main() {
     env.banner("Ablation — latency independence (§IV-A)");
 
     let mixes = env.showcase_mixes();
+    // Latencies are part of the WarmCache key, so each latency point gets
+    // its own cached warm images in the shared directory — re-running the
+    // ablation over an unchanged config skips all warm-up work, like
+    // every other figure bench.
+    let cache = env.warm_cache();
     let points = [
         (
             "memory 75",
@@ -56,12 +61,14 @@ fn main() {
             latencies: lat,
             ..Default::default()
         });
-        let suites = run_mix_suite(
+        let suites = run_mix_suite_warm_start_cached(
             &cfg,
             &mixes,
             &[PolicySpec::baseline(), PolicySpec::qbs()],
             None,
-        );
+            cache.as_ref(),
+        )
+        .expect("resuming a just-written warm checkpoint cannot fail");
         let g = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
         let red = stats::mean(suites[1].miss_reduction_pct(&suites[0])).unwrap();
         t.add_row(vec![

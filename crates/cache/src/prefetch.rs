@@ -53,6 +53,9 @@ pub struct StreamPrefetcher {
     stamp: u64,
     issued: u64,
     trainings: u64,
+    /// Scratch stamp buffer for the LRU displacement min-reduce; derived
+    /// state, so it is not serialized.
+    lru_scratch: Vec<u64>,
 }
 
 impl StreamPrefetcher {
@@ -70,6 +73,7 @@ impl StreamPrefetcher {
             stamp: 0,
             issued: 0,
             trainings: 0,
+            lru_scratch: Vec::with_capacity(cfg.detectors),
         }
     }
 
@@ -123,12 +127,14 @@ impl StreamPrefetcher {
             if self.streams.len() < self.cfg.detectors {
                 self.streams.push(s);
             } else {
-                let lru = self
-                    .streams
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.lru)
-                    .map(|(i, _)| i)
+                // Min-reduce over the stamps with the probe kernel (the
+                // victim cache's displacement scan was converted in an
+                // earlier pass; this site kept a scalar `min_by_key`).
+                // `min_index` keeps the first minimum, the same detector
+                // `min_by_key` picked.
+                self.lru_scratch.clear();
+                self.lru_scratch.extend(self.streams.iter().map(|s| s.lru));
+                let lru = crate::probe::min_index(&self.lru_scratch)
                     .expect("detector table is non-empty");
                 self.streams[lru] = s;
             }

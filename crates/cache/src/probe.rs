@@ -253,13 +253,38 @@ pub fn probe_naive(addrs: &[LineAddr], needle: LineAddr) -> WayMask {
     m
 }
 
-/// Portable kernel: 4-lane unrolled branchless match-mask loop. The default
-/// off x86-64 and under `TLA_FORCE_SCALAR`.
+/// Arrays at least this long take the 8-lane portable tier; shorter ones
+/// keep the 4-lane loop, whose lighter prologue wins at common (≤ 16-way)
+/// associativities.
+const PORTABLE_WIDE_THRESHOLD: usize = 64;
+
+/// The width tier [`probe_portable`] picks for an array of `len` tags:
+/// `"lanes4"` below [`PORTABLE_WIDE_THRESHOLD`], `"lanes8"` at or above
+/// it. Exposed so the differential tests can assert the tier actually
+/// exercised at each associativity.
+pub fn portable_tier(len: usize) -> &'static str {
+    if len >= PORTABLE_WIDE_THRESHOLD {
+        "lanes8"
+    } else {
+        "lanes4"
+    }
+}
+
+/// Portable kernel (reported as `scalar4`): a branchless match-mask loop,
+/// width-tiered by array length. The default off x86-64 and under
+/// `TLA_FORCE_SCALAR`.
 ///
-/// A 4-aligned chunk never straddles a word boundary (64 is a multiple of
-/// 4), so each chunk's bits land in a single word of the mask.
+/// Short arrays use a 4-lane unroll; arrays of [`PORTABLE_WIDE_THRESHOLD`]
+/// tags or more use an 8-lane unroll whole-word accumulator, which closes
+/// the gap to the naive loop at 128/256 ways (the 4-lane loop's
+/// per-chunk word-indexed read-modify-write stalled there). Both tiers
+/// never straddle a mask word inside a chunk (64 is a multiple of 4 and
+/// of 8), so each chunk's bits land in a single word.
 pub fn probe_portable(addrs: &[LineAddr], needle: LineAddr) -> WayMask {
     debug_assert!(addrs.len() <= MAX_WAYS);
+    if addrs.len() >= PORTABLE_WIDE_THRESHOLD {
+        return probe_portable_wide(addrs, needle);
+    }
     let mut m = WayMask::EMPTY;
     let n = addrs.len();
     let mut i = 0;
@@ -275,6 +300,46 @@ pub fn probe_portable(addrs: &[LineAddr], needle: LineAddr) -> WayMask {
     while i < n {
         m.words[i >> 6] |= ((addrs[i] == needle) as u64) << (i & 63);
         i += 1;
+    }
+    m
+}
+
+/// Wide tier of the portable kernel: 8 lanes per step, accumulating each
+/// mask word in a register across its eight chunks and storing it once.
+fn probe_portable_wide(addrs: &[LineAddr], needle: LineAddr) -> WayMask {
+    debug_assert!(addrs.len() <= MAX_WAYS);
+    let mut m = WayMask::EMPTY;
+    let n = addrs.len();
+    let mut i = 0;
+    let mut word = 0u64;
+    while i + 8 <= n {
+        let b0 = (addrs[i] == needle) as u64;
+        let b1 = (addrs[i + 1] == needle) as u64;
+        let b2 = (addrs[i + 2] == needle) as u64;
+        let b3 = (addrs[i + 3] == needle) as u64;
+        let b4 = (addrs[i + 4] == needle) as u64;
+        let b5 = (addrs[i + 5] == needle) as u64;
+        let b6 = (addrs[i + 6] == needle) as u64;
+        let b7 = (addrs[i + 7] == needle) as u64;
+        let bits =
+            b0 | (b1 << 1) | (b2 << 2) | (b3 << 3) | (b4 << 4) | (b5 << 5) | (b6 << 6) | (b7 << 7);
+        word |= bits << (i & 63);
+        i += 8;
+        if i & 63 == 0 {
+            m.words[(i - 1) >> 6] = word;
+            word = 0;
+        }
+    }
+    while i < n {
+        word |= ((addrs[i] == needle) as u64) << (i & 63);
+        i += 1;
+        if i & 63 == 0 {
+            m.words[(i - 1) >> 6] = word;
+            word = 0;
+        }
+    }
+    if i & 63 != 0 {
+        m.words[i >> 6] = word;
     }
     m
 }
@@ -370,6 +435,17 @@ pub fn probe_kernel() -> &'static ProbeKernel {
 /// Name of the selected kernel (for run/bench reports).
 pub fn kernel_name() -> &'static str {
     probe_kernel().name
+}
+
+/// One dense-set probe through the dispatched kernel: the first way of
+/// `addrs` (one set's per-way tag array, at most [`MAX_WAYS`] long) that
+/// equals `needle` *and* is marked in `valid`. Invalid slots may hold
+/// stale tags — the valid mask screens them out, exactly as the simulated
+/// caches do. This is the batch entry point the set-sharded replays feed:
+/// one call per queued reference, tags resident across the whole run.
+pub fn probe_first(addrs: &[LineAddr], needle: LineAddr, valid: &WayMask) -> Option<usize> {
+    debug_assert!(addrs.len() <= MAX_WAYS);
+    (probe_kernel().func)(addrs, needle).and(valid).first()
 }
 
 /// Position of the first element of `addrs` equal to `needle`, scanning with
@@ -578,13 +654,23 @@ mod tests {
     }
 
     /// The satellite differential sweep: for every edge associativity, on
-    /// random address streams, the naive reference, the portable kernel,
-    /// the AVX2 kernel (when the host supports it) and the dispatched
-    /// kernel agree way-for-way on the full match mask.
+    /// random address streams, the naive reference, the portable kernel
+    /// (both width tiers), the AVX2 kernel (when the host supports it) and
+    /// the dispatched kernel agree way-for-way on the full match mask —
+    /// and the width tier the portable kernel picks at each associativity
+    /// is the expected one.
     #[test]
     fn kernels_agree_on_random_streams() {
         let mut rng = SmallRng::seed_from_u64(0x5e7_980be);
         for &ways in &[1usize, 7, 8, 63, 64, 65, 128, 256] {
+            // The tier choice is a pure function of the array length:
+            // 4-lane below the 64-way threshold, 8-lane at or above it.
+            let expect_tier = if ways >= 64 { "lanes8" } else { "lanes4" };
+            assert_eq!(
+                portable_tier(ways),
+                expect_tier,
+                "wrong portable width tier at ways={ways}"
+            );
             for round in 0..200 {
                 // A small address universe makes multi-way duplicate
                 // matches common (stale-tag territory the valid mask
@@ -599,6 +685,13 @@ mod tests {
                     probe_portable(&addrs, needle),
                     expect,
                     "portable kernel diverges at ways={ways}"
+                );
+                // The wide tier must agree even below its dispatch
+                // threshold (its tail loop handles any length).
+                assert_eq!(
+                    probe_portable_wide(&addrs, needle),
+                    expect,
+                    "wide portable tier diverges at ways={ways}"
                 );
                 #[cfg(target_arch = "x86_64")]
                 if std::arch::is_x86_feature_detected!("avx2") {
@@ -628,6 +721,20 @@ mod tests {
             assert!(probe_avx2(&empty, LineAddr::new(1)).is_empty());
             assert!(probe_avx2(&addrs, LineAddr::new(99)).is_empty());
         }
+    }
+
+    #[test]
+    fn probe_first_screens_stale_tags_with_the_valid_mask() {
+        // Way 1 holds a stale copy of the needle; only way 3 is a live hit.
+        let addrs: Vec<LineAddr> = [9, 5, 2, 5].iter().map(|&a| LineAddr::new(a)).collect();
+        let needle = LineAddr::new(5);
+        let mut valid = WayMask::all(4);
+        assert_eq!(probe_first(&addrs, needle, &valid), Some(1));
+        valid.clear(1);
+        assert_eq!(probe_first(&addrs, needle, &valid), Some(3));
+        valid.clear(3);
+        assert_eq!(probe_first(&addrs, needle, &valid), None);
+        assert_eq!(probe_first(&[], needle, &WayMask::EMPTY), None);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! [`MixRun`]: crate::MixRun
 
 use std::path::Path;
+use tla_cpu::Latencies;
 use tla_snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_workloads::SpecApp;
 
@@ -109,6 +110,12 @@ pub struct CheckpointInfo {
     pub instrumented: bool,
     /// Time-series window size of the instrumented run, if any.
     pub window: Option<u64>,
+    /// Core-model latency configuration the warm-up ran under. Cycle
+    /// counts — and therefore the scheduler interleaving baked into the
+    /// warm state — depend on it, so it is pinned like every other
+    /// non-policy axis (format v3; v2 images read back the defaults they
+    /// were invariably taken under).
+    pub latencies: Latencies,
 }
 
 impl CheckpointInfo {
@@ -140,6 +147,10 @@ pub(crate) fn write_meta(w: &mut SnapshotWriter, info: &CheckpointInfo) {
     if let Some(window) = info.window {
         w.write_u64(window);
     }
+    w.write_u64(info.latencies.l1);
+    w.write_u64(info.latencies.l2);
+    w.write_u64(info.latencies.llc);
+    w.write_u64(info.latencies.memory);
 }
 
 pub(crate) fn read_meta(r: &mut SnapshotReader<'_>) -> Result<CheckpointInfo, SnapshotError> {
@@ -170,6 +181,18 @@ pub(crate) fn read_meta(r: &mut SnapshotReader<'_>) -> Result<CheckpointInfo, Sn
     } else {
         None
     };
+    // Format v2 predates latency pinning: every v2 image was taken under
+    // the default latencies, so substituting them is exact, not a guess.
+    let latencies = if r.version() >= 3 {
+        Latencies {
+            l1: r.read_u64()?,
+            l2: r.read_u64()?,
+            llc: r.read_u64()?,
+            memory: r.read_u64()?,
+        }
+    } else {
+        Latencies::default()
+    };
     Ok(CheckpointInfo {
         apps,
         scale,
@@ -182,5 +205,6 @@ pub(crate) fn read_meta(r: &mut SnapshotReader<'_>) -> Result<CheckpointInfo, Sn
         total_instr,
         instrumented,
         window,
+        latencies,
     })
 }

@@ -28,6 +28,7 @@ pub struct SimConfig {
     seed: u64,
     prefetch: bool,
     jobs: Option<usize>,
+    shard_jobs: Option<usize>,
 }
 
 impl SimConfig {
@@ -43,6 +44,7 @@ impl SimConfig {
             seed: 0xC0FFEE,
             prefetch: true,
             jobs: None,
+            shard_jobs: None,
         }
     }
 
@@ -167,6 +169,38 @@ impl SimConfig {
             .or_else(|| std::env::var("TLA_JOBS").ok().and_then(|v| v.parse().ok()));
         tla_pool::resolve_jobs(requested)
     }
+
+    /// Caps the worker threads used to shard *one* run's set-indexed work
+    /// (currently the Belady oracle replay, [`crate::optimal_llc`]) by LLC
+    /// set index. `0` means "use every available core"; unset means
+    /// serial. Per-set work is order-independent across sets, so results
+    /// are bit-identical for every value — only wall-clock changes.
+    #[must_use]
+    pub fn shard_jobs(mut self, n: usize) -> Self {
+        self.shard_jobs = Some(n);
+        self
+    }
+
+    /// The explicit shard-jobs override, if one was set.
+    pub fn shard_jobs_override(&self) -> Option<usize> {
+        self.shard_jobs
+    }
+
+    /// Worker threads the set-sharded passes will actually use: the
+    /// explicit [`SimConfig::shard_jobs`] override if set (`0` meaning
+    /// auto-detect), else the `TLA_SHARD_JOBS` environment variable, else
+    /// `1` (serial — sharding is opt-in, unlike [`SimConfig::jobs`]).
+    pub fn effective_shard_jobs(&self) -> usize {
+        match self.shard_jobs.or_else(|| {
+            std::env::var("TLA_SHARD_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        }) {
+            Some(0) => tla_pool::resolve_jobs(None),
+            Some(n) => n,
+            None => 1,
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -209,6 +243,16 @@ mod tests {
         assert_eq!(SimConfig::paper().jobs(3).effective_jobs(), 3);
         // Zero falls back to auto-detection.
         assert!(SimConfig::paper().jobs(0).effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn shard_jobs_resolution() {
+        // Sharding is opt-in: the unset default is serial (the TLA_SHARD_JOBS
+        // env fallback cannot be exercised here without racing other tests).
+        assert_eq!(SimConfig::paper().shard_jobs_override(), None);
+        // Explicit override wins; zero auto-detects.
+        assert_eq!(SimConfig::paper().shard_jobs(7).effective_shard_jobs(), 7);
+        assert!(SimConfig::paper().shard_jobs(0).effective_shard_jobs() >= 1);
     }
 
     #[test]

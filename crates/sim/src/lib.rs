@@ -34,10 +34,12 @@ mod warmcache;
 
 pub use checkpoint::{Checkpoint, CheckpointInfo};
 pub use config::SimConfig;
-pub use oracle::{belady, belady_bruteforce, mix_reference_stream, optimal_llc, OracleResult};
+pub use oracle::{
+    belady, belady_bruteforce, belady_sharded, mix_reference_stream, optimal_llc, OracleResult,
+};
 pub use policyspec::PolicySpec;
 pub use report::{Table, TableError};
-pub use run::{MixRun, RunResult, RunTelemetry, ThreadResult};
+pub use run::{EngineMode, MixRun, RunResult, RunTelemetry, ThreadResult};
 pub use runner::{
     mpki_table, normalized_throughput, run_alone, run_alone_many, run_mix_suite,
     run_mix_suite_warm_start, run_mix_suite_warm_start_cached, run_policy_reports,

@@ -26,6 +26,7 @@
 
 use crate::config::SimConfig;
 use std::collections::HashMap;
+use tla_cache::probe::{self, WayMask};
 use tla_core::HierarchyConfig;
 use tla_types::LineAddr;
 use tla_workloads::{SpecApp, TraceSource};
@@ -135,6 +136,108 @@ pub fn belady(refs: &[LineAddr], warm_len: usize, sets: usize, ways: usize) -> O
     }
 }
 
+/// Set-sharded MIN replay: the same counts as [`belady`], computed from
+/// per-set run queues processed back-to-back, optionally on `jobs` worker
+/// threads.
+///
+/// LLC sets are fully independent under MIN: a reference only competes
+/// with residents of its own set, and a line's next use is always in the
+/// same set. The replay therefore partitions `refs` by set index into
+/// per-set queues — keeping each reference's *global* stream position,
+/// which the warm cut and the farthest-next-use comparisons are defined
+/// over — then replays each queue in one cache-hot burst: the set's tag
+/// array stays register/L1-resident across the whole queue, every probe
+/// goes through the dispatched SIMD/scalar kernel
+/// ([`probe::probe_first`]), and evictions reduce a complemented next-use
+/// array with [`probe::min_index`] (first minimum of `!next` = first
+/// maximum of `next`, matching [`belady`]'s strict-`>` first-way
+/// tie-break). Per-set hit/miss counts merge additively in set order, so
+/// the totals are bit-identical to [`belady`] for *every* `jobs` value —
+/// only wall-clock changes. `jobs <= 1` runs inline on the caller.
+///
+/// # Panics
+///
+/// Panics like [`belady`].
+pub fn belady_sharded(
+    refs: &[LineAddr],
+    warm_len: usize,
+    sets: usize,
+    ways: usize,
+    jobs: usize,
+) -> OracleResult {
+    assert!(sets.is_power_of_two(), "sets must be a power of two");
+    assert!(ways > 0, "ways must be positive");
+    let mask = sets as u64 - 1;
+
+    // Partition into per-set run queues of (global index, line address).
+    let mut queues: Vec<Vec<(u64, u64)>> = vec![Vec::new(); sets];
+    for (i, r) in refs.iter().enumerate() {
+        let a = r.raw();
+        queues[(a & mask) as usize].push((i as u64, a));
+    }
+
+    let warm = warm_len as u64;
+    let per_set = tla_pool::scoped_map(jobs, queues, |queue| replay_set_queue(&queue, warm, ways));
+    let (hits, misses) = per_set
+        .iter()
+        .fold((0, 0), |(h, m), &(sh, sm)| (h + sh, m + sm));
+    OracleResult {
+        accesses: refs.len().saturating_sub(warm_len) as u64,
+        hits,
+        misses,
+    }
+}
+
+/// Replays one set's reference queue under MIN and returns its measured
+/// `(hits, misses)`. `queue` holds (global stream index, line address)
+/// pairs in stream order; a reference is measured when its global index
+/// is at or past `warm_len`.
+fn replay_set_queue(queue: &[(u64, u64)], warm_len: u64, ways: usize) -> (u64, u64) {
+    // Backward pass, set-local: the next use of a line is necessarily in
+    // the same set's queue, so the global next-use indices come out
+    // identical to the whole-stream pass.
+    let mut next_use = vec![NEVER; queue.len()];
+    let mut last: HashMap<u64, u64> = HashMap::with_capacity(queue.len().min(1024));
+    for k in (0..queue.len()).rev() {
+        next_use[k] = last.insert(queue[k].1, queue[k].0).unwrap_or(NEVER);
+    }
+
+    // Forward replay over this set's dense tag array. `far_keys` holds the
+    // complement of each resident way's next use, so the eviction scan is
+    // a min-reduce; invalid ways are never consulted (fills claim them
+    // first).
+    let mut tags = vec![LineAddr::new(0); ways];
+    let mut valid = WayMask::EMPTY;
+    let mut far_keys = vec![0u64; ways];
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for (k, &(gi, a)) in queue.iter().enumerate() {
+        let needle = LineAddr::new(a);
+        let measured = gi >= warm_len;
+        match probe::probe_first(&tags, needle, &valid) {
+            Some(w) => {
+                if measured {
+                    hits += 1;
+                }
+                far_keys[w] = !next_use[k];
+            }
+            None => {
+                if measured {
+                    misses += 1;
+                }
+                let slot = match WayMask::all(ways).and_not(&valid).first() {
+                    Some(w) => w,
+                    None => probe::min_index(&far_keys).expect("ways is positive"),
+                };
+                valid.set(slot);
+                tags[slot] = needle;
+                far_keys[slot] = !next_use[k];
+            }
+        }
+    }
+    (hits, misses)
+}
+
 /// Reference implementation of [`belady`]: no precomputation, on every
 /// eviction the next use of each resident line is found by a forward
 /// scan of the remaining references — O(n^2) and only suitable for
@@ -240,6 +343,11 @@ pub fn mix_reference_stream(cfg: &SimConfig, apps: &[SpecApp]) -> (Vec<LineAddr>
 /// geometry (honoring an `llc_capacity_full_scale` override, like
 /// [`crate::MixRun::llc_capacity_full_scale`]). This is the `opt_misses`
 /// denominator behind `gap_to_opt`.
+///
+/// The replay is the set-sharded one ([`belady_sharded`]) on
+/// [`SimConfig::effective_shard_jobs`] worker threads (serial unless
+/// `shard_jobs`/`TLA_SHARD_JOBS` opts in); the counts are bit-identical
+/// for every job count.
 pub fn optimal_llc(
     cfg: &SimConfig,
     apps: &[SpecApp],
@@ -252,7 +360,13 @@ pub fn optimal_llc(
     }
     let llc = hcfg.llc();
     let (refs, warm_len) = mix_reference_stream(cfg, apps);
-    belady(&refs, warm_len, llc.sets(), llc.ways())
+    belady_sharded(
+        &refs,
+        warm_len,
+        llc.sets(),
+        llc.ways(),
+        cfg.effective_shard_jobs(),
+    )
 }
 
 #[cfg(test)]
@@ -296,6 +410,46 @@ mod tests {
                 let slow = belady_bruteforce(&refs, warm, sets, ways);
                 assert_eq!(fast, slow, "sets={sets} ways={ways} len={len} warm={warm}");
             }
+        }
+    }
+
+    #[test]
+    fn sharded_replay_matches_serial_for_any_job_count() {
+        let mut state = 0xfeed_beef_dead_c0deu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (sets, ways, len) in [(1, 4, 300), (4, 2, 400), (16, 8, 1_000), (64, 4, 2_000)] {
+            let refs: Vec<LineAddr> = (0..len)
+                .map(|_| LineAddr::new(next() % (sets as u64 * ways as u64 * 3)))
+                .collect();
+            for warm in [0, len / 3] {
+                let serial = belady(&refs, warm, sets, ways);
+                for jobs in [1, 2, 7] {
+                    assert_eq!(
+                        belady_sharded(&refs, warm, sets, ways, jobs),
+                        serial,
+                        "sets={sets} ways={ways} len={len} warm={warm} jobs={jobs}"
+                    );
+                }
+            }
+        }
+        // Empty stream degenerate case.
+        assert_eq!(belady_sharded(&[], 0, 8, 2, 4), belady(&[], 0, 8, 2));
+    }
+
+    #[test]
+    fn optimal_llc_is_shard_job_invariant() {
+        let cfg = SimConfig::scaled_down().instructions(10_000);
+        let apps = [SpecApp::Mcf, SpecApp::Sjeng];
+        let serial = optimal_llc(&cfg, &apps, None);
+        assert!(serial.accesses > 0);
+        for jobs in [2, 7] {
+            let sharded = optimal_llc(&cfg.clone().shard_jobs(jobs), &apps, None);
+            assert_eq!(sharded, serial, "jobs={jobs}");
         }
     }
 

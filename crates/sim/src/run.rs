@@ -16,7 +16,35 @@ use tla_telemetry::{
     DEFAULT_REUSE_BUCKETS,
 };
 use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
-use tla_workloads::{SpecApp, SyntheticTrace, TraceSource};
+use tla_workloads::{BatchedTrace, SpecApp, SyntheticTrace, TraceSource};
+
+/// Which execution loop drives the engine.
+///
+/// Both loops commit the same instructions in the same global order and
+/// are byte-identical in every output (results, reports, checkpoints);
+/// the batched loop is simply faster. The serial loop is kept as the
+/// equivalence reference — `TLA_ENGINE=serial` selects it process-wide,
+/// and the shard-equivalence tests pin the two against each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Run extraction: pop a core once and commit a whole run of its
+    /// instructions back-to-back (buffered batch generation, hierarchy
+    /// state hot) until its clock passes the scheduler horizon.
+    Batched,
+    /// The original loop: one heap pop, one instruction, one push.
+    Serial,
+}
+
+impl EngineMode {
+    /// The process default: batched, unless `TLA_ENGINE=serial` opts into
+    /// the reference loop (any other value, including unset, is batched).
+    pub fn from_env() -> EngineMode {
+        match std::env::var("TLA_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("serial") => EngineMode::Serial,
+            _ => EngineMode::Batched,
+        }
+    }
+}
 
 /// Frozen results of one thread (statistics collected over exactly the
 /// configured instruction quota, as in §IV-B).
@@ -151,6 +179,7 @@ pub struct MixRun<'a> {
     spec: PolicySpec,
     llc_capacity_full_scale: Option<usize>,
     profile_llc: bool,
+    engine: Option<EngineMode>,
 }
 
 impl<'a> MixRun<'a> {
@@ -168,7 +197,18 @@ impl<'a> MixRun<'a> {
             spec: PolicySpec::baseline(),
             llc_capacity_full_scale: None,
             profile_llc: false,
+            engine: None,
         }
+    }
+
+    /// Pins the execution loop for this run, overriding the
+    /// `TLA_ENGINE` process default. Output is byte-identical either
+    /// way; the explicit override exists so equivalence tests can run
+    /// both loops in one process without touching the environment.
+    #[must_use]
+    pub fn engine_mode(mut self, mode: EngineMode) -> Self {
+        self.engine = Some(mode);
+        self
     }
 
     /// Sets the whole policy configuration at once.
@@ -395,6 +435,7 @@ impl<'a> MixRun<'a> {
             total_instr: 0,
             instrumented: telemetry.is_some(),
             window: telemetry.flatten(),
+            latencies: self.cfg.core_config().latencies,
         };
         let mut engine = Engine::new(&self, telemetry, None);
         engine.run_to_warm();
@@ -560,6 +601,13 @@ impl<'a> MixRun<'a> {
                 format!("{:?}", self.llc_capacity_full_scale),
             );
         }
+        if info.latencies != self.cfg.core_config().latencies {
+            return mismatch(
+                "latencies",
+                format!("{:?}", info.latencies),
+                format!("{:?}", self.cfg.core_config().latencies),
+            );
+        }
         Ok(())
     }
 }
@@ -610,7 +658,8 @@ fn build_report(
 struct Engine {
     hier: CacheHierarchy,
     cores: Vec<CoreModel>,
-    traces: Vec<SyntheticTrace>,
+    traces: Vec<BatchedTrace<SyntheticTrace>>,
+    mode: EngineMode,
     last_code_line: Vec<Option<LineAddr>>,
     frozen: Vec<Option<ThreadResult>>,
     /// Per-thread snapshot taken when the thread crosses the warm-up
@@ -659,11 +708,11 @@ impl Engine {
         let cores: Vec<CoreModel> = (0..n_cores)
             .map(|_| CoreModel::new(*run.cfg.core_config()))
             .collect();
-        let traces: Vec<SyntheticTrace> = run
+        let traces: Vec<BatchedTrace<SyntheticTrace>> = run
             .apps
             .iter()
             .enumerate()
-            .map(|(i, app)| app.trace(scale, i as u64, run.cfg.seed_value()))
+            .map(|(i, app)| BatchedTrace::new(app.trace(scale, i as u64, run.cfg.seed_value())))
             .collect();
         let warmup = run.cfg.warmup_quota();
         let quota = warmup + run.cfg.instruction_quota();
@@ -680,6 +729,7 @@ impl Engine {
             hier,
             cores,
             traces,
+            mode: run.engine.unwrap_or_else(EngineMode::from_env),
             last_code_line: vec![None; n_cores],
             frozen: vec![None; n_cores],
             warm_mark,
@@ -700,6 +750,14 @@ impl Engine {
     /// exactly like the old linear scan, ties to the lowest core index).
     fn step(&mut self) {
         let i = self.sched.pick();
+        self.step_on(i);
+        self.sched.reinsert(i, self.cores[i].now());
+    }
+
+    /// Commits one instruction on core `i` — the whole per-instruction
+    /// body except the scheduler bookkeeping, shared by the serial loop
+    /// ([`step`](Engine::step)) and the batched run-extraction loop.
+    fn step_on(&mut self, i: usize) {
         let core_id = CoreId::new(i);
         let instr = self.traces[i].next_instruction();
 
@@ -723,7 +781,6 @@ impl Engine {
             .mem
             .map(|m| (m.kind, self.hier.access(core_id, m.addr, m.kind)));
         self.cores[i].step(ifetch, mem);
-        self.sched.reinsert(i, self.cores[i].now());
 
         if let Some(series) = self.series.as_mut() {
             // Snapshotting the counters is only useful at a window
@@ -766,14 +823,63 @@ impl Engine {
     }
 
     fn run_to_warm(&mut self) {
-        while self.remaining > 0 && !self.is_warm() {
-            self.step();
+        match self.mode {
+            EngineMode::Batched => self.run_batched(true),
+            EngineMode::Serial => {
+                while self.remaining > 0 && !self.is_warm() {
+                    self.step();
+                }
+            }
         }
     }
 
     fn run_to_completion(&mut self) {
-        while self.remaining > 0 {
-            self.step();
+        match self.mode {
+            EngineMode::Batched => self.run_batched(false),
+            EngineMode::Serial => {
+                while self.remaining > 0 {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// The batched engine loop: run extraction over the core scheduler.
+    ///
+    /// Pops the lagging core once and keeps committing on it back-to-back
+    /// while its updated `(clock, index)` stays lexicographically below the
+    /// rest of the heap ([`CoreScheduler::peek`]'s horizon, captured once —
+    /// the other entries cannot change while their cores are not stepping).
+    /// Over that span the serial loop would re-pick the same core every
+    /// iteration, so the commit order — and therefore every `total_instr`
+    /// event stamp, cache access, and stats update — is identical to
+    /// [`step`](Engine::step)-ing in a loop. The win is locality: each
+    /// run keeps one core's trace buffer, core model, and L1/L2 state hot
+    /// instead of round-robining through all of them.
+    ///
+    /// Warm/freeze checks stay per-instruction (inside
+    /// [`step_on`](Engine::step_on) and the loop guards), so stopping
+    /// points are also bit-exact.
+    fn run_batched(&mut self, until_warm: bool) {
+        loop {
+            if self.remaining == 0 || (until_warm && self.is_warm()) {
+                return;
+            }
+            let i = self.sched.pick();
+            let horizon = self.sched.peek();
+            loop {
+                self.step_on(i);
+                if self.remaining == 0 || (until_warm && self.is_warm()) {
+                    self.sched.reinsert(i, self.cores[i].now());
+                    return;
+                }
+                match horizon {
+                    Some(h) if (self.cores[i].now(), i) < h => {}
+                    Some(_) => break,
+                    None => {}
+                }
+            }
+            self.sched.reinsert(i, self.cores[i].now());
         }
     }
 
@@ -1065,6 +1171,66 @@ mod tests {
     }
 
     #[test]
+    fn batched_engine_emits_monotonic_event_stream() {
+        use tla_telemetry::OrderCheckSink;
+        // Run extraction reorders nothing: the global `instr` stamps on the
+        // event stream stay non-decreasing (the sink panics otherwise).
+        let cfg = quick().warmup(5_000);
+        let shared = SharedSink::new(OrderCheckSink::new());
+        let r = MixRun::new(&cfg, &[SpecApp::Sjeng, SpecApp::Mcf])
+            .engine_mode(EngineMode::Batched)
+            .run_with_sink(shared.clone());
+        assert_eq!(r.threads.len(), 2);
+        assert!(shared.with(|s| s.seen()) > 0, "no events reached the sink");
+    }
+
+    #[test]
+    fn batched_engine_matches_serial_engine_exactly() {
+        // A 3-core mix with warm-up exercises run extraction across freeze
+        // and warm boundaries; every observable must be bit-identical.
+        let cfg = quick().warmup(10_000);
+        let mix = [SpecApp::Sjeng, SpecApp::Mcf, SpecApp::Libquantum];
+        let b = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Batched)
+            .run();
+        let s = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Serial)
+            .run();
+        for (tb, ts) in b.threads.iter().zip(&s.threads) {
+            assert_eq!(tb.instructions, ts.instructions);
+            assert_eq!(tb.cycles, ts.cycles);
+            assert_eq!(tb.stats, ts.stats);
+        }
+        assert_eq!(b.global, s.global);
+
+        // Checkpoints too: the batched trace buffer must leave no trace in
+        // the wire bytes.
+        let cb = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Batched)
+            .warm_checkpoint();
+        let cs = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Serial)
+            .warm_checkpoint();
+        assert_eq!(
+            cb.as_bytes(),
+            cs.as_bytes(),
+            "engine mode leaked into checkpoint bytes"
+        );
+
+        // Cross-resume: each engine finishes the other's checkpoint.
+        let rb = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Batched)
+            .resume(&cs)
+            .unwrap();
+        let rs = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Serial)
+            .resume(&cb)
+            .unwrap();
+        assert_eq!(rb.global, rs.global);
+        assert_eq!(rb.threads[1].stats, rs.threads[1].stats);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one app")]
     fn empty_mix_panics() {
         let cfg = quick();
@@ -1314,6 +1480,17 @@ mod tests {
                 .resume(&ck)
                 .unwrap_err(),
             "LLC capacity",
+        );
+        let other_latency = warm_cfg().core_model(tla_cpu::CoreModelConfig {
+            latencies: tla_cpu::Latencies {
+                memory: 300,
+                ..Default::default()
+            },
+            ..*cfg.core_config()
+        });
+        expect_mismatch(
+            MixRun::new(&other_latency, &mix).resume(&ck).unwrap_err(),
+            "latencies",
         );
         // A plain checkpoint cannot back a report.
         expect_mismatch(

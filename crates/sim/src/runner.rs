@@ -240,6 +240,7 @@ fn prewarm_info(
         total_instr: 0,
         instrumented: window.is_some(),
         window: window.flatten(),
+        latencies: cfg.core_config().latencies,
     }
 }
 

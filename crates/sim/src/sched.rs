@@ -52,6 +52,19 @@ impl CoreScheduler {
     pub fn reinsert(&mut self, i: usize, clock: Cycle) {
         self.heap.push(Reverse((clock, i)));
     }
+
+    /// The smallest `(clock, index)` pair currently scheduled, without
+    /// removing it — the run-extraction horizon: after a [`pick`], the
+    /// picked core may keep committing back-to-back while its updated
+    /// `(clock, index)` stays lexicographically below this pair, because
+    /// every other core's entry is at least this large and unchanged.
+    ///
+    /// `None` when the heap is empty (single-core runs after the pick).
+    ///
+    /// [`pick`]: CoreScheduler::pick
+    pub fn peek(&self) -> Option<(Cycle, usize)> {
+        self.heap.peek().map(|&Reverse(pair)| pair)
+    }
 }
 
 #[cfg(test)]
@@ -111,5 +124,79 @@ mod tests {
             assert_eq!(sched.pick(), 0);
             sched.reinsert(0, c);
         }
+    }
+
+    #[test]
+    fn peek_returns_current_minimum_without_removal() {
+        let mut sched = CoreScheduler::new([7, 3, 5]);
+        assert_eq!(sched.peek(), Some((3, 1)));
+        assert_eq!(sched.pick(), 1);
+        // After the pick the horizon is the next-smallest entry.
+        assert_eq!(sched.peek(), Some((5, 2)));
+        assert_eq!(sched.peek(), Some((5, 2)), "peek must not consume");
+        sched.reinsert(1, 9);
+        assert_eq!(sched.peek(), Some((5, 2)));
+        // A drained single-core scheduler has no horizon.
+        let mut solo = CoreScheduler::new([0]);
+        let _ = solo.pick();
+        assert_eq!(solo.peek(), None);
+    }
+
+    /// The batched engine's run extraction: pop a core, keep committing on
+    /// it while its updated `(clock, index)` stays below [`peek`]'s
+    /// horizon, then reinsert. The commit order must equal the serial
+    /// pick-one-reinsert loop's order exactly, ties included.
+    ///
+    /// [`peek`]: CoreScheduler::peek
+    #[test]
+    fn run_extraction_matches_serial_commit_order() {
+        let n = 4;
+        // Clock advance as a pure function of (core, per-core commit
+        // count), so both schedules see identical advances. Zero advances
+        // are frequent, exercising tie territory.
+        let adv = |i: usize, k: u64| {
+            let mut s = (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ k;
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s % 4
+        };
+        let total = 20_000;
+
+        // Serial reference order.
+        let mut clocks: Vec<Cycle> = vec![0; n];
+        let mut count = vec![0u64; n];
+        let mut serial = Vec::with_capacity(total);
+        for _ in 0..total {
+            let i = scan_pick(&clocks);
+            clocks[i] += adv(i, count[i]);
+            count[i] += 1;
+            serial.push(i);
+        }
+
+        // Run-extraction order.
+        let mut clocks: Vec<Cycle> = vec![0; n];
+        let mut count = vec![0u64; n];
+        let mut extracted = Vec::with_capacity(total);
+        let mut sched = CoreScheduler::new(clocks.iter().copied());
+        while extracted.len() < total {
+            let i = sched.pick();
+            let horizon = sched.peek();
+            loop {
+                clocks[i] += adv(i, count[i]);
+                count[i] += 1;
+                extracted.push(i);
+                if extracted.len() == total {
+                    break;
+                }
+                match horizon {
+                    Some(h) if (clocks[i], i) < h => {}
+                    Some(_) => break,
+                    None => {}
+                }
+            }
+            sched.reinsert(i, clocks[i]);
+        }
+        assert_eq!(serial, extracted);
     }
 }

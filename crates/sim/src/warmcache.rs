@@ -166,6 +166,7 @@ mod tests {
             total_instr: 0,
             instrumented: false,
             window: None,
+            latencies: tla_cpu::Latencies::default(),
         }
     }
 
@@ -187,6 +188,16 @@ mod tests {
             ..a
         };
         assert_ne!(WarmCache::key(&info()), WarmCache::key(&other_mix));
+        // The ablation_latency fix: latency config is a warm-determining
+        // axis, so it must change the key too.
+        let other_latency = CheckpointInfo {
+            latencies: tla_cpu::Latencies {
+                memory: 300,
+                ..tla_cpu::Latencies::default()
+            },
+            ..info()
+        };
+        assert_ne!(WarmCache::key(&info()), WarmCache::key(&other_latency));
     }
 
     #[test]

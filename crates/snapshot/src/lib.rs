@@ -44,7 +44,11 @@ pub const MAGIC: [u8; 4] = *b"TLAS";
 /// * 2 — multi-word set bitmaps (caches wider than 64 ways serialize
 ///   `ways.div_ceil(64)` words per set). For ≤ 64 ways the byte layout is
 ///   unchanged, so version-1 images decode through the same readers.
-pub const FORMAT_VERSION: u8 = 2;
+/// * 3 — checkpoint meta carries the core-model latency configuration
+///   (four trailing `u64`s). Readers of older images substitute the
+///   default latencies; see [`SnapshotReader::version`] for the gating
+///   pattern.
+pub const FORMAT_VERSION: u8 = 3;
 
 /// Oldest format version this build still reads. Every version in
 /// `MIN_SUPPORTED_VERSION..=FORMAT_VERSION` is accepted by
@@ -260,6 +264,8 @@ pub struct SnapshotReader<'a> {
     pos: usize,
     /// Exclusive end positions of currently open sections, innermost last.
     section_ends: Vec<usize>,
+    /// Format version from the header, for version-gated field reads.
+    version: u8,
 }
 
 impl<'a> SnapshotReader<'a> {
@@ -290,7 +296,15 @@ impl<'a> SnapshotReader<'a> {
             buf: &bytes[..body_end],
             pos: 5,
             section_ends: Vec::new(),
+            version,
         })
+    }
+
+    /// The format version stamped in the snapshot header. Decoders use
+    /// this to gate reads of fields newer formats appended (the section
+    /// length check still verifies exact consumption either way).
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     fn limit(&self) -> usize {
@@ -622,7 +636,8 @@ mod tests {
                     assert_eq!(found, bad);
                     assert_eq!(expected, FORMAT_VERSION);
                     let msg = SnapshotError::BadVersion { found, expected }.to_string();
-                    assert!(msg.contains("1..=2"), "range in message: {msg}");
+                    let range = format!("{MIN_SUPPORTED_VERSION}..={FORMAT_VERSION}");
+                    assert!(msg.contains(&range), "range in message: {msg}");
                 }
                 other => panic!("expected BadVersion, got {other:?}"),
             }

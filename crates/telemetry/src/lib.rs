@@ -47,5 +47,7 @@ pub use report::{
 pub use reuse::{
     ReuseError, ReuseHistogram, ReuseProfiler, DEFAULT_REUSE_BUCKETS, DEFAULT_SAMPLE_EVERY,
 };
-pub use sink::{CountingSink, EventLog, MultiSink, NullSink, SharedSink, TelemetrySink};
+pub use sink::{
+    CountingSink, EventLog, MultiSink, NullSink, OrderCheckSink, SharedSink, TelemetrySink,
+};
 pub use window::{Window, WindowedSeries};

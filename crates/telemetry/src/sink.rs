@@ -142,6 +142,51 @@ impl TelemetrySink for EventLog {
     }
 }
 
+/// Asserts the event stream arrives in non-decreasing instruction order.
+///
+/// The batched engine commits instructions in per-core runs rather than
+/// one at a time; its equivalence to the serial loop includes the exact
+/// event stream, so every event must still carry a monotonic global
+/// `instr` stamp. This sink makes that property checkable from any run:
+/// it panics on the first out-of-order event and keeps the high-water
+/// mark and a total count for assertions.
+#[derive(Debug, Clone, Default)]
+pub struct OrderCheckSink {
+    last: u64,
+    seen: u64,
+}
+
+impl OrderCheckSink {
+    /// A checker that accepts any first stamp.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events checked so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The latest (highest) instruction stamp observed.
+    pub fn last_instr(&self) -> u64 {
+        self.last
+    }
+}
+
+impl TelemetrySink for OrderCheckSink {
+    fn record(&mut self, event: &TelemetryEvent) {
+        assert!(
+            event.instr >= self.last,
+            "telemetry order violated: event {:?} at instruction {} arrived after {}",
+            event.kind,
+            event.instr,
+            self.last
+        );
+        self.last = event.instr;
+        self.seen += 1;
+    }
+}
+
 /// Shared handle around a sink, so the caller can keep reading a
 /// collector after handing the hierarchy its own clone.
 ///
@@ -294,5 +339,23 @@ mod tests {
     fn null_sink_ignores() {
         let mut sink = NullSink;
         sink.record(&ev(EventKind::Prefetch, 0));
+    }
+
+    #[test]
+    fn order_check_accepts_monotonic_streams() {
+        let mut sink = OrderCheckSink::new();
+        for instr in [0, 1, 1, 3, 7, 7] {
+            sink.record(&ev(EventKind::LlcEviction, instr));
+        }
+        assert_eq!(sink.seen(), 6);
+        assert_eq!(sink.last_instr(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry order violated")]
+    fn order_check_panics_on_regression() {
+        let mut sink = OrderCheckSink::new();
+        sink.record(&ev(EventKind::LlcEviction, 5));
+        sink.record(&ev(EventKind::LlcEviction, 4));
     }
 }

@@ -1,0 +1,186 @@
+//! Batched instruction generation.
+//!
+//! The batched execution engine consumes instructions from each core in
+//! register-hot runs, so pulling them from the generator one call at a
+//! time wastes the run structure: every `next_instruction` re-enters the
+//! mixture-selection and PC-advance code cold. [`BatchedTrace`] refills a
+//! small buffer in one tight burst instead and then hands instructions out
+//! by index.
+//!
+//! Buffering generates *ahead* of the committed position — the underlying
+//! generator's RNG has already advanced past instructions nobody has
+//! consumed yet. That would break checkpoint byte-compatibility, so the
+//! batcher keeps `base`, a clone of the generator taken at the last refill
+//! (i.e. at the committed boundary). Serialization clones `base`, replays
+//! exactly the consumed prefix of the buffer, and snapshots *that* state:
+//! the bytes are identical to an unbatched generator that stopped at the
+//! same committed instruction.
+
+use crate::trace::{Instruction, TraceSource};
+use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+
+/// Default instructions generated per refill burst.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// A buffering adapter around any [`TraceSource`]: generates instructions
+/// in bursts, hands them out one by one, and serializes as if it had never
+/// buffered at all (see the module docs for the replay argument).
+#[derive(Debug, Clone)]
+pub struct BatchedTrace<T> {
+    /// The generator, advanced through the end of the current buffer.
+    inner: T,
+    /// Clone of the generator at the last refill — the committed boundary.
+    base: T,
+    buf: Vec<Instruction>,
+    /// Instructions of `buf` already handed out (the committed prefix).
+    pos: usize,
+    batch: usize,
+}
+
+impl<T: TraceSource + Clone> BatchedTrace<T> {
+    /// Wraps `inner` with the default batch size.
+    pub fn new(inner: T) -> Self {
+        Self::with_batch(inner, DEFAULT_BATCH)
+    }
+
+    /// Wraps `inner`, refilling `batch` instructions at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(inner: T, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let base = inner.clone();
+        BatchedTrace {
+            inner,
+            base,
+            buf: Vec::with_capacity(batch),
+            pos: 0,
+            batch,
+        }
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        self.base.clone_from(&self.inner);
+        self.buf.clear();
+        for _ in 0..self.batch {
+            self.buf.push(self.inner.next_instruction());
+        }
+        self.pos = 0;
+    }
+}
+
+impl<T: TraceSource + Clone> TraceSource for BatchedTrace<T> {
+    #[inline]
+    fn next_instruction(&mut self) -> Instruction {
+        if self.pos == self.buf.len() {
+            self.refill();
+        }
+        let instr = self.buf[self.pos];
+        self.pos += 1;
+        instr
+    }
+}
+
+impl<T: TraceSource + Clone + Snapshot> Snapshot for BatchedTrace<T> {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        // Replay the committed prefix onto the refill-boundary clone; the
+        // result is the exact generator state an unbatched run would hold
+        // here, so the wire bytes carry no trace of the batching.
+        let mut committed = self.base.clone();
+        for _ in 0..self.pos {
+            committed.next_instruction();
+        }
+        committed.write_state(w);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.inner.read_state(r)?;
+        self.base.clone_from(&self.inner);
+        self.buf.clear();
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PatternKind, SyntheticTrace, WorkloadParams};
+
+    fn params() -> WorkloadParams {
+        WorkloadParams {
+            code_footprint_bytes: 4096,
+            mem_ratio: 0.5,
+            write_ratio: 0.3,
+            patterns: vec![
+                (0.6, PatternKind::Loop { lines: 64, stay: 4 }),
+                (0.4, PatternKind::Chase { lines: 256 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn batched_stream_equals_unbatched_stream() {
+        for batch in [1, 2, 63, 64, 65] {
+            let mut plain = SyntheticTrace::new(&params(), 0, 7);
+            let mut batched = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 0, 7), batch);
+            for n in 0..1000 {
+                assert_eq!(
+                    batched.next_instruction(),
+                    plain.next_instruction(),
+                    "batch={batch} diverges at instruction {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_hides_the_buffer() {
+        // At every commit offset across several refill boundaries, the
+        // batcher's bytes must equal an unbatched generator's bytes.
+        let mut plain = SyntheticTrace::new(&params(), 1, 9);
+        let mut batched = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 1, 9), 16);
+        for n in 0..100 {
+            let mut wp = SnapshotWriter::new();
+            plain.write_state(&mut wp);
+            let mut wb = SnapshotWriter::new();
+            batched.write_state(&mut wb);
+            assert_eq!(
+                wp.finish(),
+                wb.finish(),
+                "snapshot bytes diverge after {n} commits"
+            );
+            assert_eq!(plain.next_instruction(), batched.next_instruction());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_resumes_exactly() {
+        let mut live = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 0, 3), 32);
+        for _ in 0..500 {
+            live.next_instruction();
+        }
+        let mut w = SnapshotWriter::new();
+        live.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut resumed = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 0, 3), 32);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        resumed.read_state(&mut r).unwrap();
+        for n in 0..500 {
+            assert_eq!(
+                resumed.next_instruction(),
+                live.next_instruction(),
+                "resumed stream diverges at instruction {n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_panics() {
+        let _ = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 0, 1), 0);
+    }
+}

@@ -29,11 +29,13 @@
 //! assert_eq!(SpecApp::ALL.len(), 15);
 //! ```
 
+mod batch;
 mod mix;
 mod recorded;
 mod spec;
 mod trace;
 
+pub use batch::{BatchedTrace, DEFAULT_BATCH};
 pub use mix::{all_two_core_mixes, random_mixes, table2_mixes, Mix};
 pub use recorded::RecordedTrace;
 pub use spec::{Category, SpecApp};

@@ -14,8 +14,8 @@
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
-//!          --jobs <n>  --baseline <path>  --gate <pct>  --target-ms <n>
-//!          --out <path>  --warm-start  --sample-every <n>
+//!          --jobs <n>  --shard-jobs <n>  --baseline <path>  --gate <pct>
+//!          --target-ms <n>  --out <path>  --warm-start  --sample-every <n>
 //! ```
 
 use std::process::ExitCode;
@@ -73,6 +73,10 @@ fn usage() -> ExitCode {
          \x20                         (with --json; default 100000)\n\
          \x20 --jobs <n>              worker threads for batch commands\n\
          \x20                         (default: all cores; results are\n\
+         \x20                         bit-identical for any value)\n\
+         \x20 --shard-jobs <n>        worker threads for set-sharded passes\n\
+         \x20                         inside one run (the Belady oracle;\n\
+         \x20                         default 1, 0 = all cores; results are\n\
          \x20                         bit-identical for any value)\n\
          \x20 --out <path>            checkpoint file for snapshot save\n\
          \x20 --warm-start            share one warm-up across compare's\n\
@@ -228,6 +232,11 @@ fn parse_options(
                     return Err("--jobs must be positive".into());
                 }
                 opts.cfg = opts.cfg.jobs(v);
+            }
+            "--shard-jobs" => {
+                let v: usize = value("--shard-jobs")?.parse().map_err(|e| format!("{e}"))?;
+                // 0 is meaningful here: auto-detect the core count.
+                opts.cfg = opts.cfg.shard_jobs(v);
             }
             "--baseline" => {
                 opts.baseline = Some(value("--baseline")?);
@@ -945,12 +954,17 @@ fn sim_base_cfg() -> SimConfig {
 /// Rebuilds the [`SimConfig`] a checkpoint was warmed under from its meta
 /// section, so `snapshot resume` needs no re-typed flags.
 fn cfg_from_info(info: &tla::sim::CheckpointInfo) -> SimConfig {
-    SimConfig::scaled_down()
+    let cfg = SimConfig::scaled_down()
         .with_scale(info.scale)
         .warmup(info.warmup)
         .instructions(info.instructions)
         .seed(info.seed)
-        .prefetch(info.prefetch)
+        .prefetch(info.prefetch);
+    let core = tla::cpu::CoreModelConfig {
+        latencies: info.latencies,
+        ..*cfg.core_config()
+    };
+    cfg.core_model(core)
 }
 
 fn cmd_snapshot_save(opts: &Options) -> ExitCode {
@@ -1348,6 +1362,27 @@ mod tests {
         assert_eq!(o.cfg.effective_jobs(), 4);
         let o = parse_options(&[]).unwrap();
         assert_eq!(o.cfg.jobs_override(), None);
+    }
+
+    #[test]
+    fn shard_jobs_option_parses() {
+        let args: Vec<String> = ["--shard-jobs", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.cfg.shard_jobs_override(), Some(3));
+        assert_eq!(o.cfg.effective_shard_jobs(), 3);
+        // 0 opts into auto-detection rather than erroring.
+        let args: Vec<String> = ["--shard-jobs", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = parse_options(&args).unwrap();
+        assert_eq!(o.cfg.shard_jobs_override(), Some(0));
+        assert!(o.cfg.effective_shard_jobs() >= 1);
+        let o = parse_options(&[]).unwrap();
+        assert_eq!(o.cfg.shard_jobs_override(), None);
     }
 
     #[test]

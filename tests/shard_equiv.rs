@@ -1,0 +1,115 @@
+//! Shard equivalence: the batched run-extraction engine, the serial
+//! reference loop and every `--shard-jobs` worker count produce
+//! byte-identical artifacts.
+//!
+//! The batched engine commits instructions in per-core runs and the
+//! set-sharded oracle replays per-set queues (optionally across worker
+//! threads); both restructurings are pure reorderings of independent
+//! work, so the exact JSON `tla-cli compare`/`analyze` would write must
+//! not change by a byte. CI reruns this suite under `TLA_FORCE_SCALAR=1`,
+//! which pins the portable probe kernels — the equivalence must hold on
+//! either dispatch path.
+
+use tla::sim::{
+    optimal_llc, run_policy_reports_analyzed, EngineMode, MixRun, PolicySpec, SimConfig,
+};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::SpecApp;
+
+fn quick() -> SimConfig {
+    SimConfig::scaled_down().instructions(10_000)
+}
+
+fn mix() -> [SpecApp; 2] {
+    [SpecApp::Libquantum, SpecApp::Sjeng]
+}
+
+/// Renders the exact `tla-cli compare --json` artifact with every run
+/// forced onto the given engine (`None` = the process default, whatever
+/// `TLA_ENGINE` says).
+fn render_compare(mode: Option<EngineMode>) -> String {
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+    ];
+    let cfg = quick();
+    let reports: Vec<JsonValue> = specs
+        .iter()
+        .map(|spec| {
+            let mut run = MixRun::new(&cfg, &mix()).spec(spec);
+            if let Some(m) = mode {
+                run = run.engine_mode(m);
+            }
+            let (_, report) = run.run_report(Some(2_500));
+            report.to_json()
+        })
+        .collect();
+    JsonValue::array(reports).to_pretty()
+}
+
+#[test]
+fn batched_and_serial_compare_json_are_byte_identical() {
+    let batched = render_compare(Some(EngineMode::Batched));
+    let serial = render_compare(Some(EngineMode::Serial));
+    let default = render_compare(None);
+    assert!(!batched.is_empty());
+    assert_eq!(batched, serial, "engine mode leaked into compare --json");
+    // Whichever engine the environment selects, the bytes are the same.
+    assert_eq!(default, batched);
+}
+
+/// Renders the `tla-cli analyze --json` artifact (reports plus the
+/// oracle-derived `opt_misses` / `gap_to_opt` / `inclusion_victim_rate`
+/// fields) with the set-sharded oracle on `jobs` worker threads.
+fn render_analyze(jobs: usize) -> String {
+    let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+    let cfg = quick().shard_jobs(jobs);
+    let opt = optimal_llc(&cfg, &mix(), None);
+    let results = run_policy_reports_analyzed(&cfg, &mix(), &specs, None, Some(2_500), 4);
+    let docs: Vec<JsonValue> = results
+        .into_iter()
+        .map(|(r, mut report)| {
+            report.opt_misses = Some(opt.misses);
+            report.gap_to_opt =
+                Some((r.llc_misses() as f64 - opt.misses as f64) / (opt.misses.max(1) as f64));
+            report.inclusion_victim_rate = Some(report.measured_victim_rate());
+            report.to_json()
+        })
+        .collect();
+    JsonValue::array(docs).to_pretty()
+}
+
+#[test]
+fn analyze_json_is_byte_identical_for_every_shard_job_count() {
+    let reference = render_analyze(1);
+    assert!(reference.contains("opt_misses"));
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    for jobs in [2, 7, cpus] {
+        assert_eq!(
+            render_analyze(jobs),
+            reference,
+            "analyze --json diverged at shard-jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn engine_and_sharding_compose() {
+    // Belt and braces: a serial-engine run next to a batched-engine run of
+    // the same mix, with the oracle sharded wide, all agree with the
+    // all-defaults path.
+    let cfg = quick();
+    let serial = MixRun::new(&cfg, &mix())
+        .engine_mode(EngineMode::Serial)
+        .run();
+    let batched = MixRun::new(&cfg, &mix())
+        .engine_mode(EngineMode::Batched)
+        .run();
+    assert_eq!(serial.global, batched.global);
+    let wide = optimal_llc(&cfg.clone().shard_jobs(0), &mix(), None);
+    let narrow = optimal_llc(&cfg, &mix(), None);
+    assert_eq!(wide, narrow);
+}
