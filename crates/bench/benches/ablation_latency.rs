@@ -69,11 +69,11 @@ fn main() {
             cache.as_ref(),
         )
         .expect("resuming a just-written warm checkpoint cannot fail");
-        let g = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
-        let red = stats::mean(suites[1].miss_reduction_pct(&suites[0])).unwrap();
+        let g = stats::geomean(suites[1].normalized_throughput(&suites[0]));
+        let red = stats::mean(suites[1].miss_reduction_pct(&suites[0])).unwrap_or(0.0);
         t.add_row(vec![
             label.to_string(),
-            format!("{:+.1}%", (g - 1.0) * 100.0),
+            stats::fmt_gain_pct(g),
             format!("{red:+.1}%"),
         ]);
         tla_bench::bench_progress!("ablation_latency", "{label} done");

@@ -34,8 +34,8 @@ fn main() {
     }
     t.add_row(vec![
         "GEOMEAN".to_string(),
-        format!("{:.3}", stats::geomean(qbs.iter().copied()).unwrap()),
-        format!("{:.3}", stats::geomean(qbsi.iter().copied()).unwrap()),
+        stats::fmt_ratio(stats::geomean(qbs.iter().copied())),
+        stats::fmt_ratio(stats::geomean(qbsi.iter().copied())),
     ]);
     println!("\nmodified QBS vs plain QBS (throughput vs inclusive)\n{t}");
     println!("expected shape: the two columns match closely — QBS's benefit is\navoiding memory misses, not avoiding the LLC hit penalty");

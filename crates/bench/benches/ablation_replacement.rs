@@ -33,12 +33,12 @@ fn main() {
             PolicySpec::non_inclusive().with_llc_replacement(policy),
         ];
         let suites = env.run_suite(&mixes, &specs, None);
-        let qbs = stats::geomean(suites[1].normalized_throughput(&suites[0])).unwrap();
-        let ni = stats::geomean(suites[2].normalized_throughput(&suites[0])).unwrap();
+        let qbs = stats::geomean(suites[1].normalized_throughput(&suites[0]));
+        let ni = stats::geomean(suites[2].normalized_throughput(&suites[0]));
         t.add_row(vec![
             policy.to_string(),
-            format!("{:+.1}%", (qbs - 1.0) * 100.0),
-            format!("{:+.1}%", (ni - 1.0) * 100.0),
+            stats::fmt_gain_pct(qbs),
+            stats::fmt_gain_pct(ni),
         ]);
     }
     println!(

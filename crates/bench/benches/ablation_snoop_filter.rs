@@ -33,7 +33,7 @@ fn main() {
         "snoop probes / 1k instr",
     ]);
     for suite in &suites {
-        let g = stats::geomean(suite.normalized_throughput(&suites[0])).unwrap();
+        let g = stats::geomean(suite.normalized_throughput(&suites[0]));
         let probes: u64 = suite.runs.iter().map(|r| r.global.snoop_probes).sum();
         let instr: u64 = suite
             .runs
@@ -43,7 +43,7 @@ fn main() {
             .sum();
         t.add_row(vec![
             suite.spec.name.clone(),
-            format!("{:.3}", g),
+            stats::fmt_ratio(g),
             format!("{:.2}", probes as f64 * 1000.0 / instr as f64),
         ]);
     }

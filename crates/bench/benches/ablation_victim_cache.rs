@@ -26,10 +26,10 @@ fn main() {
     let mut t = Table::new(&["configuration", "vs inclusive (geomean)", "paper"]);
     let paper = ["+0.8%", "+4.5%", "+6.5%"];
     for (i, suite) in suites[1..].iter().enumerate() {
-        let g = stats::geomean(suite.normalized_throughput(&suites[0])).unwrap();
+        let g = stats::geomean(suite.normalized_throughput(&suites[0]));
         t.add_row(vec![
             suite.spec.name.clone(),
-            format!("{:+.1}%", (g - 1.0) * 100.0),
+            stats::fmt_gain_pct(g),
             paper[i].to_string(),
         ]);
     }

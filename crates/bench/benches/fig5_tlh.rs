@@ -106,9 +106,9 @@ fn main() {
             })
             .collect();
         println!(
-            "  {:>4.0}% of hits  ->  {:.3}",
+            "  {:>4.0}% of hits  ->  {}",
             p * 100.0,
-            stats::geomean(vals).unwrap()
+            stats::fmt_ratio(stats::geomean(vals))
         );
     }
 

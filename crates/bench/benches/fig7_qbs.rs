@@ -83,7 +83,10 @@ fn main() {
                     / b.throughput()
             })
             .collect();
-        println!("  {q} queries -> {:.3}", stats::geomean(vals).unwrap());
+        println!(
+            "  {q} queries -> {}",
+            stats::fmt_ratio(stats::geomean(vals))
+        );
     }
 
     // Query traffic: like ECI, proportional to LLC misses.

@@ -1,0 +1,206 @@
+//! `tla-kv` — a lock-striped, sharded concurrent key-value cache service
+//! built on the simulator's SoA set-associative core.
+//!
+//! The replacement-policy zoo in `tla-cache` was born inside a
+//! single-threaded hardware simulator; this crate is the "millions of
+//! users" step: the same allocation-free [`SetAssocCache`] hot path
+//! (SIMD set probes, packed way bitmaps, per-way policy words), run
+//! concurrently behind a striped-lock shard array with a service-style
+//! `get/put/admit/remove` API.
+//!
+//! # Architecture
+//!
+//! * [`ShardedKv`] owns `2^k` shards, each a `Mutex<`[`Shard`]`>` padded
+//!   to its own cache line. A key picks its shard by the *top* bits of a
+//!   splitmix64 hash, and its set within the shard by the key's low bits
+//!   — two independent bit ranges, so shard striping never starves sets.
+//! * A [`Shard`] is one or more `SetAssocCache`s. Keys are line
+//!   addresses; the 64-bit value payload rides in the per-way directory
+//!   word (unused outside the simulator's LLC — see
+//!   [`SetAssocCache::payload`]), so the service adds **zero** bytes of
+//!   per-line storage to the SoA layout.
+//! * Per-shard [`ShardStats`] counters are plain `u64`s mutated under
+//!   the shard lock and summed on demand — no atomics on the hot path.
+//!   The merge is exact: every operation increments exactly one shard's
+//!   counters, so the sum over shards equals the global totals (the
+//!   concurrency test pins this under 1/4/8 threads).
+//!
+//! # Policies
+//!
+//! Service policies map onto hardware replacers ([`KvPolicy`]):
+//!
+//! | service name | construction                                        |
+//! |--------------|-----------------------------------------------------|
+//! | `lru`        | one cache, [`Policy::Lru`]                          |
+//! | `fifo`       | one cache, [`Policy::Fifo`]                         |
+//! | `clock`      | one cache, [`Policy::Clock`] (second-chance)        |
+//! | `s3fifo`     | small FIFO + Clock main + ghost FIFO (scan-resistant admission) |
+//!
+//! # Example
+//!
+//! ```
+//! use tla_kv::{KvConfig, KvPolicy, ShardedKv};
+//!
+//! let kv = ShardedKv::new(KvConfig::new(4096, KvPolicy::Clock).with_shards(4)).unwrap();
+//! assert_eq!(kv.get(17), None);
+//! kv.put(17, 1717);
+//! assert_eq!(kv.get(17), Some(1717));
+//! let t = kv.stats();
+//! assert_eq!((t.gets, t.hits, t.misses, t.puts), (2, 1, 1, 1));
+//! ```
+//!
+//! [`SetAssocCache`]: tla_cache::SetAssocCache
+//! [`SetAssocCache::payload`]: tla_cache::SetAssocCache::payload
+//! [`Policy::Lru`]: tla_cache::Policy::Lru
+//! [`Policy::Fifo`]: tla_cache::Policy::Fifo
+//! [`Policy::Clock`]: tla_cache::Policy::Clock
+
+mod loadgen;
+mod report;
+mod shard;
+mod sharded;
+
+pub use loadgen::{run_load, run_thread, value_of, LoadResult, LoadSpec, ThreadLoad};
+pub use report::report_json;
+pub use shard::{Shard, ShardStats};
+pub use sharded::ShardedKv;
+
+use std::fmt;
+
+/// A service-grade cache policy, named `PolicySpec`-style (the lowercase
+/// string the CLI and bench matrix use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KvPolicy {
+    /// Least-recently-used over the whole shard.
+    Lru,
+    /// Plain FIFO (the no-second-chance floor).
+    Fifo,
+    /// Second-chance clock: near-LRU hit ratio at FIFO update cost.
+    #[default]
+    Clock,
+    /// S3-FIFO-style scan-resistant composition: a small probationary
+    /// FIFO absorbs one-shot keys, a ghost queue of recently rejected
+    /// keys routes re-requested ones into a Clock-managed main area.
+    S3Fifo,
+}
+
+impl KvPolicy {
+    /// Every policy, in display order.
+    pub const ALL: [KvPolicy; 4] = [
+        KvPolicy::Lru,
+        KvPolicy::Fifo,
+        KvPolicy::Clock,
+        KvPolicy::S3Fifo,
+    ];
+
+    /// Parses the CLI spelling (`lru` / `fifo` / `clock` / `s3fifo`).
+    pub fn parse(text: &str) -> Option<KvPolicy> {
+        match text {
+            "lru" => Some(KvPolicy::Lru),
+            "fifo" => Some(KvPolicy::Fifo),
+            "clock" => Some(KvPolicy::Clock),
+            "s3fifo" => Some(KvPolicy::S3Fifo),
+            _ => None,
+        }
+    }
+
+    /// The spelling [`KvPolicy::parse`] accepts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KvPolicy::Lru => "lru",
+            KvPolicy::Fifo => "fifo",
+            KvPolicy::Clock => "clock",
+            KvPolicy::S3Fifo => "s3fifo",
+        }
+    }
+}
+
+impl fmt::Display for KvPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of a [`ShardedKv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvConfig {
+    /// Total line capacity across all shards (rounded down to what the
+    /// power-of-two set geometry can hold).
+    pub capacity: usize,
+    /// Number of shards; must be a power of two.
+    pub shards: usize,
+    /// Associativity within each shard.
+    pub ways: usize,
+    /// The replacement/admission policy.
+    pub policy: KvPolicy,
+    /// RNG seed (only consumed by randomized policies; kept for
+    /// reproducible construction).
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// A config holding about `capacity` entries under `policy`, with the
+    /// default geometry (8-way, shard count matching small machines).
+    pub fn new(capacity: usize, policy: KvPolicy) -> KvConfig {
+        KvConfig {
+            capacity,
+            shards: 8,
+            ways: 8,
+            policy,
+            seed: 0,
+        }
+    }
+
+    /// Overrides the shard count (power of two).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> KvConfig {
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the associativity.
+    #[must_use]
+    pub fn with_ways(mut self, ways: usize) -> KvConfig {
+        self.ways = ways;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> KvConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets per shard implied by the capacity: the largest power of two
+    /// such that `shards * sets * ways <= capacity`, floored at 1.
+    pub fn sets_per_shard(&self) -> usize {
+        let per_shard = self.capacity / self.shards.max(1) / self.ways.max(1);
+        if per_shard == 0 {
+            1
+        } else {
+            // largest power of two <= per_shard
+            1 << (usize::BITS - 1 - per_shard.leading_zeros())
+        }
+    }
+}
+
+/// Construction errors for [`ShardedKv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The shard count is zero or not a power of two.
+    BadShards(usize),
+    /// The underlying cache geometry was rejected.
+    BadGeometry(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::BadShards(n) => write!(f, "shard count {n} is not a power of two"),
+            KvError::BadGeometry(e) => write!(f, "bad cache geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}

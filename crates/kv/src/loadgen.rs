@@ -1,0 +1,210 @@
+//! Multi-threaded load generator for [`ShardedKv`].
+//!
+//! Each worker thread drives a deterministic [`KeyStream`] (seeded from
+//! the spec seed and its thread index) plus an equally deterministic
+//! get/put coin, so a run's *issued* operation mix is a pure function of
+//! the spec — which is what lets the concurrency test replay the same
+//! per-thread streams single-threaded and demand identical counters.
+//!
+//! The per-op protocol mirrors a read-through cache service: a `put`
+//! writes through, a `get` that misses fetches from the imaginary
+//! backing store ([`value_of`]) and admits the result.
+
+use crate::ShardedKv;
+use std::time::{Duration, Instant};
+use tla_rng::SmallRng;
+use tla_workloads::{KeyStream, KvWorkload};
+
+/// What to run: the knob set behind `tla-cli kv-bench`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Shape of each thread's key stream.
+    pub workload: KvWorkload,
+    /// Keyspace size.
+    pub keys: u64,
+    /// Operations issued by each thread.
+    pub ops_per_thread: u64,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Puts per 1000 operations (the rest are gets).
+    pub put_permille: u32,
+    /// Base seed; thread `t` streams from `seed + t` derivations.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// A zipf read-mostly spec (5% puts), the service default.
+    pub fn new(keys: u64, ops_per_thread: u64, threads: usize) -> LoadSpec {
+        LoadSpec {
+            workload: KvWorkload::ZIPF,
+            keys,
+            ops_per_thread,
+            threads,
+            put_permille: 50,
+            seed: 1,
+        }
+    }
+}
+
+/// What one worker thread issued and observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadLoad {
+    /// The thread index.
+    pub thread: usize,
+    /// Operations issued (`gets + puts`).
+    pub ops: u64,
+    /// Get operations issued.
+    pub gets: u64,
+    /// Put operations issued.
+    pub puts: u64,
+    /// Gets that hit (thread-observed; sums to the service's global hit
+    /// counter when the cache started empty).
+    pub hits: u64,
+    /// Get misses that admitted the backing-store value.
+    pub admits: u64,
+}
+
+/// The outcome of [`run_load`].
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    /// Per-thread tallies, in thread order.
+    pub threads: Vec<ThreadLoad>,
+    /// Wall-clock time of the threaded region.
+    pub elapsed: Duration,
+}
+
+impl LoadResult {
+    /// Total operations across threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.ops).sum()
+    }
+
+    /// Aggregate throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_ops() as f64 / secs
+        }
+    }
+
+    /// Thread-observed hit fraction of all gets.
+    pub fn hit_rate(&self) -> f64 {
+        let gets: u64 = self.threads.iter().map(|t| t.gets).sum();
+        let hits: u64 = self.threads.iter().map(|t| t.hits).sum();
+        if gets == 0 {
+            0.0
+        } else {
+            hits as f64 / gets as f64
+        }
+    }
+}
+
+/// The deterministic "backing store": the value every writer and every
+/// read-through admission stores for `key`. Makes any cached value
+/// verifiable at any time.
+pub fn value_of(key: u64) -> u64 {
+    key.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x5157_4B56 // "QWKV"
+}
+
+/// Runs thread `thread`'s share of `spec` against `kv` to completion.
+///
+/// Public so tests can replay the exact multi-threaded op streams
+/// serially (`for t in 0..threads { run_thread(&kv, &spec, t) }`) and
+/// compare outcomes.
+pub fn run_thread(kv: &ShardedKv, spec: &LoadSpec, thread: usize) -> ThreadLoad {
+    let mut keystream = KeyStream::new(spec.workload, spec.keys, spec.seed + thread as u64);
+    // Decorrelate the op-type coin from the key stream (which derives its
+    // own rng from the same seed) with a fixed salt.
+    let mut coin = SmallRng::seed_from_u64((spec.seed + thread as u64) ^ 0xC017_5A17_C017_5A17);
+    let mut out = ThreadLoad {
+        thread,
+        ..ThreadLoad::default()
+    };
+    for _ in 0..spec.ops_per_thread {
+        let key = keystream.next_key();
+        out.ops += 1;
+        if coin.next_u64() % 1000 < u64::from(spec.put_permille) {
+            out.puts += 1;
+            kv.put(key, value_of(key));
+        } else {
+            out.gets += 1;
+            match kv.get(key) {
+                Some(v) => {
+                    debug_assert_eq!(v, value_of(key), "cached value corrupt for key {key}");
+                    out.hits += 1;
+                }
+                None => {
+                    // Read-through: fetch and admit. Another thread may
+                    // have raced the same key in; admit keeps one copy.
+                    if kv.admit(key, value_of(key)) {
+                        out.admits += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs `spec` against `kv` with `spec.threads` worker threads.
+pub fn run_load(kv: &ShardedKv, spec: &LoadSpec) -> LoadResult {
+    let start = Instant::now();
+    let mut threads: Vec<ThreadLoad> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.threads)
+            .map(|t| scope.spawn(move || run_thread(kv, spec, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    threads.sort_by_key(|t| t.thread);
+    LoadResult { threads, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KvConfig, KvPolicy};
+
+    #[test]
+    fn issued_totals_match_service_counters() {
+        let kv = ShardedKv::new(KvConfig::new(2048, KvPolicy::Clock)).unwrap();
+        let spec = LoadSpec::new(8_192, 20_000, 4);
+        let res = run_load(&kv, &spec);
+        let t = kv.stats();
+        assert_eq!(res.total_ops(), 80_000);
+        assert_eq!(t.gets, res.threads.iter().map(|t| t.gets).sum::<u64>());
+        assert_eq!(t.puts, res.threads.iter().map(|t| t.puts).sum::<u64>());
+        assert_eq!(t.hits, res.threads.iter().map(|t| t.hits).sum::<u64>());
+        assert_eq!(t.gets, t.hits + t.misses);
+    }
+
+    #[test]
+    fn zipf_load_hits_once_warm() {
+        let kv = ShardedKv::new(KvConfig::new(4096, KvPolicy::Clock)).unwrap();
+        let spec = LoadSpec::new(16_384, 50_000, 2);
+        let res = run_load(&kv, &spec);
+        // Zipf(1.0) over 16k keys against a 4k cache: the hot set fits,
+        // so the hit rate must be substantial.
+        assert!(
+            res.hit_rate() > 0.5,
+            "zipf hit rate {:.3} suspiciously low",
+            res.hit_rate()
+        );
+    }
+
+    #[test]
+    fn run_thread_is_deterministic_in_issued_mix() {
+        let spec = LoadSpec::new(4_096, 5_000, 1);
+        let kv1 = ShardedKv::new(KvConfig::new(1024, KvPolicy::Lru)).unwrap();
+        let kv2 = ShardedKv::new(KvConfig::new(1024, KvPolicy::Lru)).unwrap();
+        let a = run_thread(&kv1, &spec, 0);
+        let b = run_thread(&kv2, &spec, 0);
+        assert_eq!(a, b);
+        assert!(a.puts > 0 && a.gets > a.puts, "5% put mix expected");
+    }
+}

@@ -1,0 +1,101 @@
+//! JSON summary of a kv load run, in the house telemetry dialect.
+//!
+//! Shape mirrors the simulator's `RunReport`: a `schema_version`-tagged
+//! object with a config echo, global totals, and a per-shard breakdown,
+//! encoded with the same dependency-free [`JsonValue`] writer so
+//! `kv-bench --json` output composes with the existing report tooling.
+
+use crate::{KvConfig, LoadResult, LoadSpec, ShardStats, ShardedKv};
+use tla_telemetry::json::JsonValue;
+
+/// Schema tag of [`report_json`] output.
+pub const KV_SCHEMA: &str = "tla-kv-report-v1";
+
+/// Builds the full kv-bench report: config echo, merged totals, the
+/// per-shard counter breakdown, and the load result's throughput.
+pub fn report_json(kv: &ShardedKv, spec: &LoadSpec, result: &LoadResult) -> JsonValue {
+    JsonValue::object([
+        ("schema", JsonValue::from(KV_SCHEMA)),
+        ("config", config_json(kv.config(), spec)),
+        ("totals", totals_json(kv, result)),
+        (
+            "shards",
+            JsonValue::array(kv.per_shard_stats().iter().map(stats_json)),
+        ),
+    ])
+}
+
+fn config_json(cfg: &KvConfig, spec: &LoadSpec) -> JsonValue {
+    JsonValue::object([
+        ("policy", JsonValue::from(cfg.policy.name())),
+        ("capacity", JsonValue::from(cfg.capacity)),
+        ("shards", JsonValue::from(cfg.shards)),
+        ("sets_per_shard", JsonValue::from(cfg.sets_per_shard())),
+        ("ways", JsonValue::from(cfg.ways)),
+        ("workload", JsonValue::from(spec.workload.name())),
+        ("keys", JsonValue::from(spec.keys)),
+        ("threads", JsonValue::from(spec.threads)),
+        ("ops_per_thread", JsonValue::from(spec.ops_per_thread)),
+        ("put_permille", JsonValue::from(spec.put_permille)),
+        ("seed", JsonValue::from(spec.seed)),
+    ])
+}
+
+fn totals_json(kv: &ShardedKv, result: &LoadResult) -> JsonValue {
+    let t = kv.stats();
+    let JsonValue::Obj(mut pairs) = stats_json(&t) else {
+        unreachable!("stats_json builds an object");
+    };
+    pairs.extend([
+        ("occupancy".to_string(), JsonValue::from(kv.occupancy())),
+        ("hit_rate".to_string(), JsonValue::from(t.hit_rate())),
+        ("ops".to_string(), JsonValue::from(result.total_ops())),
+        (
+            "elapsed_secs".to_string(),
+            JsonValue::from(result.elapsed.as_secs_f64()),
+        ),
+        (
+            "ops_per_sec".to_string(),
+            JsonValue::from(result.ops_per_sec()),
+        ),
+    ]);
+    JsonValue::Obj(pairs)
+}
+
+fn stats_json(s: &ShardStats) -> JsonValue {
+    JsonValue::object([
+        ("gets", JsonValue::from(s.gets)),
+        ("hits", JsonValue::from(s.hits)),
+        ("misses", JsonValue::from(s.misses)),
+        ("puts", JsonValue::from(s.puts)),
+        ("inserts", JsonValue::from(s.inserts)),
+        ("evictions", JsonValue::from(s.evictions)),
+        ("removes", JsonValue::from(s.removes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_load, KvPolicy};
+
+    #[test]
+    fn report_is_parseable_and_consistent() {
+        let kv = ShardedKv::new(KvConfig::new(1024, KvPolicy::S3Fifo)).unwrap();
+        let spec = LoadSpec::new(4_096, 5_000, 2);
+        let res = run_load(&kv, &spec);
+        let text = report_json(&kv, &spec, &res).to_string();
+        let v = JsonValue::parse(&text).unwrap();
+        assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some(KV_SCHEMA));
+        let shards = v.get("shards").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(shards.len(), kv.config().shards);
+        let field = |obj: &JsonValue, k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap();
+        let totals = v.get("totals").unwrap();
+        for key in ["gets", "hits", "misses", "puts", "inserts", "evictions"] {
+            let sum: u64 = shards.iter().map(|s| field(s, key)).sum();
+            assert_eq!(sum, field(totals, key), "shard {key} must sum to total");
+        }
+        assert_eq!(field(totals, "ops"), 10_000);
+        assert!(totals.get("ops_per_sec").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! One shard: a single-threaded cache engine over [`SetAssocCache`].
+//!
+//! A shard owns its storage outright and is only ever driven under its
+//! stripe lock, so everything here is plain single-threaded code — the
+//! same property that lets the simulator's allocation-free hot path run
+//! unmodified. Keys are used directly as [`LineAddr`]s (the sharded
+//! front-end already spread keys across shards by a hash of the *top*
+//! bits, and the set index uses the key's low bits, so the two never
+//! interact); values ride in the per-way directory word via
+//! [`SetAssocCache::payload`] / [`Evicted::cores`].
+
+use crate::{KvError, KvPolicy};
+use tla_cache::{CacheConfig, CoreBitmap, Policy, SetAssocCache};
+use tla_types::LineAddr;
+
+/// Fraction of the associativity the S3-FIFO small (probationary) queue
+/// takes: 1/8, matching the paper's ~10% guidance. With the default 8
+/// ways that is 1 small way + 7 Clock-managed main ways per set, so the
+/// composition holds exactly the same number of lines as the
+/// single-cache policies.
+const S3_SMALL_FRACTION: usize = 8;
+
+/// Per-shard operation counters. Plain integers mutated under the shard
+/// lock; [`ShardStats::merge`] sums them into global totals.
+///
+/// Invariants the concurrency test pins:
+/// * `gets == hits + misses`
+/// * `occupancy == inserts - evictions - removes` (removes counts only
+///   calls that actually dropped a resident entry)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookup calls.
+    pub gets: u64,
+    /// Lookups that found the key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Put calls (insert or update).
+    pub puts: u64,
+    /// New entries admitted (by put-on-absent or admit).
+    pub inserts: u64,
+    /// Resident entries dropped to make room (not ghost bookkeeping;
+    /// an S3-FIFO small→main promotion is a move, not an eviction).
+    pub evictions: u64,
+    /// Remove calls that found and dropped a resident entry.
+    pub removes: u64,
+}
+
+impl ShardStats {
+    /// Accumulates `other` into `self` (the counter merge).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.gets += other.gets;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.puts += other.puts;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.removes += other.removes;
+    }
+
+    /// Hit fraction of all gets (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+/// One lock stripe's worth of cache: a main area, and for S3-FIFO also a
+/// small probationary queue plus a ghost (key-only) queue.
+#[derive(Debug)]
+pub struct Shard {
+    /// The main data area: the whole cache for `lru`/`fifo`/`clock`,
+    /// the Clock-managed larger area for `s3fifo`.
+    main: SetAssocCache,
+    /// S3-FIFO probationary queue (1/8 of the ways, FIFO order).
+    small: Option<SetAssocCache>,
+    /// S3-FIFO ghost queue: keys recently evicted from `small` without
+    /// reuse. Holds no values — a hit here at admission time is the
+    /// "came back" signal that routes a key into `main`.
+    ghost: Option<SetAssocCache>,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// Builds a shard with `sets` sets of `ways` ways under `policy`.
+    pub fn new(policy: KvPolicy, sets: usize, ways: usize, seed: u64) -> Result<Shard, KvError> {
+        let geom = |name: &str, sets: usize, ways: usize, p: Policy| {
+            CacheConfig::with_sets(name, sets, ways, p)
+                .map_err(|e| KvError::BadGeometry(e.to_string()))
+        };
+        let (main, small, ghost) = match policy {
+            KvPolicy::Lru => (geom("kv-main", sets, ways, Policy::Lru)?, None, None),
+            KvPolicy::Fifo => (geom("kv-main", sets, ways, Policy::Fifo)?, None, None),
+            KvPolicy::Clock => (geom("kv-main", sets, ways, Policy::Clock)?, None, None),
+            KvPolicy::S3Fifo => {
+                if ways < 2 {
+                    return Err(KvError::BadGeometry(format!(
+                        "s3fifo needs at least 2 ways to split small/main, got {ways}"
+                    )));
+                }
+                let small_ways = (ways / S3_SMALL_FRACTION).max(1);
+                let main_ways = ways - small_ways;
+                (
+                    geom("kv-main", sets, main_ways, Policy::Clock)?,
+                    Some(geom("kv-small", sets, small_ways, Policy::Fifo)?),
+                    // The ghost remembers about as many keys as the main
+                    // area holds lines; it stores no data.
+                    Some(geom("kv-ghost", sets, main_ways, Policy::Fifo)?),
+                )
+            }
+        };
+        let mk = |cfg: CacheConfig, salt: u64| SetAssocCache::with_seed(cfg, seed ^ salt);
+        Ok(Shard {
+            main: mk(main, 0x5157_0000),
+            small: small.map(|c| mk(c, 0x5157_0001)),
+            ghost: ghost.map(|c| mk(c, 0x5157_0002)),
+            stats: ShardStats::default(),
+        })
+    }
+
+    /// Looks `key` up, promoting it per policy. Returns the value.
+    pub fn get(&mut self, key: u64) -> Option<u64> {
+        self.stats.gets += 1;
+        let line = LineAddr::new(key);
+        if let Some(small) = &mut self.small {
+            if small.touch(line) {
+                // Reuse while on probation: mark it so the small queue's
+                // FIFO eviction promotes it to main instead of ghosting.
+                small.set_tag(line, true);
+                self.stats.hits += 1;
+                return small.payload(line);
+            }
+        }
+        if self.main.touch(line) {
+            self.stats.hits += 1;
+            return self.main.payload(line);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Inserts or updates `key`. Updates touch replacement state like a
+    /// reference (a put is an access).
+    pub fn put(&mut self, key: u64, value: u64) {
+        self.stats.puts += 1;
+        let line = LineAddr::new(key);
+        if let Some(small) = &mut self.small {
+            if small.set_payload(line, value) {
+                small.set_tag(line, true);
+                return;
+            }
+        }
+        if self.main.set_payload(line, value) {
+            self.main.promote(line);
+            return;
+        }
+        self.insert(line, value);
+    }
+
+    /// Admits `key` if absent (the fill half of a get-miss). Returns
+    /// `false` if it was already resident.
+    pub fn admit(&mut self, key: u64, value: u64) -> bool {
+        let line = LineAddr::new(key);
+        if self.main.probe(line) || self.small.as_ref().is_some_and(|s| s.probe(line)) {
+            return false;
+        }
+        self.insert(line, value);
+        true
+    }
+
+    /// Drops `key` if resident. Returns whether an entry was dropped.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let line = LineAddr::new(key);
+        // Forget ghost history too: an explicit remove is a statement the
+        // key is dead, not a signal it deserves fast-path readmission.
+        if let Some(ghost) = &mut self.ghost {
+            ghost.invalidate(line);
+        }
+        let dropped = self.main.invalidate(line).is_some()
+            || self
+                .small
+                .as_mut()
+                .is_some_and(|s| s.invalidate(line).is_some());
+        if dropped {
+            self.stats.removes += 1;
+        }
+        dropped
+    }
+
+    /// Resident entries (small + main; the ghost holds no data).
+    pub fn occupancy(&self) -> usize {
+        self.main.occupancy() + self.small.as_ref().map_or(0, SetAssocCache::occupancy)
+    }
+
+    /// This shard's counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Admission for a key known to be absent.
+    fn insert(&mut self, line: LineAddr, value: u64) {
+        self.stats.inserts += 1;
+        if self.small.is_none() {
+            self.fill_main(line, value);
+            return;
+        }
+        // S3-FIFO admission: keys the ghost remembers earned the main
+        // area; fresh keys start on probation in the small queue.
+        let ghosted = self
+            .ghost
+            .as_mut()
+            .is_some_and(|g| g.invalidate(line).is_some());
+        if ghosted {
+            self.fill_main(line, value);
+        } else {
+            self.fill_small(line, value);
+        }
+    }
+
+    /// Fills into the Clock-managed main area, counting any displacement.
+    fn fill_main(&mut self, line: LineAddr, value: u64) {
+        if self
+            .main
+            .fill_with_cores(line, false, CoreBitmap::from_raw(value))
+            .is_some()
+        {
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Fills into the small queue; its FIFO victim either promotes to
+    /// main (if it was re-referenced while on probation) or falls into
+    /// the ghost queue as a key-only tombstone.
+    fn fill_small(&mut self, line: LineAddr, value: u64) {
+        let small = self.small.as_mut().expect("s3fifo shard has a small queue");
+        let set = small.config().set_of(line);
+        if small.invalid_way(set).is_none() {
+            let (way, victim) = small.victim_way(set).expect("full set has a victim");
+            let reused = small.take_tag(victim) == Some(true);
+            let ev = small.evict_way(set, way).expect("victim way is valid");
+            if reused {
+                self.fill_main(ev.addr, ev.cores.to_raw());
+            } else {
+                self.stats.evictions += 1;
+                let ghost = self.ghost.as_mut().expect("s3fifo shard has a ghost");
+                debug_assert!(!ghost.probe(ev.addr), "small resident was also ghosted");
+                ghost.fill(ev.addr, false);
+            }
+        }
+        let small = self.small.as_mut().expect("s3fifo shard has a small queue");
+        let way = small.invalid_way(set).expect("a way was just freed");
+        small.fill_way(set, way, line, false, CoreBitmap::from_raw(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(policy: KvPolicy) -> Shard {
+        Shard::new(policy, 8, 8, 1).unwrap()
+    }
+
+    #[test]
+    fn get_put_roundtrip_all_policies() {
+        for policy in KvPolicy::ALL {
+            let mut s = shard(policy);
+            assert_eq!(s.get(5), None, "{policy}");
+            s.put(5, 500);
+            assert_eq!(s.get(5), Some(500), "{policy}");
+            s.put(5, 501); // in-place update
+            assert_eq!(s.get(5), Some(501), "{policy}");
+            assert!(!s.admit(5, 999), "admit must not clobber {policy}");
+            assert_eq!(s.get(5), Some(501), "{policy}");
+            assert!(s.remove(5), "{policy}");
+            assert_eq!(s.get(5), None, "{policy}");
+            assert!(!s.remove(5), "{policy}");
+            let t = s.stats();
+            assert_eq!(t.gets, t.hits + t.misses, "{policy}");
+            assert_eq!(t.removes, 1, "{policy}");
+        }
+    }
+
+    #[test]
+    fn occupancy_tracks_insert_evict_remove() {
+        for policy in KvPolicy::ALL {
+            let mut s = shard(policy);
+            for k in 0..200u64 {
+                s.admit(k, k);
+            }
+            let t = s.stats();
+            assert_eq!(
+                s.occupancy() as u64,
+                t.inserts - t.evictions - t.removes,
+                "{policy}: occupancy must equal inserts - evictions - removes"
+            );
+            assert!(s.occupancy() <= 64, "{policy}: capacity is 64 lines");
+        }
+    }
+
+    #[test]
+    fn s3fifo_scan_does_not_flush_the_hot_set() {
+        // Hot keys see steady reuse; a long one-shot scan then streams
+        // through. S3-FIFO must keep most of the hot set resident where
+        // plain FIFO loses it.
+        let hit_rate_after_scan = |policy: KvPolicy| {
+            let mut s = Shard::new(policy, 8, 8, 1).unwrap();
+            let hot: Vec<u64> = (0..32).collect();
+            for round in 0..6 {
+                for &k in &hot {
+                    if s.get(k).is_none() {
+                        s.admit(k, k);
+                    }
+                }
+                if round >= 2 {
+                    // interleave scan pressure once the hot set is warm
+                    for i in 0..64u64 {
+                        let k = 1_000 + round * 64 + i;
+                        if s.get(k).is_none() {
+                            s.admit(k, k);
+                        }
+                    }
+                }
+            }
+            let mut hits = 0;
+            for &k in &hot {
+                if s.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        };
+        let s3 = hit_rate_after_scan(KvPolicy::S3Fifo);
+        let fifo = hit_rate_after_scan(KvPolicy::Fifo);
+        assert!(
+            s3 > fifo,
+            "s3fifo kept {s3}/32 hot keys, fifo kept {fifo}/32"
+        );
+        assert!(s3 >= 24, "s3fifo kept only {s3}/32 hot keys");
+    }
+
+    #[test]
+    fn s3fifo_ghost_readmission_goes_to_main() {
+        let mut s = Shard::new(KvPolicy::S3Fifo, 1, 8, 1).unwrap();
+        // One set: small = 1 way, main = 7 ways. Fill the small way, then
+        // displace it without reuse -> key 1 falls to the ghost.
+        s.admit(1, 100);
+        s.admit(2, 200); // evicts key 1 from small (never reused)
+        assert_eq!(s.get(1), None, "key 1 was ghosted, data gone");
+        // Re-admission after the ghost hit lands in main: key 1 now
+        // survives any number of further small-queue displacements.
+        s.admit(1, 101);
+        for k in 10..30u64 {
+            s.admit(k, k);
+        }
+        assert_eq!(s.get(1), Some(101), "ghost readmission must stick in main");
+    }
+
+    #[test]
+    fn payload_updates_do_not_duplicate_entries() {
+        let mut s = shard(KvPolicy::Clock);
+        s.put(7, 70);
+        for v in 71..90u64 {
+            s.put(7, v);
+        }
+        assert_eq!(s.occupancy(), 1);
+        assert_eq!(s.get(7), Some(89));
+    }
+}

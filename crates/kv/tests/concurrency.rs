@@ -1,0 +1,113 @@
+//! Counter-merge and replay consistency for the sharded kv service.
+//!
+//! Two properties under real thread interleavings (1, 4 and 8 workers,
+//! every policy):
+//!
+//! 1. **Counter merge is exact.** Every operation lands on exactly one
+//!    shard, and per-shard counters are plain integers mutated under the
+//!    shard lock — so the sum over shards must equal what the worker
+//!    threads issued and observed, op for op. A lost update, a counter
+//!    bumped outside the lock, or a double-counted eviction all break
+//!    this equality.
+//! 2. **Occupancy is interleaving-invariant** for the single-cache
+//!    policies (lru/fifo/clock): the load generator never removes, so a
+//!    set fills monotonically and final occupancy depends only on *which*
+//!    keys were touched, not on the thread schedule. Replaying the same
+//!    per-thread deterministic streams single-threaded must land on the
+//!    same occupancy. (S3-FIFO is excluded: its small-to-main promotions
+//!    depend on access order, so occupancy is legitimately
+//!    schedule-dependent.)
+
+use tla_kv::{run_load, run_thread, KvConfig, KvPolicy, LoadSpec, ShardStats, ShardedKv};
+use tla_workloads::KvWorkload;
+
+fn spec(threads: usize) -> LoadSpec {
+    LoadSpec {
+        workload: KvWorkload::MIX, // zipf with scan bursts: hits, misses and evictions
+        keys: 16_384,
+        ops_per_thread: 30_000,
+        threads,
+        put_permille: 100,
+        seed: 42,
+    }
+}
+
+fn kv(policy: KvPolicy) -> ShardedKv {
+    ShardedKv::new(KvConfig::new(2_048, policy).with_seed(7)).unwrap()
+}
+
+#[test]
+fn per_shard_counter_sums_match_thread_issued_totals() {
+    for policy in KvPolicy::ALL {
+        for threads in [1usize, 4, 8] {
+            let cache = kv(policy);
+            let result = run_load(&cache, &spec(threads));
+
+            // The merge the service reports must literally be the shard sum.
+            let mut shard_sum = ShardStats::default();
+            for s in cache.per_shard_stats() {
+                shard_sum.merge(&s);
+            }
+            let total = cache.stats();
+            assert_eq!(
+                total, shard_sum,
+                "{policy}/{threads}t: stats() != shard sum"
+            );
+
+            // ...and the shard sum must match what the threads issued.
+            let issued_gets: u64 = result.threads.iter().map(|t| t.gets).sum();
+            let issued_puts: u64 = result.threads.iter().map(|t| t.puts).sum();
+            let observed_hits: u64 = result.threads.iter().map(|t| t.hits).sum();
+            let ctx = format!("{policy}/{threads}t");
+            assert_eq!(total.gets, issued_gets, "{ctx}: gets");
+            assert_eq!(total.puts, issued_puts, "{ctx}: puts");
+            assert_eq!(total.hits, observed_hits, "{ctx}: hits");
+            assert_eq!(total.gets, total.hits + total.misses, "{ctx}: hit+miss");
+            assert_eq!(
+                result.total_ops(),
+                (threads as u64) * 30_000,
+                "{ctx}: every op accounted for"
+            );
+
+            // Residency bookkeeping closes: what came in minus what went
+            // out is what is there.
+            assert_eq!(
+                cache.occupancy() as u64,
+                total.inserts - total.evictions - total.removes,
+                "{ctx}: occupancy != inserts - evictions - removes"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_replay_reaches_the_same_occupancy() {
+    for policy in [KvPolicy::Lru, KvPolicy::Fifo, KvPolicy::Clock] {
+        for threads in [1usize, 4, 8] {
+            let spec = spec(threads);
+
+            let concurrent = kv(policy);
+            run_load(&concurrent, &spec);
+
+            let serial = kv(policy);
+            for t in 0..threads {
+                run_thread(&serial, &spec, t);
+            }
+
+            assert_eq!(
+                concurrent.occupancy(),
+                serial.occupancy(),
+                "{policy}/{threads}t: concurrent occupancy diverged from serial replay"
+            );
+            // Insert/eviction *differences* must agree too (each stream
+            // admits the same key set regardless of schedule).
+            let c = concurrent.stats();
+            let s = serial.stats();
+            assert_eq!(
+                c.inserts - c.evictions,
+                s.inserts - s.evictions,
+                "{policy}/{threads}t: resident delta diverged"
+            );
+        }
+    }
+}

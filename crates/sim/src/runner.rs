@@ -78,10 +78,12 @@ impl SuiteResult {
             .collect()
     }
 
-    /// Geometric-mean normalized throughput over all mixes.
-    pub fn geomean_throughput(&self, baseline: &SuiteResult) -> f64 {
+    /// Geometric-mean normalized throughput over all mixes, or `None` when
+    /// the mean is undefined — no runs, or some run's throughput is zero
+    /// (a frozen/empty measurement would otherwise panic the summary; the
+    /// caller flags the entry instead, see `tla_types::stats::fmt_ratio`).
+    pub fn geomean_throughput(&self, baseline: &SuiteResult) -> Option<f64> {
         tla_types::stats::geomean(self.normalized_throughput(baseline))
-            .expect("throughputs are positive")
     }
 
     /// Per-mix LLC-miss reduction relative to the baseline, in percent
@@ -610,9 +612,32 @@ mod tests {
         let base = &results[0];
         let norm = results[0].normalized_throughput(base);
         assert!(norm.iter().all(|&x| (x - 1.0).abs() < 1e-12));
-        let g = results[1].geomean_throughput(base);
+        let g = results[1].geomean_throughput(base).unwrap();
         assert!(g > 0.5 && g < 2.0);
         let red = results[1].miss_reduction_pct(base);
         assert_eq!(red.len(), 2);
+    }
+
+    #[test]
+    fn geomean_throughput_zero_ratio_is_none_not_panic() {
+        // Regression: a suite containing a run with zero throughput (no
+        // committed instructions — e.g. a frozen measurement window) made
+        // `geomean_throughput` panic through `geomean(..).unwrap()`. The
+        // undefined mean now propagates as `None` for the caller to flag.
+        let zero_run = RunResult {
+            threads: Vec::new(),
+            global: Default::default(),
+            spec_name: "frozen".into(),
+        };
+        let suite = SuiteResult {
+            spec: PolicySpec::baseline(),
+            runs: vec![zero_run],
+        };
+        assert_eq!(suite.normalized_throughput(&suite), vec![0.0]);
+        assert_eq!(suite.geomean_throughput(&suite), None);
+        assert_eq!(
+            tla_types::stats::fmt_ratio(suite.geomean_throughput(&suite)),
+            "n/a"
+        );
     }
 }

@@ -115,10 +115,29 @@ impl WarmCache {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let path = self.path_for(&Self::key(&info));
         // Write-then-rename so a concurrent reader never sees a torn file.
-        let tmp = path.with_extension("tlas.tmp");
+        // The tmp name must be unique per *writer*, not per key: two
+        // processes (or threads) warming the same configuration used to
+        // share `<key>.tlas.tmp`, interleave their writes, and rename a
+        // torn image into place. Pid + process-wide counter closes both
+        // the cross-process and the in-process race; the rename target is
+        // still the shared `<key>.tlas`, and whichever rename lands last
+        // wins with a complete image.
+        let tmp = Self::tmp_path(&path);
         std::fs::write(&tmp, ck.as_bytes())?;
         std::fs::rename(&tmp, &path)?;
         Ok(path)
+    }
+
+    /// A writer-unique sibling of `path` for the write-then-rename in
+    /// [`WarmCache::store`]: `<key>.tlas.<pid>.<seq>.tmp`, where `seq` is a
+    /// process-wide counter. Distinct per call even within one process.
+    fn tmp_path(path: &Path) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".{}.{seq}.tmp", std::process::id()));
+        path.with_file_name(name)
     }
 
     /// Lists every `.tlas` file in the cache directory, sorted by file
@@ -206,6 +225,55 @@ mod tests {
         assert_eq!(k.len(), 16);
         assert!(k.chars().all(|c| c.is_ascii_hexdigit()));
         assert_eq!(k, WarmCache::key(&info()), "key is deterministic");
+    }
+
+    /// A minimal valid checkpoint: a meta section and nothing else (enough
+    /// for `store`/`lookup`, which only parse meta).
+    fn tiny_checkpoint(i: &CheckpointInfo) -> Checkpoint {
+        let mut w = SnapshotWriter::new();
+        w.begin_section("meta");
+        checkpoint::write_meta(&mut w, i);
+        w.end_section();
+        Checkpoint::from_bytes(w.finish()).expect("meta-only checkpoint is valid")
+    }
+
+    #[test]
+    fn tmp_paths_are_unique_per_writer() {
+        let target = Path::new("/cache/dir/deadbeef.tlas");
+        let a = WarmCache::tmp_path(target);
+        let b = WarmCache::tmp_path(target);
+        // Same key, same process: successive writers still get distinct
+        // tmp files (the counter half of pid+counter), in the same dir.
+        assert_ne!(a, b);
+        assert_eq!(a.parent(), target.parent());
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("deadbeef.tlas."));
+        assert!(name.ends_with(".tmp"));
+        assert!(name.contains(&std::process::id().to_string()));
+    }
+
+    #[test]
+    fn repeated_stores_leave_one_valid_image_and_no_tmp_litter() {
+        let dir = std::env::temp_dir().join(format!("tla-warmcache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = WarmCache::open(&dir).unwrap();
+        let ck = tiny_checkpoint(&info());
+        // Two stores of the same key go through *distinct* tmp names; the
+        // second must not corrupt what the first renamed into place.
+        let p1 = cache.store(&ck).unwrap();
+        let p2 = cache.store(&ck).unwrap();
+        assert_eq!(p1, p2);
+        let back = cache.lookup(&info()).expect("stored image must hit");
+        assert_eq!(back.as_bytes(), ck.as_bytes(), "image is whole, not torn");
+        // Nothing but the final .tlas file remains — every tmp was renamed
+        // or would be visible here as litter.
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 1, "unexpected files: {files:?}");
+        assert!(files[0].ends_with(".tlas"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -67,10 +67,18 @@ impl JsonValue {
     }
 
     /// The value as an exact `u64`, if it is one.
+    ///
+    /// Floats convert only when the conversion is *exact*: `2.0` is kept
+    /// (an integral counter that merely round-tripped through a float
+    /// writer), while `2.5` is rejected rather than truncated — a report
+    /// with genuinely fractional counters is malformed and must not read
+    /// back as valid. The range check is strict: `u64::MAX as f64` rounds
+    /// up to 2^64, so a `<=` bound would accept 2^64 and silently saturate
+    /// it to `u64::MAX`; only values strictly below 2^64 convert.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             JsonValue::Int(n) => Some(*n),
-            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 => {
                 Some(*x as u64)
             }
             _ => None,
@@ -565,8 +573,22 @@ mod tests {
         assert_eq!(v.get("b").and_then(|x| x.as_bool()), Some(true));
         assert!(v.get("c").is_none());
         assert!(JsonValue::Null.get("a").is_none());
+        // Exact integral floats convert; anything inexact is rejected, not
+        // truncated: fractional counters mean the report is malformed.
         assert_eq!(JsonValue::parse("2.0").unwrap().as_u64(), Some(2));
         assert_eq!(JsonValue::parse("-2.0").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("2.5").unwrap().as_u64(), None);
+        assert_eq!(JsonValue::parse("-0.5").unwrap().as_u64(), None);
+        // 2^64 as a float is exactly `u64::MAX as f64` (which rounds up);
+        // converting it would saturate to u64::MAX, so it must be rejected.
+        assert_eq!(JsonValue::Num(u64::MAX as f64).as_u64(), None);
+        assert_eq!(
+            JsonValue::parse("18446744073709551616.0").unwrap().as_u64(),
+            None
+        );
+        // The largest f64 below 2^64 still converts exactly.
+        let below = (u64::MAX as f64).next_down();
+        assert_eq!(JsonValue::Num(below).as_u64(), Some(below as u64));
     }
 
     #[test]

@@ -66,6 +66,27 @@ pub fn hmean<I: IntoIterator<Item = f64>>(values: I) -> Option<f64> {
     }
 }
 
+/// Formats a mean to three decimals, or `"n/a"` when the mean was undefined
+/// ([`geomean`]/[`hmean`] return `None` on empty input or a
+/// zero/negative/non-finite entry). Summaries flag the bad entry this way
+/// instead of panicking on `.unwrap()` — a single frozen run with zero
+/// throughput must not take the whole report down with it.
+pub fn fmt_ratio(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.3}"),
+        None => "n/a".into(),
+    }
+}
+
+/// Formats a normalized mean as a signed percent gain (`1.023` → `"+2.3%"`),
+/// or `"n/a"` when the mean was undefined (see [`fmt_ratio`]).
+pub fn fmt_gain_pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{:+.1}%", (v - 1.0) * 100.0),
+        None => "n/a".into(),
+    }
+}
+
 /// Sorts `(label, value)` pairs ascending by value, producing the paper's
 /// "s-curve" ordering.
 pub fn s_curve<L>(mut points: Vec<(L, f64)>) -> Vec<(L, f64)> {
@@ -118,6 +139,17 @@ mod tests {
         assert!((hmean([1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
         assert!((hmean([2.0, 6.0]).unwrap() - 3.0).abs() < 1e-12);
         assert!(hmean([0.0]).is_none());
+    }
+
+    #[test]
+    fn fmt_ratio_flags_undefined_means() {
+        // Regression: a summary containing a zero ratio used to panic via
+        // `.unwrap()` on the undefined geomean; now it renders as a flag.
+        assert_eq!(fmt_ratio(geomean([1.0, 0.0])), "n/a");
+        assert_eq!(fmt_ratio(geomean([2.0, 8.0])), "4.000");
+        assert_eq!(fmt_gain_pct(hmean([0.5, -1.0])), "n/a");
+        assert_eq!(fmt_gain_pct(Some(1.023)), "+2.3%");
+        assert_eq!(fmt_ratio(None), "n/a");
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Key streams for the `tla-kv` cache service load generator.
+//!
+//! The SPEC-like traces in this crate model *addresses through a cache
+//! hierarchy*; a key-value service is hammered with *keys*, whose skew is
+//! what exercises a service policy. Three stream shapes cover the classic
+//! service workloads:
+//!
+//! * **Zipf** — the heavy-tailed popularity distribution CDN/web caches
+//!   see (a small hot set absorbs most requests). Sampled with Gray's
+//!   rejection-inversion-free method (the CDF-inversion approximation of
+//!   Jim Gray et al., "Quickly Generating Billion-Record Synthetic
+//!   Databases"), O(1) per sample after an O(N) zeta precomputation.
+//! * **Scan** — a sequential sweep over the whole keyspace, the
+//!   backup/analytics job that destroys an LRU cache. One-shot keys.
+//! * **Mix** — zipf traffic with periodic scan bursts: the scenario
+//!   scan-resistant policies (S3-FIFO, Clock) exist for.
+//!
+//! Streams are deterministic per seed so multi-threaded load runs can be
+//! replayed single-threaded for the counter/occupancy consistency checks.
+
+use tla_rng::SmallRng;
+
+/// The shape of a [`KeyStream`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KvWorkload {
+    /// Zipf-distributed keys with the given skew exponent (1.0 is the
+    /// usual service assumption; higher is hotter).
+    Zipf {
+        /// Skew exponent `s` in `p(k) ∝ 1/k^s`.
+        s: f64,
+    },
+    /// Uniform random keys (the no-locality floor).
+    Uniform,
+    /// Sequential sweep over the keyspace, wrapping forever.
+    Scan,
+    /// Zipf traffic interrupted by scan bursts: after every `period`
+    /// zipf-drawn keys, `burst` sequential one-shot keys stream through.
+    Mix {
+        /// Zipf keys between bursts.
+        period: u64,
+        /// Sequential keys per burst.
+        burst: u64,
+        /// Skew of the zipf phase.
+        s: f64,
+    },
+}
+
+impl KvWorkload {
+    /// The canonical zipf service workload (`s = 1.0`).
+    pub const ZIPF: KvWorkload = KvWorkload::Zipf { s: 1.0 };
+    /// The canonical scan-burst mix: 512 zipf keys, then a 256-key burst.
+    pub const MIX: KvWorkload = KvWorkload::Mix {
+        period: 512,
+        burst: 256,
+        s: 1.0,
+    };
+
+    /// Parses the CLI spelling: `zipf`, `zipf:<s>`, `uniform`, `scan`,
+    /// `mix`, `mix:<period>:<burst>`.
+    pub fn parse(text: &str) -> Option<KvWorkload> {
+        let mut parts = text.split(':');
+        let head = parts.next()?;
+        let rest: Vec<&str> = parts.collect();
+        match (head, rest.as_slice()) {
+            ("zipf", []) => Some(KvWorkload::ZIPF),
+            ("zipf", [s]) => {
+                let s: f64 = s.parse().ok()?;
+                (s > 0.0 && s.is_finite()).then_some(KvWorkload::Zipf { s })
+            }
+            ("uniform", []) => Some(KvWorkload::Uniform),
+            ("scan", []) => Some(KvWorkload::Scan),
+            ("mix", []) => Some(KvWorkload::MIX),
+            ("mix", [period, burst]) => {
+                let period: u64 = period.parse().ok()?;
+                let burst: u64 = burst.parse().ok()?;
+                (period > 0 && burst > 0).then_some(KvWorkload::Mix {
+                    period,
+                    burst,
+                    s: 1.0,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling [`KvWorkload::parse`] accepts back.
+    pub fn name(&self) -> String {
+        match self {
+            KvWorkload::Zipf { s } if *s == 1.0 => "zipf".into(),
+            KvWorkload::Zipf { s } => format!("zipf:{s}"),
+            KvWorkload::Uniform => "uniform".into(),
+            KvWorkload::Scan => "scan".into(),
+            KvWorkload::Mix {
+                period, burst, s, ..
+            } if *s == 1.0 => format!("mix:{period}:{burst}"),
+            KvWorkload::Mix { period, burst, s } => format!("mix:{period}:{burst}:{s}"),
+        }
+    }
+}
+
+/// A deterministic, infinite stream of keys in `0..keys` with the shape of
+/// a [`KvWorkload`]. One per load-generator thread; equal seeds give equal
+/// streams.
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    workload: KvWorkload,
+    keys: u64,
+    rng: SmallRng,
+    /// Scan cursor (plain scan and mix bursts).
+    cursor: u64,
+    /// Ops remaining in the current mix phase; positive counts down the
+    /// zipf phase, the burst is tracked by `burst_left`.
+    period_left: u64,
+    burst_left: u64,
+    /// Gray's method constants for the zipf phases.
+    zeta: Zeta,
+}
+
+/// Precomputed constants for Gray's zipf sampler.
+#[derive(Debug, Clone, Copy, Default)]
+struct Zeta {
+    zetan: f64,
+    theta: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zeta {
+    /// O(N) harmonic precomputation; fine up to a few million keys, done
+    /// once per stream.
+    fn new(n: u64, theta: f64) -> Zeta {
+        // Gray's inversion is defined for 0 < theta < 1 (alpha = 1/(1-s)
+        // diverges at the exact harmonic case), so the requested skew is
+        // clamped into that domain — `zipf` (s = 1.0) samples at 0.99,
+        // the same stand-in YCSB's zipfian generator uses.
+        let theta = theta.clamp(0.01, 0.99);
+        let mut zetan = 0.0;
+        let mut zeta2 = 0.0;
+        for i in 1..=n {
+            let z = 1.0 / (i as f64).powf(theta);
+            zetan += z;
+            if i == 2 {
+                zeta2 = zetan;
+            }
+        }
+        if n == 1 {
+            zeta2 = zetan;
+        }
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zeta {
+            zetan,
+            theta,
+            alpha,
+            eta,
+        }
+    }
+
+    /// One zipf draw in `0..n` (rank 0 is the hottest key).
+    fn sample(&self, n: u64, rng: &mut SmallRng) -> u64 {
+        let u = rng.gen_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(n - 1)
+    }
+}
+
+impl KeyStream {
+    /// A stream over `0..keys` (`keys >= 1`) shaped by `workload`, fully
+    /// determined by `seed`.
+    pub fn new(workload: KvWorkload, keys: u64, seed: u64) -> KeyStream {
+        let keys = keys.max(1);
+        let zeta = match workload {
+            KvWorkload::Zipf { s } | KvWorkload::Mix { s, .. } => Zeta::new(keys, s),
+            _ => Zeta::default(),
+        };
+        let period_left = match workload {
+            KvWorkload::Mix { period, .. } => period,
+            _ => 0,
+        };
+        KeyStream {
+            workload,
+            keys,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            cursor: 0,
+            period_left,
+            burst_left: 0,
+            zeta,
+        }
+    }
+
+    /// The keyspace size.
+    pub fn keys(&self) -> u64 {
+        self.keys
+    }
+
+    /// The next key. Hot zipf ranks are scrambled over the keyspace (via a
+    /// fixed multiplicative hash) so consecutive ranks do not collide into
+    /// consecutive cache sets; scans are left sequential on purpose.
+    pub fn next_key(&mut self) -> u64 {
+        match self.workload {
+            KvWorkload::Zipf { .. } => {
+                let rank = self.zeta.sample(self.keys, &mut self.rng);
+                self.spread(rank)
+            }
+            KvWorkload::Uniform => self.rng.next_u64() % self.keys,
+            KvWorkload::Scan => {
+                let k = self.cursor;
+                self.cursor = (self.cursor + 1) % self.keys;
+                k
+            }
+            KvWorkload::Mix { period, burst, .. } => {
+                if self.period_left > 0 {
+                    self.period_left -= 1;
+                    if self.period_left == 0 {
+                        self.burst_left = burst;
+                    }
+                    let rank = self.zeta.sample(self.keys, &mut self.rng);
+                    self.spread(rank)
+                } else {
+                    let k = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.keys;
+                    self.burst_left -= 1;
+                    if self.burst_left == 0 {
+                        self.period_left = period;
+                    }
+                    k
+                }
+            }
+        }
+    }
+
+    /// Maps a zipf rank onto the keyspace with a fixed odd-multiplier
+    /// permutation-ish spread (exact permutation when `keys` is a power of
+    /// two; close enough otherwise — determinism is what matters).
+    fn spread(&self, rank: u64) -> u64 {
+        rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips() {
+        for text in ["zipf", "zipf:0.8", "uniform", "scan", "mix", "mix:100:50"] {
+            let w = KvWorkload::parse(text).unwrap();
+            assert_eq!(KvWorkload::parse(&w.name()), Some(w), "{text}");
+        }
+        assert_eq!(KvWorkload::parse("zipf:-1"), None);
+        assert_eq!(KvWorkload::parse("mix:0:5"), None);
+        assert_eq!(KvWorkload::parse("lfu"), None);
+    }
+
+    #[test]
+    fn streams_are_seed_deterministic_and_in_range() {
+        for w in [
+            KvWorkload::ZIPF,
+            KvWorkload::Uniform,
+            KvWorkload::Scan,
+            KvWorkload::MIX,
+        ] {
+            let mut a = KeyStream::new(w, 10_000, 7);
+            let mut b = KeyStream::new(w, 10_000, 7);
+            let mut c = KeyStream::new(w, 10_000, 8);
+            let (xs, ys): (Vec<u64>, Vec<u64>) =
+                (0..2_000).map(|_| (a.next_key(), b.next_key())).unzip();
+            assert_eq!(xs, ys, "{w:?} must be deterministic");
+            assert!(xs.iter().all(|&k| k < 10_000));
+            if w != KvWorkload::Scan {
+                let zs: Vec<u64> = (0..2_000).map(|_| c.next_key()).collect();
+                assert_ne!(xs, zs, "{w:?} must depend on the seed");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_a_hot_set() {
+        let mut s = KeyStream::new(KvWorkload::ZIPF, 100_000, 1);
+        let draws: Vec<u64> = (0..50_000).map(|_| s.next_key()).collect();
+        // The hottest single key of a zipf(1.0) over 100k keys carries
+        // ~8% of the mass; uniform would give each key 0.001%.
+        let mut counts = std::collections::HashMap::new();
+        for &k in &draws {
+            *counts.entry(k).or_insert(0u64) += 1;
+        }
+        let top = *counts.values().max().unwrap();
+        assert!(
+            top > draws.len() as u64 / 25,
+            "hottest key only {top}/{} draws",
+            draws.len()
+        );
+        // ...but the tail is still exercised.
+        assert!(counts.len() > 1_000, "only {} distinct keys", counts.len());
+    }
+
+    #[test]
+    fn scan_sweeps_sequentially_and_wraps() {
+        let mut s = KeyStream::new(KvWorkload::Scan, 5, 3);
+        let ks: Vec<u64> = (0..12).map(|_| s.next_key()).collect();
+        assert_eq!(ks, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn mix_alternates_zipf_and_bursts() {
+        let w = KvWorkload::Mix {
+            period: 4,
+            burst: 3,
+            s: 1.0,
+        };
+        let mut s = KeyStream::new(w, 1_000, 5);
+        let ks: Vec<u64> = (0..14).map(|_| s.next_key()).collect();
+        // Ops 4..7 and 11..14 are the sequential bursts.
+        assert_eq!(&ks[4..7], &[0, 1, 2]);
+        assert_eq!(&ks[11..14], &[3, 4, 5]);
+    }
+}

@@ -30,12 +30,14 @@
 //! ```
 
 mod batch;
+pub mod kv;
 mod mix;
 mod recorded;
 mod spec;
 mod trace;
 
 pub use batch::{BatchedTrace, DEFAULT_BATCH};
+pub use kv::{KeyStream, KvWorkload};
 pub use mix::{all_two_core_mixes, random_mixes, table2_mixes, Mix};
 pub use recorded::RecordedTrace;
 pub use spec::{Category, SpecApp};

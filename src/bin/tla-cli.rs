@@ -19,6 +19,7 @@
 //! ```
 
 use std::process::ExitCode;
+use tla::kv::{report_json, run_load, KvConfig, KvPolicy, LoadSpec, ShardedKv};
 use tla::sim::{
     mpki_table, optimal_llc, run_policy_reports, run_policy_reports_analyzed,
     run_policy_reports_warm_start_cached, Checkpoint, MixRun, PolicySpec, RunReport, RunResult,
@@ -26,7 +27,7 @@ use tla::sim::{
 };
 use tla::telemetry::json::JsonValue;
 use tla::telemetry::DEFAULT_SAMPLE_EVERY;
-use tla::workloads::{table2_mixes, SpecApp};
+use tla::workloads::{table2_mixes, KvWorkload, SpecApp};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -43,7 +44,10 @@ fn usage() -> ExitCode {
          \x20                         Belady MIN oracle gap, reuse-distance\n\
          \x20                         histograms, inclusion-victim rates\n\
          \x20 bench                   simulator throughput over a fixed\n\
-         \x20                         policy x core-count matrix\n\
+         \x20                         policy x core-count matrix (plus the\n\
+         \x20                         kv/* service entries)\n\
+         \x20 kv-bench                multi-threaded load against the\n\
+         \x20                         tla-kv sharded cache service\n\
          \x20 snapshot save --mix a,b --out <f.tlas>\n\
          \x20                         run the warm-up only and checkpoint it\n\
          \x20                         (--window instruments the checkpoint)\n\
@@ -95,7 +99,24 @@ fn usage() -> ExitCode {
          \x20                         throughput ratio to 1core/baseline\n\
          \x20                         before failing (default 10)\n\
          \x20 --target-ms <n>         wall-clock budget per matrix entry\n\
-         \x20                         (default 800)"
+         \x20                         (default 800)\n\
+         \n\
+         kv-bench options:\n\
+         \x20 --policy <p|all>        lru, fifo, clock, s3fifo or all\n\
+         \x20                         (default clock)\n\
+         \x20 --workload <w>          zipf, zipf:<s>, uniform, scan, mix,\n\
+         \x20                         mix:<period>:<burst> (default zipf)\n\
+         \x20 --threads <n>           load-generator threads (default 8)\n\
+         \x20 --keys <n>              keyspace size (default 65536)\n\
+         \x20 --ops <n>               operations per thread (default 200000)\n\
+         \x20 --capacity <n>          cache capacity in entries (default 16384)\n\
+         \x20 --shards <n>            lock stripes, power of two (default 8)\n\
+         \x20 --ways <n>              associativity (default 8)\n\
+         \x20 --put-permille <n>      puts per 1000 ops (default 50)\n\
+         \x20 --seed <n>              load/cache seed (default 1)\n\
+         \x20 --json <path>           write the tla-kv-report-v1 JSON\n\
+         \x20 --smoke                 quick fixed sweep over every policy\n\
+         \x20                         with counter self-checks (CI mode)"
     );
     ExitCode::FAILURE
 }
@@ -586,12 +607,91 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Fixed parameters of the `kv/*` bench-matrix entries (and the defaults
+/// `kv-bench` starts from): a 64k keyspace against a 16k-entry cache, so
+/// zipf traffic hits mostly and scans evict constantly.
+const KV_BENCH_KEYS: u64 = 65_536;
+const KV_BENCH_OPS_PER_THREAD: u64 = 100_000;
+const KV_BENCH_CAPACITY: usize = 16_384;
+
+/// One bench-matrix workload: a simulator mix or a kv-service load run.
+/// Both report deterministic work-unit counts (memory accesses for the
+/// simulator, operations for the service), so the calibration-ratio gate
+/// treats them uniformly.
+#[derive(Clone)]
+enum BenchJob {
+    /// A full hierarchy simulation of `apps` under `spec`.
+    Sim {
+        apps: Vec<SpecApp>,
+        spec: PolicySpec,
+    },
+    /// A multi-threaded load run against a fresh [`ShardedKv`].
+    Kv {
+        policy: KvPolicy,
+        workload: KvWorkload,
+        threads: usize,
+    },
+}
+
+impl BenchJob {
+    fn cores(&self) -> usize {
+        match self {
+            BenchJob::Sim { apps, .. } => apps.len(),
+            BenchJob::Kv { threads, .. } => *threads,
+        }
+    }
+
+    /// Work units of one run. For simulator entries this costs one untimed
+    /// run (which doubles as warm-up); kv entries issue a fixed op count by
+    /// construction.
+    fn accesses(&self, cfg: &SimConfig) -> u64 {
+        match self {
+            BenchJob::Sim { apps, spec } => {
+                let r = MixRun::new(cfg, apps).spec(spec).run();
+                r.threads
+                    .iter()
+                    .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
+                    .sum()
+            }
+            BenchJob::Kv { threads, .. } => KV_BENCH_OPS_PER_THREAD * *threads as u64,
+        }
+    }
+
+    /// Executes the job once, discarding results (timing-loop body).
+    fn run_once(&self, cfg: &SimConfig) {
+        match self {
+            BenchJob::Sim { apps, spec } => {
+                let _ = MixRun::new(cfg, apps).spec(spec).run();
+            }
+            BenchJob::Kv {
+                policy,
+                workload,
+                threads,
+            } => {
+                let kv = ShardedKv::new(KvConfig::new(KV_BENCH_CAPACITY, *policy).with_seed(1))
+                    .expect("bench kv geometry is valid");
+                let spec = LoadSpec {
+                    workload: *workload,
+                    keys: KV_BENCH_KEYS,
+                    ops_per_thread: KV_BENCH_OPS_PER_THREAD,
+                    threads: *threads,
+                    put_permille: 50,
+                    seed: 1,
+                };
+                let _ = run_load(&kv, &spec);
+            }
+        }
+    }
+}
+
 /// The fixed bench matrix: the paper's four management policies crossed
 /// with 1/2/4/8-core LLC-miss-heavy mixes (mcf and libquantum are the two
 /// highest-LLC-MPKI apps of Table I, so every entry exercises the LLC miss
 /// path the scratch-buffer rewrite targets; the 8-core mix stresses
-/// scheduler-heap and sharer-bitmap scaling).
-fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
+/// scheduler-heap and sharer-bitmap scaling), plus the `kv/*` service
+/// entries that time the sharded concurrent cache under load-generator
+/// threads.
+fn bench_matrix() -> Vec<(String, BenchJob)> {
     use SpecApp::{Libquantum, Mcf};
     let mixes: [(&str, Vec<SpecApp>); 4] = [
         ("1core", vec![Mcf]),
@@ -613,7 +713,13 @@ fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
     let mut matrix = Vec::new();
     for (mix_name, apps) in &mixes {
         for (pol_name, spec) in &policies {
-            matrix.push((format!("{mix_name}/{pol_name}"), apps.clone(), spec.clone()));
+            matrix.push((
+                format!("{mix_name}/{pol_name}"),
+                BenchJob::Sim {
+                    apps: apps.clone(),
+                    spec: spec.clone(),
+                },
+            ));
         }
     }
     // Probe-heavy entry: a 128-entry fully-associative victim cache behind
@@ -622,9 +728,30 @@ fn bench_matrix() -> Vec<(String, Vec<SpecApp>, PolicySpec)> {
     // LLC-miss-heavy stream keeps that path hot.
     matrix.push((
         "1core-vc128/vc128".to_string(),
-        vec![Mcf],
-        PolicySpec::victim_cache(128),
+        BenchJob::Sim {
+            apps: vec![Mcf],
+            spec: PolicySpec::victim_cache(128),
+        },
     ));
+    // Service entries: zipf scaling across thread counts under Clock (the
+    // lock-striping story), plus the scan-burst mix under S3-FIFO (the
+    // admission-policy story). Units are ops/s rather than accesses/s, but
+    // the gate only ever compares an entry to its own baseline ratio.
+    for (name, policy, workload, threads) in [
+        ("kv/zipf-1t", KvPolicy::Clock, KvWorkload::ZIPF, 1),
+        ("kv/zipf-4t", KvPolicy::Clock, KvWorkload::ZIPF, 4),
+        ("kv/zipf-8t", KvPolicy::Clock, KvWorkload::ZIPF, 8),
+        ("kv/mix-8t-s3fifo", KvPolicy::S3Fifo, KvWorkload::MIX, 8),
+    ] {
+        matrix.push((
+            name.to_string(),
+            BenchJob::Kv {
+                policy,
+                workload,
+                threads,
+            },
+        ));
+    }
     matrix
 }
 
@@ -802,16 +929,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
 
     // One untimed run per entry pins the deterministic access count and
     // doubles as warm-up before the timed rounds.
-    let accesses: Vec<u64> = matrix
-        .iter()
-        .map(|(_, apps, spec)| {
-            let r = MixRun::new(cfg, apps).spec(spec).run();
-            r.threads
-                .iter()
-                .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
-                .sum()
-        })
-        .collect();
+    let accesses: Vec<u64> = matrix.iter().map(|(_, job)| job.accesses(cfg)).collect();
 
     // The timing budget is split into rounds interleaved across the whole
     // matrix rather than spent contiguously per entry, and inside each
@@ -827,9 +945,9 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     // overhead is noise and no batching is needed.
     let cal = matrix
         .iter()
-        .position(|(n, _, _)| n == GATE_CALIBRATION_ENTRY)
+        .position(|(n, _)| n == GATE_CALIBRATION_ENTRY)
         .expect("bench matrix contains the calibration entry");
-    let (_, cal_apps, cal_spec) = matrix[cal].clone();
+    let cal_job = matrix[cal].1.clone();
     let rounds = BENCH_ROUNDS.min(opts.target_ms.max(1));
     let per_round = std::time::Duration::from_millis((opts.target_ms / rounds).max(1));
     let mut best_npi = vec![f64::INFINITY; matrix.len()];
@@ -837,17 +955,17 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     let mut nanos = vec![0u128; matrix.len()];
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); matrix.len()];
     for _ in 0..rounds {
-        for (i, (_, apps, spec)) in matrix.iter().enumerate() {
+        for (i, (_, job)) in matrix.iter().enumerate() {
             let round_start = std::time::Instant::now();
             let mut best_entry = u128::MAX;
             let mut best_cal = u128::MAX;
             let mut pairs = 0u32;
             loop {
                 let t0 = std::time::Instant::now();
-                let _ = MixRun::new(cfg, &cal_apps).spec(&cal_spec).run();
+                cal_job.run_once(cfg);
                 best_cal = best_cal.min(t0.elapsed().as_nanos());
                 let t0 = std::time::Instant::now();
-                let _ = MixRun::new(cfg, apps).spec(spec).run();
+                job.run_once(cfg);
                 let entry_nanos = t0.elapsed().as_nanos();
                 best_entry = best_entry.min(entry_nanos);
                 iters[i] += 1;
@@ -869,7 +987,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
 
     let mut entries = Vec::new();
     let mut table = Table::new(&["entry", "cores", "accesses", "iters", "Macc/s", "ratio"]);
-    for (i, (name, apps, _)) in matrix.into_iter().enumerate() {
+    for (i, (name, job)) in matrix.into_iter().enumerate() {
         let accesses_per_sec = accesses[i] as f64 * 1e9 / best_npi[i];
         let accesses_per_sec_mean = accesses[i] as f64 * 1e9 * iters[i] as f64 / nanos[i] as f64;
         let calibration_ratio = {
@@ -879,7 +997,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         };
         table.add_row(vec![
             name.clone(),
-            apps.len().to_string(),
+            job.cores().to_string(),
             accesses[i].to_string(),
             iters[i].to_string(),
             format!("{:.2}", accesses_per_sec / 1e6),
@@ -887,7 +1005,7 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         ]);
         entries.push(BenchEntry {
             name,
-            cores: apps.len(),
+            cores: job.cores(),
             accesses: accesses[i],
             iters: iters[i],
             wall_s: nanos[i] as f64 / 1e9,
@@ -942,6 +1060,240 @@ fn cmd_bench(opts: &Options) -> ExitCode {
         }
     }
     code
+}
+
+/// Options of the `kv-bench` subcommand (independent of the simulator's
+/// option set — a service load run has no mixes, scales or warm-ups).
+#[derive(Debug)]
+struct KvBenchOptions {
+    policies: Vec<KvPolicy>,
+    workload: KvWorkload,
+    threads: usize,
+    keys: u64,
+    ops: u64,
+    capacity: usize,
+    shards: usize,
+    ways: usize,
+    put_permille: u32,
+    seed: u64,
+    json: Option<String>,
+    smoke: bool,
+}
+
+fn parse_kv_bench_options(args: &[String]) -> Result<KvBenchOptions, String> {
+    let mut opts = KvBenchOptions {
+        policies: vec![KvPolicy::Clock],
+        workload: KvWorkload::ZIPF,
+        threads: 8,
+        keys: KV_BENCH_KEYS,
+        ops: 200_000,
+        capacity: KV_BENCH_CAPACITY,
+        shards: 8,
+        ways: 8,
+        put_permille: 50,
+        seed: 1,
+        json: None,
+        smoke: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let positive = |name: &str, v: u64| {
+            if v == 0 {
+                Err(format!("{name} must be positive"))
+            } else {
+                Ok(v)
+            }
+        };
+        match arg.as_str() {
+            "--policy" => {
+                let v = value("--policy")?;
+                opts.policies = if v == "all" {
+                    KvPolicy::ALL.to_vec()
+                } else {
+                    vec![KvPolicy::parse(&v).ok_or_else(|| format!("unknown kv policy '{v}'"))?]
+                };
+            }
+            "--workload" => {
+                let v = value("--workload")?;
+                opts.workload =
+                    KvWorkload::parse(&v).ok_or_else(|| format!("unknown workload '{v}'"))?;
+            }
+            "--threads" => {
+                let v: u64 = value("--threads")?.parse().map_err(|e| format!("{e}"))?;
+                opts.threads = positive("--threads", v)? as usize;
+            }
+            "--keys" => {
+                let v: u64 = value("--keys")?.parse().map_err(|e| format!("{e}"))?;
+                opts.keys = positive("--keys", v)?;
+            }
+            "--ops" => {
+                let v: u64 = value("--ops")?.parse().map_err(|e| format!("{e}"))?;
+                opts.ops = positive("--ops", v)?;
+            }
+            "--capacity" => {
+                let v: u64 = value("--capacity")?.parse().map_err(|e| format!("{e}"))?;
+                opts.capacity = positive("--capacity", v)? as usize;
+            }
+            "--shards" => {
+                let v: u64 = value("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                opts.shards = positive("--shards", v)? as usize;
+            }
+            "--ways" => {
+                let v: u64 = value("--ways")?.parse().map_err(|e| format!("{e}"))?;
+                opts.ways = positive("--ways", v)? as usize;
+            }
+            "--put-permille" => {
+                let v: u32 = value("--put-permille")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                if v > 1000 {
+                    return Err("--put-permille is out of 1000".into());
+                }
+                opts.put_permille = v;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--json" => {
+                opts.json = Some(value("--json")?);
+            }
+            "--smoke" => {
+                opts.smoke = true;
+            }
+            other => return Err(format!("unknown kv-bench option '{other}'")),
+        }
+    }
+    if opts.smoke {
+        // CI mode: small, fast, every policy, the scan-burst mix (it
+        // exercises hits, misses, evictions and the s3fifo ghost path).
+        opts.policies = KvPolicy::ALL.to_vec();
+        opts.workload = KvWorkload::MIX;
+        opts.threads = 2;
+        opts.keys = 8_192;
+        opts.ops = 20_000;
+        opts.capacity = 2_048;
+    }
+    Ok(opts)
+}
+
+/// Cross-checks one load run's service counters against the thread-side
+/// tallies — the same invariants the kv concurrency test pins, verified
+/// on every bench run so a violation in the wild is loud.
+fn kv_self_check(kv: &ShardedKv, result: &tla::kv::LoadResult) -> Result<(), String> {
+    let total = kv.stats();
+    let mut shard_sum = tla::kv::ShardStats::default();
+    for s in kv.per_shard_stats() {
+        shard_sum.merge(&s);
+    }
+    if total != shard_sum {
+        return Err("global stats diverge from the per-shard sum".into());
+    }
+    let issued_gets: u64 = result.threads.iter().map(|t| t.gets).sum();
+    let issued_puts: u64 = result.threads.iter().map(|t| t.puts).sum();
+    if total.gets != issued_gets || total.puts != issued_puts {
+        return Err(format!(
+            "issued {issued_gets} gets / {issued_puts} puts but the service counted {} / {}",
+            total.gets, total.puts
+        ));
+    }
+    if total.gets != total.hits + total.misses {
+        return Err("hits + misses != gets".into());
+    }
+    if kv.occupancy() as u64 != total.inserts - total.evictions - total.removes {
+        return Err("occupancy != inserts - evictions - removes".into());
+    }
+    Ok(())
+}
+
+fn cmd_kv_bench(args: &[String]) -> ExitCode {
+    let opts = match parse_kv_bench_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    eprintln!(
+        "kv-bench: workload={} keys={} ops/thread={} threads={} capacity={} shards={} ways={}",
+        opts.workload.name(),
+        opts.keys,
+        opts.ops,
+        opts.threads,
+        opts.capacity,
+        opts.shards,
+        opts.ways,
+    );
+    let mut table = Table::new(&[
+        "policy",
+        "threads",
+        "ops",
+        "wall s",
+        "Mops/s",
+        "hit %",
+        "occupancy",
+    ]);
+    let mut reports = Vec::new();
+    let mut consistent = true;
+    for &policy in &opts.policies {
+        let cfg = KvConfig {
+            capacity: opts.capacity,
+            shards: opts.shards,
+            ways: opts.ways,
+            policy,
+            seed: opts.seed,
+        };
+        let kv = match ShardedKv::new(cfg) {
+            Ok(kv) => kv,
+            Err(e) => {
+                eprintln!("error: {policy}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let spec = LoadSpec {
+            workload: opts.workload,
+            keys: opts.keys,
+            ops_per_thread: opts.ops,
+            threads: opts.threads,
+            put_permille: opts.put_permille,
+            seed: opts.seed,
+        };
+        let result = run_load(&kv, &spec);
+        if let Err(e) = kv_self_check(&kv, &result) {
+            eprintln!("error: {policy}: counter consistency violated: {e}");
+            consistent = false;
+        }
+        table.add_row(vec![
+            policy.name().to_string(),
+            opts.threads.to_string(),
+            result.total_ops().to_string(),
+            format!("{:.3}", result.elapsed.as_secs_f64()),
+            format!("{:.2}", result.ops_per_sec() / 1e6),
+            format!("{:.1}", result.hit_rate() * 100.0),
+            kv.occupancy().to_string(),
+        ]);
+        reports.push(report_json(&kv, &spec, &result));
+    }
+    print!("{table}");
+    if opts.smoke && consistent {
+        println!("kv-bench smoke: all policies consistent");
+    }
+    if let Some(path) = &opts.json {
+        let written = write_json(path, &JsonValue::array(reports).to_pretty());
+        if !consistent {
+            return ExitCode::FAILURE;
+        }
+        return written;
+    }
+    if consistent {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// The paper-flavoured default config of the simulation commands.
@@ -1222,6 +1574,10 @@ fn main() -> ExitCode {
     if cmd == "snapshot" {
         return cmd_snapshot(rest);
     }
+    // kv-bench has its own option set (service knobs, not simulator ones).
+    if cmd == "kv-bench" {
+        return cmd_kv_bench(rest);
+    }
     // `bench` wants long measured runs with no warm-up (throughput, not
     // policy fidelity); the simulation commands keep the paper-flavoured
     // warm-up defaults. Either way the flags can override.
@@ -1439,32 +1795,132 @@ mod tests {
         let matrix = bench_matrix();
         assert_eq!(
             matrix.len(),
-            17,
-            "4 policies x 4 core counts + the probe-heavy vc128 entry"
+            21,
+            "4 policies x 4 core counts + the probe-heavy vc128 entry + 4 kv entries"
         );
         // Names are unique (the gate matches entries by name).
-        let mut names: Vec<&str> = matrix.iter().map(|(n, _, _)| n.as_str()).collect();
+        let mut names: Vec<&str> = matrix.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 21);
         // The probe-heavy entry runs a 128-entry victim cache on one core.
-        assert!(matrix.iter().any(|(n, apps, spec)| n == "1core-vc128/vc128"
-            && apps.len() == 1
-            && spec.victim_cache == Some(128)));
+        assert!(matrix.iter().any(|(n, job)| n == "1core-vc128/vc128"
+            && matches!(job, BenchJob::Sim { apps, spec }
+                if apps.len() == 1 && spec.victim_cache == Some(128))));
         // The headline LLC-miss-heavy workload is present at 4 cores.
         assert!(matrix
             .iter()
-            .any(|(n, apps, _)| n == "4core-llcmiss/baseline" && apps.len() == 4));
+            .any(|(n, job)| n == "4core-llcmiss/baseline" && job.cores() == 4));
         // The 8-core scaling point rides along at every policy.
         assert_eq!(
             matrix
                 .iter()
-                .filter(|(n, apps, _)| n.starts_with("8core/") && apps.len() == 8)
+                .filter(|(n, job)| n.starts_with("8core/")
+                    && matches!(job, BenchJob::Sim { apps, .. } if apps.len() == 8))
                 .count(),
             4
         );
         // The gate's calibration entry is part of the matrix.
-        assert!(matrix.iter().any(|(n, _, _)| n == GATE_CALIBRATION_ENTRY));
+        assert!(matrix.iter().any(|(n, _)| n == GATE_CALIBRATION_ENTRY));
+        // The kv service entries: zipf thread scaling under Clock plus the
+        // scan-burst mix under S3-FIFO, all gated by calibration ratio.
+        for (name, threads) in [
+            ("kv/zipf-1t", 1usize),
+            ("kv/zipf-4t", 4),
+            ("kv/zipf-8t", 8),
+            ("kv/mix-8t-s3fifo", 8),
+        ] {
+            assert!(
+                matrix.iter().any(|(n, job)| n == name
+                    && matches!(job, BenchJob::Kv { threads: t, .. } if *t == threads)),
+                "{name} missing from the matrix"
+            );
+        }
+        // Every kv entry issues a deterministic op count independent of the
+        // sim config (the calibration-ratio gate depends on it).
+        let cfg = SimConfig::scaled_down();
+        for (n, job) in &matrix {
+            if let BenchJob::Kv { threads, .. } = job {
+                assert_eq!(
+                    job.accesses(&cfg),
+                    KV_BENCH_OPS_PER_THREAD * *threads as u64,
+                    "{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kv_bench_options_parse() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_kv_bench_options(&v)
+        };
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.policies, vec![KvPolicy::Clock]);
+        assert_eq!(o.workload, KvWorkload::ZIPF);
+        assert_eq!(o.threads, 8);
+        assert!(!o.smoke);
+        let o = parse(&[
+            "--policy",
+            "s3fifo",
+            "--workload",
+            "mix:100:50",
+            "--threads",
+            "4",
+            "--keys",
+            "1000",
+            "--ops",
+            "500",
+            "--capacity",
+            "256",
+            "--shards",
+            "2",
+            "--ways",
+            "4",
+            "--put-permille",
+            "200",
+            "--seed",
+            "9",
+            "--json",
+            "kv.json",
+        ])
+        .unwrap();
+        assert_eq!(o.policies, vec![KvPolicy::S3Fifo]);
+        assert_eq!(
+            o.workload,
+            KvWorkload::Mix {
+                period: 100,
+                burst: 50,
+                s: 1.0
+            }
+        );
+        assert_eq!((o.threads, o.keys, o.ops), (4, 1000, 500));
+        assert_eq!((o.capacity, o.shards, o.ways), (256, 2, 4));
+        assert_eq!((o.put_permille, o.seed), (200, 9));
+        assert_eq!(o.json.as_deref(), Some("kv.json"));
+        let o = parse(&["--policy", "all"]).unwrap();
+        assert_eq!(o.policies.len(), 4);
+        // Smoke pins a small fixed sweep whatever else was asked for.
+        let o = parse(&["--smoke", "--threads", "64"]).unwrap();
+        assert!(o.smoke);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.policies.len(), 4);
+        assert!(parse(&["--policy", "arc"]).is_err());
+        assert!(parse(&["--workload", "nope"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--put-permille", "1001"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn kv_self_check_accepts_real_runs_all_policies() {
+        for policy in KvPolicy::ALL {
+            let kv = ShardedKv::new(KvConfig::new(512, policy)).unwrap();
+            let spec = LoadSpec::new(2_048, 3_000, 2);
+            let result = run_load(&kv, &spec);
+            kv_self_check(&kv, &result).unwrap_or_else(|e| panic!("{policy}: {e}"));
+        }
     }
 
     #[test]

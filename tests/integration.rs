@@ -203,7 +203,7 @@ fn stats_helpers_round_trip() {
     );
     let series = suites[1].normalized_throughput(&suites[0]);
     let manual: f64 = series.iter().map(|v| v.ln()).sum::<f64>() / series.len() as f64;
-    let g = suites[1].geomean_throughput(&suites[0]);
+    let g = suites[1].geomean_throughput(&suites[0]).unwrap();
     assert!((g - manual.exp()).abs() < 1e-12);
     assert!(stats::geomean(series.into_iter()).is_some());
 }
