@@ -39,15 +39,20 @@ pub enum VictimCause {
     /// The line's deferred back-invalidate fired when it fell out of the
     /// victim cache while still core-resident (§VI).
     VictimCacheOverflow,
+    /// A device (DDIO-style DMA) injection into the LLC evicted the line
+    /// while the core caches still held it — app damage caused by I/O
+    /// traffic, not by any core's demand stream.
+    IoInjection,
 }
 
 impl VictimCause {
     /// Every cause, in declaration order (stable encode indices).
-    pub const ALL: [VictimCause; 4] = [
+    pub const ALL: [VictimCause; 5] = [
         VictimCause::Replacement,
         VictimCause::QbsLimit,
         VictimCause::Eci,
         VictimCause::VictimCacheOverflow,
+        VictimCause::IoInjection,
     ];
 
     /// Stable machine-readable name (used as a report column).
@@ -57,6 +62,7 @@ impl VictimCause {
             VictimCause::QbsLimit => "qbs_limit",
             VictimCause::Eci => "eci",
             VictimCause::VictimCacheOverflow => "victim_cache",
+            VictimCause::IoInjection => "io_injection",
         }
     }
 
@@ -247,7 +253,7 @@ mod tests {
         for cause in VictimCause::ALL {
             assert_eq!(VictimCause::from_index(cause.index()), Some(cause));
         }
-        assert_eq!(VictimCause::from_index(4), None);
+        assert_eq!(VictimCause::from_index(5), None);
         let names: std::collections::HashSet<_> =
             VictimCause::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), VictimCause::ALL.len());

@@ -297,6 +297,18 @@ impl SetAssocCache {
         self.full_mask.and_not(&self.valid[set]).first()
     }
 
+    /// First invalid way of `set` within `allowed`, if any.
+    ///
+    /// The way-partitioned variant of [`SetAssocCache::invalid_way`]:
+    /// DDIO-style injection limits constrain device fills to a subset of
+    /// ways, and the partitioned app path avoids the device ways in turn.
+    pub fn invalid_way_in(&self, set: usize, allowed: &WayMask) -> Option<usize> {
+        self.full_mask
+            .and(allowed)
+            .and_not(&self.valid[set])
+            .first()
+    }
+
     /// Valid ways of `set` in eviction-priority order (element 0 = victim,
     /// element 1 = ECI's "next LRU line", ...), with their line addresses.
     ///
@@ -326,6 +338,29 @@ impl SetAssocCache {
         self.way_scratch = ways;
     }
 
+    /// [`SetAssocCache::victim_order_into`] restricted to the ways in
+    /// `allowed`: the policy ranks only the permitted valid ways, so every
+    /// candidate a partitioned caller walks (QBS, ECI next-target) stays
+    /// inside its partition.
+    pub fn victim_order_in_into(
+        &mut self,
+        set: usize,
+        allowed: &WayMask,
+        out: &mut Vec<(usize, LineAddr)>,
+    ) {
+        out.clear();
+        let base = set * self.ways;
+        let mut ways = std::mem::take(&mut self.way_scratch);
+        self.replacer.order_into(
+            set,
+            self.valid[set].and(allowed),
+            &self.repl[base..base + self.ways],
+            &mut ways,
+        );
+        out.extend(ways.iter().map(|&w| (w, self.addrs[base + w])));
+        self.way_scratch = ways;
+    }
+
     /// The way the policy would evict next and its line address, without
     /// materializing the full order. Returns `None` if the set is empty.
     pub fn victim_way(&mut self, set: usize) -> Option<(usize, LineAddr)> {
@@ -333,6 +368,18 @@ impl SetAssocCache {
         let w = self
             .replacer
             .victim(set, self.valid[set], &self.repl[base..base + self.ways])?;
+        Some((w, self.addrs[base + w]))
+    }
+
+    /// [`SetAssocCache::victim_way`] restricted to the ways in `allowed`.
+    /// Returns `None` if no permitted way holds a valid line.
+    pub fn victim_way_in(&mut self, set: usize, allowed: &WayMask) -> Option<(usize, LineAddr)> {
+        let base = set * self.ways;
+        let w = self.replacer.victim(
+            set,
+            self.valid[set].and(allowed),
+            &self.repl[base..base + self.ways],
+        )?;
         Some((w, self.addrs[base + w]))
     }
 

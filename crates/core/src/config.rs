@@ -48,6 +48,24 @@ impl Default for VictimCacheConfig {
     }
 }
 
+/// Configuration of DDIO-style device injection into the LLC.
+///
+/// Device (DMA) traffic allocates directly in the LLC without touching the
+/// core caches. `inject_ways` bounds which ways device fills may claim
+/// (Intel DDIO restricts injection to 2 of the LLC's ways by default);
+/// `partition` additionally excludes those ways from demand fills, giving a
+/// static app/IO way partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoInjectConfig {
+    /// Number of I/O agents injecting traffic (stats are tracked per agent).
+    pub agents: usize,
+    /// If set, device fills may only allocate into the first `n` LLC ways.
+    pub inject_ways: Option<usize>,
+    /// If `true`, demand (app) fills are excluded from the injection ways,
+    /// making the way split a hard partition. Requires `inject_ways`.
+    pub partition: bool,
+}
+
 /// Full configuration of a [`CacheHierarchy`](crate::CacheHierarchy).
 ///
 /// Construct with a preset ([`HierarchyConfig::paper_baseline`] or
@@ -75,6 +93,7 @@ pub struct HierarchyConfig {
     tla: TlaPolicy,
     victim_cache: Option<VictimCacheConfig>,
     prefetcher: Option<StreamPrefetcherConfig>,
+    io: Option<IoInjectConfig>,
     seed: u64,
 }
 
@@ -121,6 +140,7 @@ impl HierarchyConfig {
             tla: TlaPolicy::Baseline,
             victim_cache: None,
             prefetcher: Some(StreamPrefetcherConfig::default()),
+            io: None,
             seed: 0x71a_cafe,
         }
     }
@@ -144,6 +164,7 @@ impl HierarchyConfig {
             tla: TlaPolicy::Baseline,
             victim_cache: None,
             prefetcher: None,
+            io: None,
             seed: 0x71a_cafe,
         }
     }
@@ -214,6 +235,31 @@ impl HierarchyConfig {
     #[must_use]
     pub fn prefetcher(mut self, pf: Option<StreamPrefetcherConfig>) -> Self {
         self.prefetcher = pf;
+        self
+    }
+
+    /// Enables DDIO-style device injection into the LLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inject_ways` is zero or exceeds the LLC associativity, or
+    /// if `partition` is requested without an injection-way limit.
+    #[must_use]
+    pub fn io(mut self, io: IoInjectConfig) -> Self {
+        if let Some(w) = io.inject_ways {
+            assert!(
+                (1..=self.llc.ways()).contains(&w),
+                "inject_ways {w} out of range for a {}-way LLC",
+                self.llc.ways()
+            );
+            assert!(
+                !io.partition || w < self.llc.ways(),
+                "partitioning all {w} LLC ways to I/O leaves no app ways"
+            );
+        } else {
+            assert!(!io.partition, "partition requires an injection-way limit");
+        }
+        self.io = Some(io);
         self
     }
 
@@ -289,6 +335,11 @@ impl HierarchyConfig {
     /// Prefetcher configuration, if enabled.
     pub fn prefetcher_config(&self) -> Option<StreamPrefetcherConfig> {
         self.prefetcher
+    }
+
+    /// Device-injection configuration, if enabled.
+    pub fn io_config(&self) -> Option<IoInjectConfig> {
+        self.io
     }
 
     /// Policy randomness seed.
@@ -374,6 +425,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_cores_panics() {
         let _ = HierarchyConfig::paper_baseline(0);
+    }
+
+    #[test]
+    fn io_config_round_trips() {
+        let cfg = HierarchyConfig::paper_baseline(2);
+        assert!(cfg.io_config().is_none());
+        let io = IoInjectConfig {
+            agents: 2,
+            inject_ways: Some(2),
+            partition: true,
+        };
+        assert_eq!(cfg.io(io).io_config(), Some(io));
+    }
+
+    #[test]
+    #[should_panic(expected = "inject_ways 17 out of range")]
+    fn io_inject_ways_beyond_llc_panics() {
+        let _ = HierarchyConfig::paper_baseline(2).io(IoInjectConfig {
+            agents: 1,
+            inject_ways: Some(17),
+            partition: false,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "partition requires")]
+    fn io_partition_without_limit_panics() {
+        let _ = HierarchyConfig::paper_baseline(2).io(IoInjectConfig {
+            agents: 1,
+            inject_ways: None,
+            partition: true,
+        });
     }
 
     #[test]

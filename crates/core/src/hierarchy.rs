@@ -11,12 +11,13 @@ use crate::policy::{QbsConfig, TlaPolicy};
 use crate::stats::{GlobalStats, PerCoreStats};
 use tla_cache::{
     CoreBitmap, MissClass, SetAssocCache, StreamPrefetcher, VictimCache, VictimCause, VictimEntry,
-    VictimTracker,
+    VictimTracker, WayMask,
 };
 use tla_rng::SmallRng;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{EventKind, TelemetryEvent, TelemetrySink};
 use tla_types::{AccessKind, CacheLevel, CoreId, DataSource, LineAddr};
+use tla_types::{IoAgentStats, IoStats};
 
 /// The hierarchy's (optional) telemetry sink.
 ///
@@ -39,6 +40,28 @@ impl Clone for SinkSlot {
     fn clone(&self) -> Self {
         SinkSlot(None)
     }
+}
+
+/// DDIO-style device-injection state: the way masks derived from the
+/// configuration and the injection counters.
+///
+/// Present iff the hierarchy was configured with
+/// [`HierarchyConfig::io`](crate::HierarchyConfig::io); with it absent the
+/// demand path is bit-for-bit identical to a hierarchy built without the
+/// feature (the masks degenerate to the full way set and no counter is
+/// touched).
+#[derive(Debug, Clone)]
+struct IoState {
+    /// Ways device fills may allocate into (full mask when unlimited).
+    io_ways: WayMask,
+    /// Ways demand fills may allocate into (full mask unless partitioned).
+    app_ways: WayMask,
+    /// Whether `app_ways` excludes the injection ways.
+    partitioned: bool,
+    /// Aggregate injection counters.
+    stats: IoStats,
+    /// Per-agent injection counters, indexed by agent id.
+    per_agent: Vec<IoAgentStats>,
 }
 
 /// The private caches and prefetcher of one core.
@@ -91,6 +114,8 @@ pub struct CacheHierarchy {
     /// profiler's input stream). Off by default so the demand hot path
     /// stays a single branch.
     profile_accesses: bool,
+    /// Device-injection state; `None` unless configured.
+    io: Option<IoState>,
 }
 
 impl CacheHierarchy {
@@ -127,6 +152,25 @@ impl CacheHierarchy {
             now_instr: 0,
             trackers: vec![VictimTracker::new(); cfg.num_cores()],
             profile_accesses: false,
+            io: cfg.io_config().map(|ioc| {
+                let full = WayMask::all(cfg.llc().ways());
+                let io_ways = match ioc.inject_ways {
+                    Some(n) => WayMask::all(n),
+                    None => full,
+                };
+                let app_ways = if ioc.partition {
+                    full.and_not(&io_ways)
+                } else {
+                    full
+                };
+                IoState {
+                    io_ways,
+                    app_ways,
+                    partitioned: ioc.partition,
+                    stats: IoStats::default(),
+                    per_agent: vec![IoAgentStats::default(); ioc.agents],
+                }
+            }),
         }
     }
 
@@ -295,6 +339,14 @@ impl CacheHierarchy {
                     VictimCause::QbsLimit => self.global.victim_misses_qbs_limit += 1,
                     VictimCause::Eci => self.global.victim_misses_eci += 1,
                     VictimCause::VictimCacheOverflow => self.global.victim_misses_vc += 1,
+                    VictimCause::IoInjection => {
+                        // Charged to the injection subsystem, not to the
+                        // per-policy global counters (those sum to the
+                        // app-side victim_misses() the reports pin).
+                        if let Some(io) = self.io.as_mut() {
+                            io.stats.victim_misses_io += 1;
+                        }
+                    }
                 }
             }
         }
@@ -415,13 +467,30 @@ impl CacheHierarchy {
     fn insert_into_llc(&mut self, line: LineAddr, dirty: bool, sharers: CoreBitmap) {
         let set = self.llc.set_of(line);
 
-        if let Some(way) = self.llc.invalid_way(set) {
+        // Under a static app/IO way partition demand fills stay out of the
+        // injection ways. `None` (the io-disabled and unpartitioned cases)
+        // takes the unmasked path, keeping it bit-identical to a hierarchy
+        // built without the feature.
+        let allowed = match self.io.as_ref() {
+            Some(io) if io.partitioned => Some(io.app_ways),
+            _ => None,
+        };
+
+        let invalid = match &allowed {
+            Some(m) => self.llc.invalid_way_in(set, m),
+            None => self.llc.invalid_way(set),
+        };
+        if let Some(way) = invalid {
             self.llc.fill_way(set, way, line, dirty, sharers);
             // ECI fires on every LLC miss: with an invalid victim the "next
             // LRU line" is the set's current replacement victim (Fig. 3c —
             // 'I' is evicted, 'a' is early-invalidated).
             if self.tla == TlaPolicy::Eci {
-                if let Some((_, target)) = self.llc.victim_way(set) {
+                let next = match &allowed {
+                    Some(m) => self.llc.victim_way_in(set, m),
+                    None => self.llc.victim_way(set),
+                };
+                if let Some((_, target)) = next {
                     if target != line {
                         self.eci_invalidate(target);
                     }
@@ -431,7 +500,10 @@ impl CacheHierarchy {
         }
 
         let mut order = std::mem::take(&mut self.order_buf);
-        self.llc.victim_order_into(set, &mut order);
+        match &allowed {
+            Some(m) => self.llc.victim_order_in_into(set, m, &mut order),
+            None => self.llc.victim_order_into(set, &mut order),
+        }
         debug_assert!(!order.is_empty());
 
         let (chosen, cause) = match self.tla {
@@ -476,6 +548,107 @@ impl CacheHierarchy {
         }
 
         self.order_buf = order;
+    }
+
+    // ------------------------------------------------------------------
+    // Device (DDIO-style) injection path
+    // ------------------------------------------------------------------
+
+    /// Runs one device injection from I/O `agent` for `line`: the line
+    /// allocates directly in the LLC (never in the core caches), constrained
+    /// to the configured injection ways. A `write` deposits DMA data and
+    /// leaves the line dirty; evicting a core-resident victim back-invalidates
+    /// it like any other inclusive eviction, attributed to
+    /// [`VictimCause::IoInjection`].
+    ///
+    /// Injections are plain LLC fills, not demand misses: they never train
+    /// the prefetcher, trigger ECI early-invalidation, consult the victim
+    /// cache, or touch the per-core demand counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy was built without an I/O configuration.
+    pub fn io_inject(&mut self, agent: usize, line: LineAddr, write: bool) {
+        let io_ways = {
+            let io = self
+                .io
+                .as_mut()
+                .expect("io_inject requires an io configuration");
+            io.stats.injections += 1;
+            if let Some(a) = io.per_agent.get_mut(agent) {
+                a.injections += 1;
+            }
+            io.io_ways
+        };
+
+        if self.llc.touch(line) {
+            if write {
+                self.llc.mark_dirty(line);
+            }
+            let io = self.io.as_mut().expect("checked above");
+            io.stats.inject_hits += 1;
+            if let Some(a) = io.per_agent.get_mut(agent) {
+                a.hits += 1;
+            }
+            return;
+        }
+
+        {
+            let io = self.io.as_mut().expect("checked above");
+            io.stats.inject_fills += 1;
+            if let Some(a) = io.per_agent.get_mut(agent) {
+                a.fills += 1;
+            }
+        }
+
+        let set = self.llc.set_of(line);
+        if let Some(way) = self.llc.invalid_way_in(set, &io_ways) {
+            self.llc.fill_way(set, way, line, write, CoreBitmap::EMPTY);
+            return;
+        }
+
+        // Every injection way is valid: evict within the injection ways
+        // under the LLC's replacement order (DDIO behaviour — device fills
+        // recycle the device ways before touching app ways).
+        let (way, _) = self
+            .llc
+            .victim_way_in(set, &io_ways)
+            .expect("non-empty injection mask with no invalid way has a victim");
+        let ev = self
+            .llc
+            .evict_way(set, way)
+            .expect("victim way must be valid");
+        self.global.llc_evictions += 1;
+        {
+            let io = self.io.as_mut().expect("checked above");
+            io.stats.llc_evictions += 1;
+            if let Some(a) = io.per_agent.get_mut(agent) {
+                a.evictions += 1;
+            }
+        }
+        self.emit(
+            self.event(EventKind::LlcEviction)
+                .with_level(CacheLevel::Llc)
+                .with_set(set as u32),
+        );
+        if ev.dirty {
+            self.global.llc_writebacks += 1;
+            if let Some(io) = self.io.as_mut() {
+                io.stats.writebacks += 1;
+            }
+        }
+        self.handle_llc_eviction(ev, VictimCause::IoInjection);
+        self.llc.fill_way(set, way, line, write, CoreBitmap::EMPTY);
+    }
+
+    /// Aggregate device-injection counters, if injection is configured.
+    pub fn io_stats(&self) -> Option<&IoStats> {
+        self.io.as_ref().map(|io| &io.stats)
+    }
+
+    /// Per-agent device-injection counters, if injection is configured.
+    pub fn io_agent_stats(&self) -> Option<&[IoAgentStats]> {
+        self.io.as_ref().map(|io| io.per_agent.as_slice())
     }
 
     /// QBS victim selection: walk candidates in replacement order, querying
@@ -611,6 +784,11 @@ impl CacheHierarchy {
         };
         for c in cores.iter() {
             self.global.back_invalidates += 1;
+            if cause == VictimCause::IoInjection {
+                if let Some(io) = self.io.as_mut() {
+                    io.stats.back_invalidates += 1;
+                }
+            }
             if let Some(s) = set {
                 self.emit(
                     self.event(EventKind::BackInvalidate)
@@ -956,8 +1134,9 @@ impl CacheHierarchy {
 ///
 /// Serialized: every cache array, the victim cache, the prefetchers, the
 /// per-core and global counters, the TLH filtering RNG, the telemetry
-/// instruction clock and the per-core attribution trackers (sorted, so
-/// identical logical state always produces identical bytes). Transient
+/// instruction clock, the per-core attribution trackers (sorted, so
+/// identical logical state always produces identical bytes) and — only when
+/// device injection is configured — the injection counters. Transient
 /// (rebuilt from configuration or run scoped): `inclusion`, `tla`, the
 /// `pf_buf`/`order_buf` scratch buffers, the `profile_accesses` flag and
 /// the telemetry sink. The policy fields are deliberately *not*
@@ -989,6 +1168,17 @@ impl Snapshot for CacheHierarchy {
         w.write_u64(self.now_instr);
         for t in &self.trackers {
             t.write_state(w);
+        }
+        // Injection state rides at the tail, gated on configuration: a
+        // hierarchy built without it writes nothing here, so io-disabled
+        // snapshots stay byte-identical to pre-io builds. The way masks are
+        // config-derived and not serialized.
+        if let Some(io) = self.io.as_ref() {
+            io.stats.write_state(w);
+            w.write_usize(io.per_agent.len());
+            for a in &io.per_agent {
+                a.write_state(w);
+            }
         }
     }
 
@@ -1040,6 +1230,20 @@ impl Snapshot for CacheHierarchy {
         self.now_instr = r.read_u64()?;
         for t in &mut self.trackers {
             t.read_state(r)?;
+        }
+        if let Some(io) = self.io.as_mut() {
+            io.stats.read_state(r)?;
+            let n = r.read_usize()?;
+            if n != io.per_agent.len() {
+                return Err(SnapshotError::Mismatch(format!(
+                    "hierarchy: snapshot has {n} io agents, this \
+                     configuration has {}",
+                    io.per_agent.len()
+                )));
+            }
+            for a in &mut io.per_agent {
+                a.read_state(r)?;
+            }
         }
         Ok(())
     }
@@ -1863,6 +2067,149 @@ mod tests {
             fig3_pattern(&mut t);
             assert_eq!(t.find_inclusion_violation(), None, "policy {tla}");
         }
+    }
+
+    #[test]
+    fn io_injection_fills_llc_not_core_caches() {
+        let cfg = HierarchyConfig::tiny_fig3().io(crate::config::IoInjectConfig {
+            agents: 1,
+            inject_ways: None,
+            partition: false,
+        });
+        let mut h = CacheHierarchy::new(&cfg);
+        h.io_inject(0, LineAddr::new(100), true);
+        assert!(h.llc_holds(LineAddr::new(100)));
+        assert!(!h.core_holds(CoreId::new(0), LineAddr::new(100)));
+        let io = h.io_stats().unwrap();
+        assert_eq!(io.injections, 1);
+        assert_eq!(io.inject_fills, 1);
+        assert_eq!(io.inject_hits, 0);
+        // Re-injection of the same line hits in place.
+        h.io_inject(0, LineAddr::new(100), false);
+        assert_eq!(h.io_stats().unwrap().inject_hits, 1);
+        let agents = h.io_agent_stats().unwrap();
+        assert_eq!(agents[0].injections, 2);
+        assert_eq!(agents[0].fills, 1);
+        assert_eq!(agents[0].hits, 1);
+    }
+
+    #[test]
+    fn io_injection_creates_attributed_inclusion_victims() {
+        // Keep line 1 hot in core 0's L1 while unlimited injections thrash
+        // the 4-entry LLC: the back-invalidates and the hot line's re-misses
+        // must be charged to the injection subsystem.
+        let cfg = HierarchyConfig::tiny_fig3().io(crate::config::IoInjectConfig {
+            agents: 1,
+            inject_ways: None,
+            partition: false,
+        });
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..20u64 {
+            load(&mut h, 0, 1);
+            h.io_inject(0, LineAddr::new(1000 + i), true);
+        }
+        let io = *h.io_stats().unwrap();
+        assert!(io.llc_evictions > 0, "injections must evict");
+        assert!(io.back_invalidates > 0, "evicting the hot line must b-inv");
+        assert!(
+            io.victim_misses_io > 0,
+            "hot-line re-misses must be charged to injection"
+        );
+        let s = h.per_core_stats(CoreId::new(0));
+        assert!(s.misses_inclusion_victim >= io.victim_misses_io);
+        // The app-policy attribution counters stay clear of io damage.
+        assert_eq!(h.global_stats().victim_misses(), 0);
+        assert!(io.writebacks > 0, "dirty DMA lines write back on eviction");
+        assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn io_injection_way_limit_confines_device_fills() {
+        // 4-way LLC, injections limited to way 0: device traffic recycles
+        // one way and never evicts the app's lines in ways 1..3.
+        let cfg = HierarchyConfig::tiny_fig3().io(crate::config::IoInjectConfig {
+            agents: 1,
+            inject_ways: Some(1),
+            partition: false,
+        });
+        let mut h = CacheHierarchy::new(&cfg);
+        // Device traffic claims way 0 first; the app's lines then fill the
+        // remaining invalid ways and stay out of the device's reach.
+        h.io_inject(0, LineAddr::new(999), true);
+        load(&mut h, 0, 1);
+        load(&mut h, 0, 2);
+        for i in 0..50u64 {
+            h.io_inject(0, LineAddr::new(1000 + i), true);
+        }
+        assert!(h.llc_holds(LineAddr::new(1)), "app line survives");
+        assert!(h.llc_holds(LineAddr::new(2)), "app line survives");
+        let io = h.io_stats().unwrap();
+        assert_eq!(io.back_invalidates, 0);
+        assert_eq!(h.per_core_stats(CoreId::new(0)).inclusion_victims(), 0);
+        assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn io_partition_keeps_app_out_of_device_ways() {
+        // Partitioned: app fills avoid injection way 0, so a device line
+        // parked there survives arbitrary app streaming.
+        let cfg = HierarchyConfig::tiny_fig3().io(crate::config::IoInjectConfig {
+            agents: 1,
+            inject_ways: Some(1),
+            partition: true,
+        });
+        let mut h = CacheHierarchy::new(&cfg);
+        h.io_inject(0, LineAddr::new(500), true);
+        for i in 0..50u64 {
+            load(&mut h, 0, i);
+        }
+        assert!(
+            h.llc_holds(LineAddr::new(500)),
+            "app streaming must not evict the partitioned device line"
+        );
+        assert_eq!(h.find_inclusion_violation(), None);
+    }
+
+    #[test]
+    fn io_disabled_hierarchy_is_bit_identical() {
+        // A hierarchy with the io feature compiled in but not configured
+        // must produce byte-identical snapshots to one that never heard of
+        // it (the feature is presence-gated everywhere).
+        let cfg = HierarchyConfig::tiny_fig3().cores(2);
+        let mut a = CacheHierarchy::new(&cfg);
+        let mut b = CacheHierarchy::new(&cfg);
+        fig3_pattern(&mut a);
+        fig3_pattern(&mut b);
+        let bytes = |h: &CacheHierarchy| {
+            let mut w = SnapshotWriter::new();
+            h.write_state(&mut w);
+            w.finish()
+        };
+        assert_eq!(bytes(&a), bytes(&b));
+        assert!(a.io_stats().is_none());
+    }
+
+    #[test]
+    fn io_snapshot_round_trips_counters() {
+        let cfg = HierarchyConfig::tiny_fig3().io(crate::config::IoInjectConfig {
+            agents: 2,
+            inject_ways: Some(2),
+            partition: true,
+        });
+        let mut h = CacheHierarchy::new(&cfg);
+        for i in 0..10u64 {
+            load(&mut h, 0, i % 3);
+            h.io_inject((i % 2) as usize, LineAddr::new(2000 + i), true);
+        }
+        let mut w = SnapshotWriter::new();
+        h.write_state(&mut w);
+        let bytes = w.finish();
+
+        let mut twin = CacheHierarchy::new(&cfg);
+        let mut r = SnapshotReader::new(&bytes).expect("valid snapshot");
+        twin.read_state(&mut r).expect("restore succeeds");
+        assert_eq!(twin.io_stats(), h.io_stats());
+        assert_eq!(twin.io_agent_stats(), h.io_agent_stats());
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod hierarchy;
 mod policy;
 mod stats;
 
-pub use config::{HierarchyConfig, InclusionPolicy, VictimCacheConfig};
+pub use config::{HierarchyConfig, InclusionPolicy, IoInjectConfig, VictimCacheConfig};
 pub use hierarchy::CacheHierarchy;
 pub use policy::{QbsConfig, TlaPolicy, TlhConfig};
 pub use stats::{GlobalStats, PerCoreStats};

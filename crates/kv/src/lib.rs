@@ -136,6 +136,12 @@ pub struct KvConfig {
     /// RNG seed (only consumed by randomized policies; kept for
     /// reproducible construction).
     pub seed: u64,
+    /// When set, every shard collects a windowed hit-rate time series,
+    /// closing a window every `window` operations *on that shard* (the
+    /// shard's own op count is the time axis — wall clock would make the
+    /// series racy). `None` (the default) keeps the hot path to plain
+    /// counters.
+    pub window: Option<u64>,
 }
 
 impl KvConfig {
@@ -148,6 +154,7 @@ impl KvConfig {
             ways: 8,
             policy,
             seed: 0,
+            window: None,
         }
     }
 
@@ -169,6 +176,14 @@ impl KvConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> KvConfig {
         self.seed = seed;
+        self
+    }
+
+    /// Turns on the per-shard windowed hit-rate series, closing a window
+    /// every `window` shard operations (0 is clamped to 1 by the series).
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> KvConfig {
+        self.window = Some(window);
         self
     }
 

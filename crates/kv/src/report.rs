@@ -7,37 +7,88 @@
 
 use crate::{KvConfig, LoadResult, LoadSpec, ShardStats, ShardedKv};
 use tla_telemetry::json::JsonValue;
+use tla_telemetry::Window;
 
 /// Schema tag of [`report_json`] output.
 pub const KV_SCHEMA: &str = "tla-kv-report-v1";
 
 /// Builds the full kv-bench report: config echo, merged totals, the
-/// per-shard counter breakdown, and the load result's throughput.
+/// per-shard counter breakdown, and the load result's throughput. When
+/// the config enables a window, a `series` key carries each shard's
+/// windowed hit-rate time series; without one the key is absent, so
+/// windowless reports are byte-identical to pre-series builds.
 pub fn report_json(kv: &ShardedKv, spec: &LoadSpec, result: &LoadResult) -> JsonValue {
-    JsonValue::object([
-        ("schema", JsonValue::from(KV_SCHEMA)),
-        ("config", config_json(kv.config(), spec)),
-        ("totals", totals_json(kv, result)),
+    let mut pairs = vec![
+        ("schema".to_string(), JsonValue::from(KV_SCHEMA)),
+        ("config".to_string(), config_json(kv.config(), spec)),
+        ("totals".to_string(), totals_json(kv, result)),
         (
-            "shards",
+            "shards".to_string(),
             JsonValue::array(kv.per_shard_stats().iter().map(stats_json)),
         ),
-    ])
+    ];
+    if let Some(series) = kv.per_shard_series() {
+        pairs.push((
+            "series".to_string(),
+            JsonValue::array(
+                series
+                    .iter()
+                    .map(|windows| JsonValue::array(windows.iter().map(window_json))),
+            ),
+        ));
+    }
+    JsonValue::Obj(pairs)
 }
 
 fn config_json(cfg: &KvConfig, spec: &LoadSpec) -> JsonValue {
+    let mut pairs = vec![
+        ("policy".to_string(), JsonValue::from(cfg.policy.name())),
+        ("capacity".to_string(), JsonValue::from(cfg.capacity)),
+        ("shards".to_string(), JsonValue::from(cfg.shards)),
+        (
+            "sets_per_shard".to_string(),
+            JsonValue::from(cfg.sets_per_shard()),
+        ),
+        ("ways".to_string(), JsonValue::from(cfg.ways)),
+        (
+            "workload".to_string(),
+            JsonValue::from(spec.workload.name()),
+        ),
+        ("keys".to_string(), JsonValue::from(spec.keys)),
+        ("threads".to_string(), JsonValue::from(spec.threads)),
+        (
+            "ops_per_thread".to_string(),
+            JsonValue::from(spec.ops_per_thread),
+        ),
+        (
+            "put_permille".to_string(),
+            JsonValue::from(spec.put_permille),
+        ),
+        ("seed".to_string(), JsonValue::from(spec.seed)),
+    ];
+    if let Some(w) = cfg.window {
+        pairs.push(("window".to_string(), JsonValue::from(w)));
+    }
+    JsonValue::Obj(pairs)
+}
+
+/// One shard window: the op span it covers plus the get/hit counts and
+/// hit rate inside it (the shard projects gets/misses into the LLC
+/// access/miss slots — see `ShardStats::as_core_stats`).
+fn window_json(w: &Window) -> JsonValue {
+    let gets = w.per_core[0].llc_accesses;
+    let misses = w.per_core[0].llc_misses;
+    let hit_rate = if gets == 0 {
+        0.0
+    } else {
+        (gets - misses) as f64 / gets as f64
+    };
     JsonValue::object([
-        ("policy", JsonValue::from(cfg.policy.name())),
-        ("capacity", JsonValue::from(cfg.capacity)),
-        ("shards", JsonValue::from(cfg.shards)),
-        ("sets_per_shard", JsonValue::from(cfg.sets_per_shard())),
-        ("ways", JsonValue::from(cfg.ways)),
-        ("workload", JsonValue::from(spec.workload.name())),
-        ("keys", JsonValue::from(spec.keys)),
-        ("threads", JsonValue::from(spec.threads)),
-        ("ops_per_thread", JsonValue::from(spec.ops_per_thread)),
-        ("put_permille", JsonValue::from(spec.put_permille)),
-        ("seed", JsonValue::from(spec.seed)),
+        ("ops_start", JsonValue::from(w.start_instr)),
+        ("ops_end", JsonValue::from(w.end_instr)),
+        ("gets", JsonValue::from(gets)),
+        ("hits", JsonValue::from(gets - misses)),
+        ("hit_rate", JsonValue::from(hit_rate)),
     ])
 }
 
@@ -97,5 +148,47 @@ mod tests {
         }
         assert_eq!(field(totals, "ops"), 10_000);
         assert!(totals.get("ops_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        // No window configured: the series key (and the config echo's
+        // window key) must be absent, keeping the report identical to
+        // pre-series builds.
+        assert!(v.get("series").is_none());
+        assert!(v.get("config").unwrap().get("window").is_none());
+    }
+
+    #[test]
+    fn windowed_report_carries_per_shard_hit_rate_series() {
+        let kv = ShardedKv::new(KvConfig::new(1024, KvPolicy::Clock).with_window(1_000)).unwrap();
+        let spec = LoadSpec::new(4_096, 5_000, 2);
+        let res = run_load(&kv, &spec);
+        let text = report_json(&kv, &spec, &res).to_string();
+        let v = JsonValue::parse(&text).unwrap();
+        let field = |obj: &JsonValue, k: &str| obj.get(k).and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(
+            field(v.get("config").unwrap(), "window"),
+            1_000,
+            "config echoes the window size"
+        );
+        let series = v.get("series").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(series.len(), kv.config().shards);
+        // Each shard's windows tile its op count and sum back to its
+        // counters.
+        let shards = v.get("shards").and_then(JsonValue::as_array).unwrap();
+        for (windows, shard) in series.iter().zip(shards) {
+            let windows = windows.as_array().unwrap();
+            assert!(!windows.is_empty(), "every shard saw load");
+            let mut prev_end = 0;
+            let mut gets = 0;
+            let mut hits = 0;
+            for w in windows {
+                assert_eq!(field(w, "ops_start"), prev_end, "windows tile the op axis");
+                prev_end = field(w, "ops_end");
+                gets += field(w, "gets");
+                hits += field(w, "hits");
+                let rate = w.get("hit_rate").unwrap().as_f64().unwrap();
+                assert!((0.0..=1.0).contains(&rate));
+            }
+            assert_eq!(gets, field(shard, "gets"));
+            assert_eq!(hits, field(shard, "hits"));
+        }
     }
 }

@@ -11,7 +11,8 @@
 
 use crate::{KvError, KvPolicy};
 use tla_cache::{CacheConfig, CoreBitmap, Policy, SetAssocCache};
-use tla_types::LineAddr;
+use tla_telemetry::{Window, WindowedSeries};
+use tla_types::{GlobalStats, LineAddr, PerCoreStats};
 
 /// Fraction of the associativity the S3-FIFO small (probationary) queue
 /// takes: 1/8, matching the paper's ~10% guidance. With the default 8
@@ -66,6 +67,20 @@ impl ShardStats {
             self.hits as f64 / self.gets as f64
         }
     }
+
+    /// Projects the shard counters into the telemetry layer's per-core
+    /// counter shape so [`WindowedSeries`] can window them unmodified: a
+    /// shard *is* a cache, so gets land in the LLC access slot and get
+    /// misses in the LLC miss slot (windowed hit rate falls out as
+    /// `1 - llc_misses / llc_accesses`). The remaining simulator-only
+    /// slots stay zero.
+    pub fn as_core_stats(&self) -> PerCoreStats {
+        PerCoreStats {
+            llc_accesses: self.gets,
+            llc_misses: self.misses,
+            ..PerCoreStats::default()
+        }
+    }
 }
 
 /// One lock stripe's worth of cache: a main area, and for S3-FIFO also a
@@ -82,11 +97,24 @@ pub struct Shard {
     /// "came back" signal that routes a key into `main`.
     ghost: Option<SetAssocCache>,
     stats: ShardStats,
+    /// Operations applied to this shard (every get/put/admit/remove):
+    /// the deterministic time axis the windowed series closes on.
+    ops: u64,
+    /// Optional windowed hit-rate series (see [`crate::KvConfig::window`]).
+    series: Option<WindowedSeries>,
 }
 
 impl Shard {
     /// Builds a shard with `sets` sets of `ways` ways under `policy`.
-    pub fn new(policy: KvPolicy, sets: usize, ways: usize, seed: u64) -> Result<Shard, KvError> {
+    /// `window`, when set, collects a hit-rate series windowed by this
+    /// shard's own operation count.
+    pub fn new(
+        policy: KvPolicy,
+        sets: usize,
+        ways: usize,
+        seed: u64,
+        window: Option<u64>,
+    ) -> Result<Shard, KvError> {
         let geom = |name: &str, sets: usize, ways: usize, p: Policy| {
             CacheConfig::with_sets(name, sets, ways, p)
                 .map_err(|e| KvError::BadGeometry(e.to_string()))
@@ -118,11 +146,50 @@ impl Shard {
             small: small.map(|c| mk(c, 0x5157_0001)),
             ghost: ghost.map(|c| mk(c, 0x5157_0002)),
             stats: ShardStats::default(),
+            ops: 0,
+            series: window.map(WindowedSeries::new),
         })
+    }
+
+    /// Advances the shard's op clock and offers the counters to the
+    /// series. Between boundaries this is one increment and one compare
+    /// (see [`WindowedSeries::next_boundary`]), so untimed shards and
+    /// mid-window ops pay nothing beyond the counter bump they already
+    /// did.
+    fn tick(&mut self) {
+        self.ops += 1;
+        if let Some(series) = &mut self.series {
+            if self.ops >= series.next_boundary() {
+                series.observe(
+                    self.ops,
+                    &[self.stats.as_core_stats()],
+                    &GlobalStats::default(),
+                );
+            }
+        }
+    }
+
+    /// The windowed hit-rate series, with the final partial window
+    /// flushed; `None` unless the shard was built with a window.
+    /// Idempotent — flushing twice with no ops in between adds nothing.
+    pub fn series_windows(&mut self) -> Option<Vec<Window>> {
+        let series = self.series.as_mut()?;
+        series.finish(
+            self.ops,
+            &[self.stats.as_core_stats()],
+            &GlobalStats::default(),
+        );
+        Some(series.windows())
     }
 
     /// Looks `key` up, promoting it per policy. Returns the value.
     pub fn get(&mut self, key: u64) -> Option<u64> {
+        let out = self.get_inner(key);
+        self.tick();
+        out
+    }
+
+    fn get_inner(&mut self, key: u64) -> Option<u64> {
         self.stats.gets += 1;
         let line = LineAddr::new(key);
         if let Some(small) = &mut self.small {
@@ -145,6 +212,11 @@ impl Shard {
     /// Inserts or updates `key`. Updates touch replacement state like a
     /// reference (a put is an access).
     pub fn put(&mut self, key: u64, value: u64) {
+        self.put_inner(key, value);
+        self.tick();
+    }
+
+    fn put_inner(&mut self, key: u64, value: u64) {
         self.stats.puts += 1;
         let line = LineAddr::new(key);
         if let Some(small) = &mut self.small {
@@ -163,6 +235,12 @@ impl Shard {
     /// Admits `key` if absent (the fill half of a get-miss). Returns
     /// `false` if it was already resident.
     pub fn admit(&mut self, key: u64, value: u64) -> bool {
+        let out = self.admit_inner(key, value);
+        self.tick();
+        out
+    }
+
+    fn admit_inner(&mut self, key: u64, value: u64) -> bool {
         let line = LineAddr::new(key);
         if self.main.probe(line) || self.small.as_ref().is_some_and(|s| s.probe(line)) {
             return false;
@@ -173,6 +251,12 @@ impl Shard {
 
     /// Drops `key` if resident. Returns whether an entry was dropped.
     pub fn remove(&mut self, key: u64) -> bool {
+        let out = self.remove_inner(key);
+        self.tick();
+        out
+    }
+
+    fn remove_inner(&mut self, key: u64) -> bool {
         let line = LineAddr::new(key);
         // Forget ghost history too: an explicit remove is a statement the
         // key is dead, not a signal it deserves fast-path readmission.
@@ -261,7 +345,7 @@ mod tests {
     use super::*;
 
     fn shard(policy: KvPolicy) -> Shard {
-        Shard::new(policy, 8, 8, 1).unwrap()
+        Shard::new(policy, 8, 8, 1, None).unwrap()
     }
 
     #[test]
@@ -307,7 +391,7 @@ mod tests {
         // through. S3-FIFO must keep most of the hot set resident where
         // plain FIFO loses it.
         let hit_rate_after_scan = |policy: KvPolicy| {
-            let mut s = Shard::new(policy, 8, 8, 1).unwrap();
+            let mut s = Shard::new(policy, 8, 8, 1, None).unwrap();
             let hot: Vec<u64> = (0..32).collect();
             for round in 0..6 {
                 for &k in &hot {
@@ -344,7 +428,7 @@ mod tests {
 
     #[test]
     fn s3fifo_ghost_readmission_goes_to_main() {
-        let mut s = Shard::new(KvPolicy::S3Fifo, 1, 8, 1).unwrap();
+        let mut s = Shard::new(KvPolicy::S3Fifo, 1, 8, 1, None).unwrap();
         // One set: small = 1 way, main = 7 ways. Fill the small way, then
         // displace it without reuse -> key 1 falls to the ghost.
         s.admit(1, 100);
@@ -357,6 +441,34 @@ mod tests {
             s.admit(k, k);
         }
         assert_eq!(s.get(1), Some(101), "ghost readmission must stick in main");
+    }
+
+    #[test]
+    fn windowed_series_tracks_hit_rate_per_window() {
+        let mut s = Shard::new(KvPolicy::Lru, 8, 8, 1, Some(10)).unwrap();
+        // First 10 ops: cold gets, all misses.
+        for k in 0..10u64 {
+            assert_eq!(s.get(k), None);
+        }
+        // Next 10 ops: admit then re-get 5 keys, all 5 gets hit.
+        for k in 0..5u64 {
+            s.admit(k, k);
+            assert_eq!(s.get(k), Some(k));
+        }
+        let windows = s.series_windows().expect("series was requested");
+        assert_eq!(windows.len(), 2);
+        let hit_rate = |w: &Window| {
+            let gets = w.per_core[0].llc_accesses;
+            let misses = w.per_core[0].llc_misses;
+            (gets - misses) as f64 / gets as f64
+        };
+        assert_eq!(windows[0].instructions(), 10);
+        assert_eq!(hit_rate(&windows[0]), 0.0);
+        assert_eq!(hit_rate(&windows[1]), 1.0);
+        // Flushing again with no ops in between adds nothing.
+        assert_eq!(s.series_windows().unwrap().len(), 2);
+        // Windowless shards report no series.
+        assert_eq!(shard(KvPolicy::Lru).series_windows(), None);
     }
 
     #[test]

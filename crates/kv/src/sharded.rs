@@ -40,8 +40,14 @@ impl ShardedKv {
         let sets = config.sets_per_shard();
         let shards = (0..config.shards)
             .map(|i| {
-                Shard::new(config.policy, sets, config.ways, config.seed ^ i as u64)
-                    .map(|s| CachePadded(Mutex::new(s)))
+                Shard::new(
+                    config.policy,
+                    sets,
+                    config.ways,
+                    config.seed ^ i as u64,
+                    config.window,
+                )
+                .map(|s| CachePadded(Mutex::new(s)))
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ShardedKv {
@@ -96,6 +102,26 @@ impl ShardedKv {
             .iter()
             .map(|s| s.0.lock().expect("shard lock poisoned").occupancy())
             .sum()
+    }
+
+    /// Each shard's windowed hit-rate series (final partial windows
+    /// flushed), in shard order; `None` unless the config asked for one
+    /// via [`crate::KvConfig::with_window`]. Windows are clocked by each
+    /// shard's own op count, so the series is well-defined even though
+    /// threads interleave: every op lands in exactly one shard window.
+    pub fn per_shard_series(&self) -> Option<Vec<Vec<tla_telemetry::Window>>> {
+        self.config.window?;
+        Some(
+            self.shards
+                .iter()
+                .map(|s| {
+                    s.0.lock()
+                        .expect("shard lock poisoned")
+                        .series_windows()
+                        .expect("window is configured, every shard has a series")
+                })
+                .collect(),
+        )
     }
 
     /// Each shard's counters, in shard order.

@@ -5,17 +5,18 @@ use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::sched::CoreScheduler;
 use tla_core::{
-    CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, PerCoreStats, TlaPolicy,
-    VictimCacheConfig,
+    CacheHierarchy, GlobalStats, HierarchyConfig, InclusionPolicy, IoInjectConfig, PerCoreStats,
+    TlaPolicy, VictimCacheConfig,
 };
 use tla_cpu::CoreModel;
+use tla_io::IoMixConfig;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 use tla_telemetry::{
-    ConfigEcho, CountingSink, EventKind, MultiSink, PerSetHistogram, ReuseProfiler, ReuseReport,
-    RunReport, SetHistogramReport, SharedSink, TelemetrySink, ThreadReport, Window, WindowedSeries,
-    DEFAULT_REUSE_BUCKETS,
+    ConfigEcho, CountingSink, EventKind, IoReport, MultiSink, PerSetHistogram, ReuseProfiler,
+    ReuseReport, RunReport, SetHistogramReport, SharedSink, TelemetrySink, ThreadReport, Window,
+    WindowedSeries, DEFAULT_REUSE_BUCKETS,
 };
-use tla_types::{stats, AccessKind, CoreId, Cycle, LineAddr};
+use tla_types::{stats, AccessKind, CoreId, Cycle, IoAgentStats, IoStats, LineAddr};
 use tla_workloads::{BatchedTrace, SpecApp, SyntheticTrace, TraceSource};
 
 /// Which execution loop drives the engine.
@@ -94,6 +95,11 @@ pub struct RunResult {
     /// Whole-hierarchy message counters over the entire run (including the
     /// post-freeze tail of faster threads).
     pub global: GlobalStats,
+    /// Device-injection counters (whole run) when I/O agents were
+    /// configured: `(global totals, per-agent breakdown in spec order)`.
+    /// `None` whenever the mix ran without I/O, so plain runs stay
+    /// bit-identical to pre-I/O builds.
+    pub io: Option<(IoStats, Vec<IoAgentStats>)>,
     /// The policy configuration that produced this result.
     pub spec_name: String,
 }
@@ -180,6 +186,7 @@ pub struct MixRun<'a> {
     llc_capacity_full_scale: Option<usize>,
     profile_llc: bool,
     engine: Option<EngineMode>,
+    io: IoMixConfig,
 }
 
 impl<'a> MixRun<'a> {
@@ -198,7 +205,19 @@ impl<'a> MixRun<'a> {
             llc_capacity_full_scale: None,
             profile_llc: false,
             engine: None,
+            io: IoMixConfig::none(),
         }
+    }
+
+    /// Attaches a device-I/O mix: agents injecting DMA traffic straight
+    /// into the LLC (DDIO-style) alongside the cores, plus the
+    /// injection-way limit / partition knobs. A [trivial](IoMixConfig::is_trivial)
+    /// config leaves the run bit-identical to one built without this
+    /// call.
+    #[must_use]
+    pub fn io(mut self, io: IoMixConfig) -> Self {
+        self.io = io;
+        self
     }
 
     /// Pins the execution loop for this run, overriding the
@@ -287,6 +306,13 @@ impl<'a> MixRun<'a> {
         if !self.cfg.prefetch_enabled() {
             hcfg = hcfg.prefetcher(None);
         }
+        if !self.io.is_trivial() {
+            hcfg = hcfg.io(IoInjectConfig {
+                agents: self.io.agents.len(),
+                inject_ways: self.io.inject_ways,
+                partition: self.io.partition,
+            });
+        }
         hcfg
     }
 
@@ -316,6 +342,7 @@ impl<'a> MixRun<'a> {
         let config = self.config_echo();
         let spec_name = self.spec.name.clone();
         let apps = self.apps.clone();
+        let io_labels = self.io_labels();
         let (result, telemetry) = self.run_instrumented(window);
         let report = RunReport {
             mix,
@@ -340,6 +367,7 @@ impl<'a> MixRun<'a> {
             gap_to_opt: None,
             inclusion_victim_rate: None,
             reuse: None,
+            io: io_report(&io_labels, &result),
         };
         (result, report)
     }
@@ -354,9 +382,8 @@ impl<'a> MixRun<'a> {
     /// The per-access event stream is observation-only, so the
     /// [`RunResult`] is bit-identical to a plain [`run`](MixRun::run).
     ///
-    /// # Panics
-    ///
-    /// Panics if `sample_every` is zero.
+    /// A zero `sample_every` is clamped to 1 by the profiler (see
+    /// [`ReuseProfiler::new`]).
     pub fn run_report_analyzed(
         mut self,
         window: Option<u64>,
@@ -366,6 +393,7 @@ impl<'a> MixRun<'a> {
         let config = self.config_echo();
         let spec_name = self.spec.name.clone();
         let apps = self.apps.clone();
+        let io_labels = self.io_labels();
         let llc_sets = self.hierarchy_config().llc().sets();
         let profiler = SharedSink::new(ReuseProfiler::new(
             llc_sets,
@@ -378,6 +406,7 @@ impl<'a> MixRun<'a> {
         let mut report = build_report(mix, spec_name, config, &apps, &result, telemetry);
         report.reuse = Some(profiler.with(|p| ReuseReport::from(p)));
         report.inclusion_victim_rate = Some(report.measured_victim_rate());
+        report.io = io_report(&io_labels, &result);
         (result, report)
     }
 
@@ -401,7 +430,15 @@ impl<'a> MixRun<'a> {
         if let Some(bytes) = self.llc_capacity_full_scale {
             echo.set("llc_capacity_full_scale", bytes);
         }
+        if !self.io.is_trivial() {
+            echo.set("io", self.io.label());
+        }
         echo
+    }
+
+    /// Agent labels in spec order, for the report's per-agent breakdown.
+    fn io_labels(&self) -> Vec<String> {
+        self.io.agents.iter().map(|a| a.label()).collect()
     }
 
     /// Runs the warm-up phase only and freezes the complete simulator
@@ -423,6 +460,10 @@ impl<'a> MixRun<'a> {
     }
 
     fn make_checkpoint(self, telemetry: Option<Option<u64>>) -> Checkpoint {
+        assert!(
+            self.io.is_trivial(),
+            "checkpoints do not cover device I/O agents; run I/O mixes straight through"
+        );
         let info = CheckpointInfo {
             apps: self.apps.clone(),
             scale: self.cfg.scale(),
@@ -551,6 +592,11 @@ impl<'a> MixRun<'a> {
 
     /// Verifies every pinned configuration axis against the checkpoint.
     fn check_resume_compatible(&self, info: &CheckpointInfo) -> Result<(), SnapshotError> {
+        if !self.io.is_trivial() {
+            return Err(SnapshotError::Mismatch(
+                "checkpoints do not cover device I/O agents; run I/O mixes straight through".into(),
+            ));
+        }
         let mismatch = |what: &str, ck: String, here: String| {
             Err(SnapshotError::Mismatch(format!(
                 "checkpoint was warmed with {what} {ck}, this run is configured for {here}"
@@ -644,7 +690,18 @@ fn build_report(
         gap_to_opt: None,
         inclusion_victim_rate: None,
         reuse: None,
+        io: None,
     }
+}
+
+/// Zips the result's per-agent I/O counters with their spec labels.
+/// `None` (and therefore no `"io"` report key) whenever the run had no
+/// I/O configured.
+fn io_report(labels: &[String], result: &RunResult) -> Option<IoReport> {
+    result.io.as_ref().map(|(stats, agents)| IoReport {
+        stats: *stats,
+        agents: labels.iter().cloned().zip(agents.iter().copied()).collect(),
+    })
 }
 
 /// The complete state of one in-flight run: the hierarchy, the cores,
@@ -655,10 +712,20 @@ fn build_report(
 /// layer instead stops it at the warm-up boundary, serializes it, and
 /// later thaws it — possibly under a different policy — to finish the
 /// measured phase.
+/// One device agent in flight: its deterministic line stream and its
+/// own clock. Agents sit in the scheduler heap after the cores (heap
+/// index `n_cores + agent`), injecting one line every `period` cycles.
+struct IoAgentRuntime {
+    trace: SyntheticTrace,
+    clock: Cycle,
+    period: u64,
+}
+
 struct Engine {
     hier: CacheHierarchy,
     cores: Vec<CoreModel>,
     traces: Vec<BatchedTrace<SyntheticTrace>>,
+    io_agents: Vec<IoAgentRuntime>,
     mode: EngineMode,
     last_code_line: Vec<Option<LineAddr>>,
     frozen: Vec<Option<ThreadResult>>,
@@ -724,11 +791,30 @@ impl Engine {
             };
             n_cores
         ];
-        let sched = CoreScheduler::new(cores.iter().map(CoreModel::now));
+        // Device agents start one period in, so at cycle 0 the cores win
+        // and an empty agent list leaves the heap exactly as before.
+        let io_agents: Vec<IoAgentRuntime> = run
+            .io
+            .agents
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| IoAgentRuntime {
+                trace: spec.stream(i, scale, run.cfg.seed_value()),
+                clock: spec.period,
+                period: spec.period,
+            })
+            .collect();
+        let sched = CoreScheduler::new(
+            cores
+                .iter()
+                .map(CoreModel::now)
+                .chain(io_agents.iter().map(|a| a.clock)),
+        );
         Engine {
             hier,
             cores,
             traces,
+            io_agents,
             mode: run.engine.unwrap_or_else(EngineMode::from_env),
             last_code_line: vec![None; n_cores],
             frozen: vec![None; n_cores],
@@ -748,10 +834,43 @@ impl Engine {
     /// Commits one instruction on the core with the smallest local clock,
     /// so shared-LLC access order is timestamp-accurate (the heap picks
     /// exactly like the old linear scan, ties to the lowest core index).
+    /// Heap entries past the cores are device agents; cores win clock
+    /// ties because they sit at lower indices.
     fn step(&mut self) {
         let i = self.sched.pick();
-        self.step_on(i);
-        self.sched.reinsert(i, self.cores[i].now());
+        self.step_index(i);
+        self.sched.reinsert(i, self.clock_of(i));
+    }
+
+    /// The local clock behind heap entry `i` (core or device agent).
+    fn clock_of(&self, i: usize) -> Cycle {
+        if i < self.cores.len() {
+            self.cores[i].now()
+        } else {
+            self.io_agents[i - self.cores.len()].clock
+        }
+    }
+
+    /// Dispatches heap entry `i` to the matching step body.
+    fn step_index(&mut self, i: usize) {
+        if i < self.cores.len() {
+            self.step_on(i);
+        } else {
+            self.io_step(i - self.cores.len());
+        }
+    }
+
+    /// Injects device agent `a`'s next line into the LLC and advances
+    /// its clock one period. Injections commit no instruction: the
+    /// global instruction clock (and so every event stamp and window
+    /// boundary) moves only when a core steps, and agents never warm or
+    /// freeze — when the last core freezes, the run ends mid-stream.
+    fn io_step(&mut self, a: usize) {
+        let instr = self.io_agents[a].trace.next_instruction();
+        if let Some(m) = instr.mem {
+            self.hier.io_inject(a, m.addr, m.kind.is_write());
+        }
+        self.io_agents[a].clock += self.io_agents[a].period;
     }
 
     /// Commits one instruction on core `i` — the whole per-instruction
@@ -868,18 +987,18 @@ impl Engine {
             let i = self.sched.pick();
             let horizon = self.sched.peek();
             loop {
-                self.step_on(i);
+                self.step_index(i);
                 if self.remaining == 0 || (until_warm && self.is_warm()) {
-                    self.sched.reinsert(i, self.cores[i].now());
+                    self.sched.reinsert(i, self.clock_of(i));
                     return;
                 }
                 match horizon {
-                    Some(h) if (self.cores[i].now(), i) < h => {}
+                    Some(h) if (self.clock_of(i), i) < h => {}
                     Some(_) => break,
                     None => {}
                 }
             }
-            self.sched.reinsert(i, self.cores[i].now());
+            self.sched.reinsert(i, self.clock_of(i));
         }
     }
 
@@ -905,6 +1024,10 @@ impl Engine {
             }
         });
 
+        let io = self
+            .hier
+            .io_stats()
+            .map(|s| (*s, self.hier.io_agent_stats().unwrap_or(&[]).to_vec()));
         let result = RunResult {
             threads: self
                 .frozen
@@ -912,6 +1035,7 @@ impl Engine {
                 .map(|t| t.expect("all frozen"))
                 .collect(),
             global: *self.hier.global_stats(),
+            io,
             spec_name,
         };
         (result, collected)
@@ -991,6 +1115,14 @@ impl Snapshot for Engine {
             }
         }
         w.write_u64(self.total_instr);
+        // Device agents contribute zero bytes when absent, keeping the
+        // wire format identical to pre-I/O engines. (Checkpointing
+        // currently refuses I/O mixes; the coverage is kept complete so
+        // nothing silently truncates if that changes.)
+        for a in &self.io_agents {
+            a.trace.write_state(w);
+            w.write_u64(a.clock);
+        }
     }
 
     fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
@@ -1030,8 +1162,17 @@ impl Snapshot for Engine {
             };
         }
         self.total_instr = r.read_u64()?;
+        for a in &mut self.io_agents {
+            a.trace.read_state(r)?;
+            a.clock = r.read_u64()?;
+        }
         self.remaining = self.frozen.iter().filter(|f| f.is_none()).count();
-        self.sched = CoreScheduler::new(self.cores.iter().map(CoreModel::now));
+        self.sched = CoreScheduler::new(
+            self.cores
+                .iter()
+                .map(CoreModel::now)
+                .chain(self.io_agents.iter().map(|a| a.clock)),
+        );
         Ok(())
     }
 }
@@ -1052,9 +1193,113 @@ pub struct RunTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tla_io::IoAgentSpec;
 
     fn quick() -> SimConfig {
         SimConfig::scaled_down().instructions(20_000)
+    }
+
+    #[test]
+    fn io_agents_are_deterministic_and_pollute() {
+        let cfg = quick().instructions(60_000);
+        let mix = [SpecApp::Sjeng];
+        let plain = MixRun::new(&cfg, &mix).run();
+        let io = IoMixConfig::none().agent(IoAgentSpec::dma().period(2));
+        let a = MixRun::new(&cfg, &mix).io(io.clone()).run();
+        let b = MixRun::new(&cfg, &mix).io(io).run();
+        assert_eq!(a.threads[0].stats, b.threads[0].stats);
+        assert_eq!(a.threads[0].cycles, b.threads[0].cycles);
+        assert_eq!(a.global, b.global);
+        assert_eq!(a.io, b.io);
+        let (stats, agents) = a.io.as_ref().expect("io stats present");
+        assert!(stats.injections > 0, "the dma agent never injected");
+        assert_eq!(agents.len(), 1);
+        assert_eq!(agents[0].injections, stats.injections);
+        // Leaky DMA is pure pollution: the app must miss more than alone.
+        assert!(
+            a.threads[0].stats.llc_misses > plain.threads[0].stats.llc_misses,
+            "dma pressure did not raise app LLC misses ({} vs {})",
+            a.threads[0].stats.llc_misses,
+            plain.threads[0].stats.llc_misses
+        );
+        assert!(plain.io.is_none());
+    }
+
+    #[test]
+    fn io_serial_and_batched_engines_match() {
+        let cfg = quick().warmup(5_000);
+        let mix = [SpecApp::Sjeng, SpecApp::Mcf];
+        let io = IoMixConfig::none()
+            .agent(IoAgentSpec::nic().period(3).lines(256))
+            .agent(IoAgentSpec::dma().period(7))
+            .inject_ways(2);
+        let b = MixRun::new(&cfg, &mix)
+            .io(io.clone())
+            .engine_mode(EngineMode::Batched)
+            .run();
+        let s = MixRun::new(&cfg, &mix)
+            .io(io)
+            .engine_mode(EngineMode::Serial)
+            .run();
+        for (tb, ts) in b.threads.iter().zip(&s.threads) {
+            assert_eq!(tb.cycles, ts.cycles);
+            assert_eq!(tb.stats, ts.stats);
+        }
+        assert_eq!(b.global, s.global);
+        assert_eq!(b.io, s.io);
+    }
+
+    #[test]
+    fn trivial_io_config_is_bit_identical_to_none() {
+        let cfg = quick();
+        let mix = [SpecApp::Sjeng, SpecApp::Libquantum];
+        let (pr, prep) = MixRun::new(&cfg, &mix).run_report(Some(5_000));
+        // Zero agents + an unpartitioned way limit is trivial by
+        // definition: no hierarchy I/O state, no report key, same bytes.
+        let (tr, trep) = MixRun::new(&cfg, &mix)
+            .io(IoMixConfig::none().inject_ways(4))
+            .run_report(Some(5_000));
+        assert!(pr.io.is_none() && tr.io.is_none());
+        assert_eq!(prep.to_json_string(), trep.to_json_string());
+    }
+
+    #[test]
+    fn injection_way_limit_recovers_app_performance() {
+        let cfg = quick().instructions(60_000);
+        let mix = [SpecApp::Sjeng];
+        let agent = IoAgentSpec::dma().period(2);
+        let unlimited = MixRun::new(&cfg, &mix)
+            .io(IoMixConfig::none().agent(agent))
+            .run();
+        let limited = MixRun::new(&cfg, &mix)
+            .io(IoMixConfig::none().agent(agent).inject_ways(2))
+            .run();
+        assert!(
+            limited.threads[0].stats.llc_misses < unlimited.threads[0].stats.llc_misses,
+            "a 2-way injection limit should confine DMA pollution ({} vs {})",
+            limited.threads[0].stats.llc_misses,
+            unlimited.threads[0].stats.llc_misses
+        );
+    }
+
+    #[test]
+    fn io_mix_refuses_resume() {
+        let cfg = quick().warmup(1_000);
+        let ck = MixRun::new(&cfg, &[SpecApp::Sjeng]).warm_checkpoint();
+        let err = MixRun::new(&cfg, &[SpecApp::Sjeng])
+            .io(IoMixConfig::none().agent(IoAgentSpec::dma()))
+            .resume(&ck)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::Mismatch(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoints do not cover device I/O agents")]
+    fn io_mix_refuses_warm_checkpoint() {
+        let cfg = quick().warmup(1_000);
+        let _ = MixRun::new(&cfg, &[SpecApp::Sjeng])
+            .io(IoMixConfig::none().agent(IoAgentSpec::dma()))
+            .warm_checkpoint();
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::config::SimConfig;
 use crate::policyspec::PolicySpec;
 use crate::run::{MixRun, RunResult, ThreadResult};
 use crate::warmcache::WarmCache;
+use tla_io::IoMixConfig;
 use tla_pool::scoped_map;
 use tla_snapshot::SnapshotError;
 use tla_telemetry::RunReport;
@@ -162,8 +163,30 @@ pub fn run_policy_reports(
     llc_capacity_full_scale: Option<usize>,
     window: Option<u64>,
 ) -> Vec<(RunResult, Option<RunReport>)> {
+    run_policy_reports_io(
+        cfg,
+        apps,
+        specs,
+        llc_capacity_full_scale,
+        window,
+        &IoMixConfig::none(),
+    )
+}
+
+/// [`run_policy_reports`] with a device-I/O mix attached to every run —
+/// the engine behind `tla-cli compare --io` and the `io-sweep` scenario
+/// grid. A [trivial](IoMixConfig::is_trivial) `io` is exactly
+/// [`run_policy_reports`], byte for byte.
+pub fn run_policy_reports_io(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+    io: &IoMixConfig,
+) -> Vec<(RunResult, Option<RunReport>)> {
     scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
-        let mut run = MixRun::new(cfg, apps).spec(&spec);
+        let mut run = MixRun::new(cfg, apps).spec(&spec).io(io.clone());
         if let Some(bytes) = llc_capacity_full_scale {
             run = run.llc_capacity_full_scale(bytes);
         }
@@ -195,8 +218,33 @@ pub fn run_policy_reports_analyzed(
     window: Option<u64>,
     sample_every: u32,
 ) -> Vec<(RunResult, RunReport)> {
+    run_policy_reports_analyzed_io(
+        cfg,
+        apps,
+        specs,
+        llc_capacity_full_scale,
+        window,
+        sample_every,
+        &IoMixConfig::none(),
+    )
+}
+
+/// [`run_policy_reports_analyzed`] with a device-I/O mix attached to
+/// every run, so `analyze --io` can put gap-to-opt and victim analytics
+/// next to the I/O damage counters. A trivial `io` is exactly
+/// [`run_policy_reports_analyzed`], byte for byte.
+#[allow(clippy::too_many_arguments)]
+pub fn run_policy_reports_analyzed_io(
+    cfg: &SimConfig,
+    apps: &[SpecApp],
+    specs: &[PolicySpec],
+    llc_capacity_full_scale: Option<usize>,
+    window: Option<u64>,
+    sample_every: u32,
+    io: &IoMixConfig,
+) -> Vec<(RunResult, RunReport)> {
     scoped_map(cfg.effective_jobs(), specs.to_vec(), |spec| {
-        let mut run = MixRun::new(cfg, apps).spec(&spec);
+        let mut run = MixRun::new(cfg, apps).spec(&spec).io(io.clone());
         if let Some(bytes) = llc_capacity_full_scale {
             run = run.llc_capacity_full_scale(bytes);
         }
@@ -627,6 +675,7 @@ mod tests {
         let zero_run = RunResult {
             threads: Vec::new(),
             global: Default::default(),
+            io: None,
             spec_name: "frozen".into(),
         };
         let suite = SuiteResult {

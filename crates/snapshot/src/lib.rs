@@ -32,7 +32,7 @@
 
 use std::fmt;
 use tla_rng::SmallRng;
-use tla_types::{GlobalStats, PerCoreStats};
+use tla_types::{GlobalStats, IoAgentStats, IoStats, PerCoreStats};
 
 /// Magic bytes identifying a TLAS snapshot.
 pub const MAGIC: [u8; 4] = *b"TLAS";
@@ -563,6 +563,46 @@ impl Snapshot for GlobalStats {
         self.victim_misses_qbs_limit = r.read_u64()?;
         self.victim_misses_eci = r.read_u64()?;
         self.victim_misses_vc = r.read_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for IoStats {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.injections);
+        w.write_u64(self.inject_hits);
+        w.write_u64(self.inject_fills);
+        w.write_u64(self.llc_evictions);
+        w.write_u64(self.back_invalidates);
+        w.write_u64(self.writebacks);
+        w.write_u64(self.victim_misses_io);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.injections = r.read_u64()?;
+        self.inject_hits = r.read_u64()?;
+        self.inject_fills = r.read_u64()?;
+        self.llc_evictions = r.read_u64()?;
+        self.back_invalidates = r.read_u64()?;
+        self.writebacks = r.read_u64()?;
+        self.victim_misses_io = r.read_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for IoAgentStats {
+    fn write_state(&self, w: &mut SnapshotWriter) {
+        w.write_u64(self.injections);
+        w.write_u64(self.hits);
+        w.write_u64(self.fills);
+        w.write_u64(self.evictions);
+    }
+
+    fn read_state(&mut self, r: &mut SnapshotReader) -> Result<(), SnapshotError> {
+        self.injections = r.read_u64()?;
+        self.hits = r.read_u64()?;
+        self.fills = r.read_u64()?;
+        self.evictions = r.read_u64()?;
         Ok(())
     }
 }

@@ -41,7 +41,7 @@ mod window;
 pub use event::{EventKind, TelemetryEvent};
 pub use histogram::{PerSetHistogram, SetHistogramSummary};
 pub use report::{
-    ConfigEcho, ReportError, ReuseReport, RunReport, SetHistogramReport, ThreadReport,
+    ConfigEcho, IoReport, ReportError, ReuseReport, RunReport, SetHistogramReport, ThreadReport,
     SCHEMA_VERSION,
 };
 pub use reuse::{

@@ -14,7 +14,7 @@ use crate::json::{JsonError, JsonValue};
 use crate::reuse::{ReuseHistogram, ReuseProfiler};
 use crate::window::Window;
 use std::fmt;
-use tla_types::{GlobalStats, PerCoreStats};
+use tla_types::{GlobalStats, IoAgentStats, IoStats, PerCoreStats};
 
 /// Version stamp written into every report; bump on breaking schema
 /// changes so downstream tooling can detect them.
@@ -22,8 +22,10 @@ use tla_types::{GlobalStats, PerCoreStats};
 /// v2: miss-classification counters (`misses_cold` / `misses_capacity` /
 /// `misses_inclusion_victim`) joined the per-core stats, victim-cause
 /// counters joined the global stats, and reports may carry optional
-/// gap-to-optimal (`opt_misses`, `gap_to_opt`, `inclusion_victim_rate`)
-/// and reuse-distance (`reuse`) payloads.
+/// gap-to-optimal (`opt_misses`, `gap_to_opt`, `inclusion_victim_rate`),
+/// reuse-distance (`reuse`) and device-injection (`io`) payloads (the
+/// `io` block is a v2-compatible optional addition: reports without
+/// device agents encode byte-identically to pre-`io` builds).
 pub const SCHEMA_VERSION: u64 = 2;
 
 /// Ordered key → value echo of the configuration a run used.
@@ -187,6 +189,63 @@ fn reuse_from_json(v: &JsonValue) -> Result<ReuseReport, ReportError> {
     })
 }
 
+/// Device-injection payload of a report: the aggregate DDIO-style
+/// injection counters plus one labelled counter block per I/O agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoReport {
+    /// Aggregate injection counters across all agents.
+    pub stats: IoStats,
+    /// `(agent label, counters)` in agent order, e.g. `("nic:4:512", …)`.
+    pub agents: Vec<(String, IoAgentStats)>,
+}
+
+fn io_to_json(r: &IoReport) -> JsonValue {
+    JsonValue::object([
+        (
+            "stats",
+            JsonValue::object(
+                IO_FIELDS
+                    .iter()
+                    .map(|(name, get, _)| (*name, JsonValue::from(get(&r.stats)))),
+            ),
+        ),
+        (
+            "agents",
+            JsonValue::array(r.agents.iter().map(|(label, s)| {
+                let mut obj = vec![("agent".to_string(), JsonValue::from(label.as_str()))];
+                obj.extend(
+                    IO_AGENT_FIELDS
+                        .iter()
+                        .map(|(name, get, _)| (name.to_string(), JsonValue::from(get(s)))),
+                );
+                JsonValue::Obj(obj)
+            })),
+        ),
+    ])
+}
+
+fn io_from_json(v: &JsonValue) -> Result<IoReport, ReportError> {
+    let stats_v = field(v, "stats")?;
+    let mut stats = IoStats::default();
+    for (name, _, get_mut) in &IO_FIELDS {
+        *get_mut(&mut stats) = field_u64(stats_v, name)?;
+    }
+    let agents = field(v, "agents")?
+        .as_array()
+        .ok_or_else(|| ReportError::new("'agents' is not an array"))?
+        .iter()
+        .map(|a| {
+            let label = field_str(a, "agent")?;
+            let mut s = IoAgentStats::default();
+            for (name, _, get_mut) in &IO_AGENT_FIELDS {
+                *get_mut(&mut s) = field_u64(a, name)?;
+            }
+            Ok((label, s))
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(IoReport { stats, agents })
+}
+
 /// Everything one run produced, ready to serialize.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -217,6 +276,8 @@ pub struct RunReport {
     pub inclusion_victim_rate: Option<f64>,
     /// Reuse-distance histograms, when the profiler was attached.
     pub reuse: Option<ReuseReport>,
+    /// Device-injection counters, when I/O agents were configured.
+    pub io: Option<IoReport>,
 }
 
 impl RunReport {
@@ -311,6 +372,9 @@ impl RunReport {
         }
         if let Some(r) = &self.reuse {
             top.push(("reuse".to_string(), reuse_to_json(r)));
+        }
+        if let Some(io) = &self.io {
+            top.push(("io".to_string(), io_to_json(io)));
         }
         JsonValue::Obj(top)
     }
@@ -415,6 +479,10 @@ impl RunReport {
             reuse: match v.get("reuse") {
                 None => None,
                 Some(r) => Some(reuse_from_json(r)?),
+            },
+            io: match v.get("io") {
+                None => None,
+                Some(io) => Some(io_from_json(io)?),
             },
         })
     }
@@ -591,6 +659,37 @@ const GLOBAL_FIELDS: FieldTable<GlobalStats, 16> = [
     ),
 ];
 
+/// Same for the aggregate [`IoStats`] block of an [`IoReport`].
+const IO_FIELDS: FieldTable<IoStats, 7> = [
+    ("injections", |s| s.injections, |s| &mut s.injections),
+    ("inject_hits", |s| s.inject_hits, |s| &mut s.inject_hits),
+    ("inject_fills", |s| s.inject_fills, |s| &mut s.inject_fills),
+    (
+        "llc_evictions",
+        |s| s.llc_evictions,
+        |s| &mut s.llc_evictions,
+    ),
+    (
+        "back_invalidates",
+        |s| s.back_invalidates,
+        |s| &mut s.back_invalidates,
+    ),
+    ("writebacks", |s| s.writebacks, |s| &mut s.writebacks),
+    (
+        "victim_misses_io",
+        |s| s.victim_misses_io,
+        |s| &mut s.victim_misses_io,
+    ),
+];
+
+/// Same for the per-agent [`IoAgentStats`] blocks.
+const IO_AGENT_FIELDS: FieldTable<IoAgentStats, 4> = [
+    ("injections", |s| s.injections, |s| &mut s.injections),
+    ("hits", |s| s.hits, |s| &mut s.hits),
+    ("fills", |s| s.fills, |s| &mut s.fills),
+    ("evictions", |s| s.evictions, |s| &mut s.evictions),
+];
+
 fn per_core_to_json(s: &PerCoreStats) -> JsonValue {
     JsonValue::object(
         PER_CORE_FIELDS
@@ -731,6 +830,7 @@ mod tests {
             gap_to_opt: None,
             inclusion_victim_rate: None,
             reuse: None,
+            io: None,
         }
     }
 
@@ -813,6 +913,63 @@ mod tests {
                 .map(|a| a.len()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn io_payload_round_trips() {
+        let mut report = sample_report();
+        report.io = Some(IoReport {
+            stats: IoStats {
+                injections: 100,
+                inject_hits: 40,
+                inject_fills: 60,
+                llc_evictions: 55,
+                back_invalidates: 9,
+                writebacks: 30,
+                victim_misses_io: 7,
+            },
+            agents: vec![
+                (
+                    "nic:4:512".to_string(),
+                    IoAgentStats {
+                        injections: 60,
+                        hits: 40,
+                        fills: 20,
+                        evictions: 15,
+                    },
+                ),
+                (
+                    "dma:4".to_string(),
+                    IoAgentStats {
+                        injections: 40,
+                        hits: 0,
+                        fills: 40,
+                        evictions: 40,
+                    },
+                ),
+            ],
+        });
+        let back = RunReport::parse(&report.to_json_string()).unwrap();
+        assert_eq!(report, back);
+        let v = report.to_json();
+        let io = v.get("io").unwrap();
+        assert_eq!(
+            io.get("stats")
+                .and_then(|s| s.get("victim_misses_io"))
+                .and_then(|x| x.as_u64()),
+            Some(7)
+        );
+        let agents = io.get("agents").and_then(|a| a.as_array()).unwrap();
+        assert_eq!(agents.len(), 2);
+        assert_eq!(
+            agents[0].get("agent").and_then(|x| x.as_str()),
+            Some("nic:4:512")
+        );
+        // Without io the encoding is byte-identical to a pre-io report
+        // (the differential-golden guarantee).
+        let mut plain = sample_report();
+        plain.io = None;
+        assert!(plain.to_json_string() == sample_report().to_json_string());
     }
 
     #[test]

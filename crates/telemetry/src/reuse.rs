@@ -250,12 +250,19 @@ impl ReuseProfiler {
     /// A profiler over an LLC with `llc_sets` sets, sampling every
     /// `sample_every`-th set into histograms of `num_buckets` buckets.
     ///
+    /// A zero `sample_every` is clamped to 1 (profile every set): the
+    /// stride feeds `step_by`, and a panic deep inside a long analyzed
+    /// run is a far worse failure mode than a thorough profile. Front
+    /// ends reject 0 with a proper error before it gets here (see
+    /// `tla-cli`'s `--sample-every` validation), mirroring
+    /// [`WindowedSeries::new`](crate::WindowedSeries::new)'s `--window`
+    /// handling.
+    ///
     /// # Panics
     ///
-    /// Panics if `sample_every` or `num_buckets` is zero, or no set would
-    /// be sampled.
+    /// Panics if `num_buckets` or `llc_sets` is zero.
     pub fn new(llc_sets: usize, sample_every: u32, num_buckets: usize) -> Self {
-        assert!(sample_every > 0, "sample_every must be positive");
+        let sample_every = sample_every.max(1);
         assert!(llc_sets > 0, "profiler needs at least one LLC set");
         let sets = (0..llc_sets as u32)
             .step_by(sample_every as usize)
@@ -501,5 +508,21 @@ mod tests {
         p.record(&access(0, 10)); // d = 0 within set 0
         let (_, h) = p.per_set().next().unwrap();
         assert_eq!(h.buckets()[0], 1);
+    }
+
+    #[test]
+    fn zero_sample_every_clamps_to_every_set() {
+        // Regression: a zero stride used to assert; it now clamps to 1
+        // (profile every set), mirroring `WindowedSeries::new`'s zero-
+        // window handling, and behaves identically to stride 1.
+        let mut clamped = ReuseProfiler::new(8, 0, 8);
+        assert_eq!(clamped.sample_every(), 1);
+        let mut full = ReuseProfiler::new(8, 1, 8);
+        for p in [&mut clamped, &mut full] {
+            p.record(&access(3, 42));
+            p.record(&access(3, 42));
+        }
+        assert_eq!(clamped.global().buckets(), full.global().buckets());
+        assert_eq!(clamped.per_set().count(), full.per_set().count());
     }
 }

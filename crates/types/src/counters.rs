@@ -164,6 +164,60 @@ impl GlobalStats {
     }
 }
 
+/// Hierarchy-wide counters for device (DDIO-style) LLC injection traffic.
+///
+/// Maintained by the hierarchy's I/O injection path and only present when
+/// I/O agents are configured; all counters stay zero otherwise so reports
+/// can gate the whole block on activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Device lines injected into the LLC (hit or fill).
+    pub injections: u64,
+    /// Injections that hit a line already LLC-resident.
+    pub inject_hits: u64,
+    /// Injections that allocated a new LLC line.
+    pub inject_fills: u64,
+    /// LLC evictions forced by injection fills.
+    pub llc_evictions: u64,
+    /// Back-invalidate messages those evictions sent to core caches.
+    pub back_invalidates: u64,
+    /// Dirty lines written back to memory on injection evictions.
+    pub writebacks: u64,
+    /// App demand misses attributed to an injection-caused kill — the
+    /// `io_injection` victim class, the I/O share of
+    /// `misses_inclusion_victim`.
+    pub victim_misses_io: u64,
+}
+
+impl IoStats {
+    /// Per-field difference `self - earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            injections: self.injections - earlier.injections,
+            inject_hits: self.inject_hits - earlier.inject_hits,
+            inject_fills: self.inject_fills - earlier.inject_fills,
+            llc_evictions: self.llc_evictions - earlier.llc_evictions,
+            back_invalidates: self.back_invalidates - earlier.back_invalidates,
+            writebacks: self.writebacks - earlier.writebacks,
+            victim_misses_io: self.victim_misses_io - earlier.victim_misses_io,
+        }
+    }
+}
+
+/// Injection counters attributed to one I/O agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoAgentStats {
+    /// Lines this agent injected (hit or fill).
+    pub injections: u64,
+    /// Injections that hit an LLC-resident line (ring-buffer reuse).
+    pub hits: u64,
+    /// Injections that allocated a new LLC line.
+    pub fills: u64,
+    /// LLC evictions this agent's fills forced.
+    pub evictions: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,7 +20,7 @@
 pub mod counters;
 pub mod stats;
 
-pub use counters::{GlobalStats, PerCoreStats};
+pub use counters::{GlobalStats, IoAgentStats, IoStats, PerCoreStats};
 
 use std::fmt;
 

@@ -8,6 +8,7 @@
 //! tla-cli analyze --mix lib,sje [opts]           # compare + MIN oracle,
 //!                                                # reuse and victim analytics
 //! tla-cli bench [opts]                           # throughput benchmark
+//! tla-cli io-sweep --mix sje [opts]              # app-vs-I/O pressure sweep
 //! tla-cli snapshot save --mix a,b --out f.tlas   # warm once, checkpoint
 //! tla-cli snapshot info f.tlas                   # inspect a checkpoint
 //! tla-cli snapshot resume f.tlas --policy qbs    # measure from a checkpoint
@@ -16,12 +17,14 @@
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
 //!          --jobs <n>  --shard-jobs <n>  --baseline <path>  --gate <pct>
 //!          --target-ms <n>  --out <path>  --warm-start  --sample-every <n>
+//!          --io <agents>  --io-ways <n>  --io-partition  --smoke
 //! ```
 
 use std::process::ExitCode;
+use tla::io::{IoAgentSpec, IoMixConfig};
 use tla::kv::{report_json, run_load, KvConfig, KvPolicy, LoadSpec, ShardedKv};
 use tla::sim::{
-    mpki_table, optimal_llc, run_policy_reports, run_policy_reports_analyzed,
+    mpki_table, optimal_llc, run_policy_reports_analyzed_io, run_policy_reports_io,
     run_policy_reports_warm_start_cached, Checkpoint, MixRun, PolicySpec, RunReport, RunResult,
     SimConfig, Table, WarmCache,
 };
@@ -31,7 +34,7 @@ use tla::workloads::{table2_mixes, KvWorkload, SpecApp};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: tla-cli <list|table1|run|compare|analyze|bench|snapshot> [options]\n\
+        "usage: tla-cli <list|table1|run|compare|analyze|bench|io-sweep|kv-bench|snapshot> [options]\n\
          \n\
          commands:\n\
          \x20 list                    available apps, mixes and policies\n\
@@ -45,7 +48,12 @@ fn usage() -> ExitCode {
          \x20                         histograms, inclusion-victim rates\n\
          \x20 bench                   simulator throughput over a fixed\n\
          \x20                         policy x core-count matrix (plus the\n\
-         \x20                         kv/* service entries)\n\
+         \x20                         kv/* service and io/* injection entries)\n\
+         \x20 io-sweep [--mix a,b]    app-vs-I/O pressure sweep: device\n\
+         \x20                         scenarios (nic ring, leaky dma,\n\
+         \x20                         injection-way limits, partitioning)\n\
+         \x20                         x the four management policies\n\
+         \x20                         (default mix: sje; --smoke for CI)\n\
          \x20 kv-bench                multi-threaded load against the\n\
          \x20                         tla-kv sharded cache service\n\
          \x20 snapshot save --mix a,b --out <f.tlas>\n\
@@ -91,6 +99,22 @@ fn usage() -> ExitCode {
          \x20                         entirely (implies --warm-start)\n\
          \x20 --sample-every <n>      analyze: profile reuse distance in\n\
          \x20                         every n-th LLC set (default 4)\n\
+         \x20 --io <a[,a...]>         run/compare/analyze: attach device\n\
+         \x20                         I/O agents injecting into the LLC\n\
+         \x20                         (DDIO-style). Agents: nic[:period\n\
+         \x20                         [:lines]] (ring buffer), dma[:period]\n\
+         \x20                         (leaky write-once stream); e.g.\n\
+         \x20                         --io dma:2,nic:4:512. Incompatible\n\
+         \x20                         with --warm-start/--warm-cache and\n\
+         \x20                         snapshots (checkpoints do not cover\n\
+         \x20                         device agents)\n\
+         \x20 --io-ways <n>           limit device injections to the first\n\
+         \x20                         n LLC ways (DDIO's inject-into-N-ways\n\
+         \x20                         model; must fit the LLC associativity)\n\
+         \x20 --io-partition          also keep app fills out of the device\n\
+         \x20                         ways (static way partitioning;\n\
+         \x20                         requires --io-ways)\n\
+         \x20 --smoke                 io-sweep: small fixed sweep (CI mode)\n\
          \n\
          bench options:\n\
          \x20 --json <path>           write the BENCH_*.json report\n\
@@ -114,7 +138,11 @@ fn usage() -> ExitCode {
          \x20 --ways <n>              associativity (default 8)\n\
          \x20 --put-permille <n>      puts per 1000 ops (default 50)\n\
          \x20 --seed <n>              load/cache seed (default 1)\n\
-         \x20 --json <path>           write the tla-kv-report-v1 JSON\n\
+         \x20 --json <path>           write the tla-kv-report-v1 JSON,\n\
+         \x20                         including per-shard windowed\n\
+         \x20                         hit-rate time series\n\
+         \x20 --window <n>            ops per shard between series\n\
+         \x20                         windows (with --json; default 8192)\n\
          \x20 --smoke                 quick fixed sweep over every policy\n\
          \x20                         with counter self-checks (CI mode)"
     );
@@ -136,6 +164,8 @@ struct Options {
     warm_start: bool,
     warm_cache: Option<String>,
     sample_every: u32,
+    io: IoMixConfig,
+    smoke: bool,
 }
 
 fn parse_policy(name: &str) -> Option<PolicySpec> {
@@ -196,6 +226,8 @@ fn parse_options(
         warm_start: false,
         warm_cache: None,
         sample_every: DEFAULT_SAMPLE_EVERY,
+        io: IoMixConfig::none(),
+        smoke: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -297,11 +329,38 @@ fn parse_options(
                 }
                 opts.sample_every = v;
             }
+            "--io" => {
+                for part in value("--io")?.split(',') {
+                    let spec = IoAgentSpec::parse(part.trim()).map_err(|e| format!("--io: {e}"))?;
+                    opts.io = opts.io.clone().agent(spec);
+                }
+            }
+            "--io-ways" => {
+                let v: usize = value("--io-ways")?.parse().map_err(|e| format!("{e}"))?;
+                if v == 0 {
+                    return Err("--io-ways must be positive".into());
+                }
+                opts.io = opts.io.clone().inject_ways(v);
+            }
+            "--io-partition" => {
+                opts.io = opts.io.clone().partition(true);
+            }
+            "--smoke" => {
+                opts.smoke = true;
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     if window_needs_json && opts.window.is_some() && opts.json.is_none() {
         return Err("--window only makes sense with --json".into());
+    }
+    if opts.io.partition && opts.io.inject_ways.is_none() {
+        return Err("--io-partition requires --io-ways".into());
+    }
+    if !opts.io.is_trivial() && (opts.warm_start || opts.warm_cache.is_some()) {
+        return Err("--io cannot be combined with --warm-start/--warm-cache \
+             (checkpoints do not cover device I/O agents)"
+            .into());
     }
     Ok(opts)
 }
@@ -310,7 +369,9 @@ fn parse_options(
 const DEFAULT_WINDOW: u64 = 100_000;
 
 fn print_run(opts: &Options, spec: &PolicySpec) -> (f64, Option<RunReport>) {
-    let mut run = MixRun::new(&opts.cfg, &opts.mix).spec(spec);
+    let mut run = MixRun::new(&opts.cfg, &opts.mix)
+        .spec(spec)
+        .io(opts.io.clone());
     if let Some(mb) = opts.llc_mb {
         run = run.llc_capacity_full_scale(mb * 1024 * 1024);
     }
@@ -322,7 +383,25 @@ fn print_run(opts: &Options, spec: &PolicySpec) -> (f64, Option<RunReport>) {
         (run.run(), None)
     };
     print_result(&spec.name, &r);
+    print_io_result(&r);
     (r.throughput(), report)
+}
+
+/// One-line device-I/O summary after a run's per-thread table; silent
+/// for runs without I/O agents.
+fn print_io_result(r: &RunResult) {
+    if let Some((io, _)) = &r.io {
+        println!(
+            "io: {} injections ({} hits, {} fills), {} LLC evictions, \
+             {} writebacks, {} io-induced victim misses\n",
+            io.injections,
+            io.inject_hits,
+            io.inject_fills,
+            io.llc_evictions,
+            io.writebacks,
+            io.victim_misses_io,
+        );
+    }
 }
 
 fn print_result(name: &str, r: &tla::sim::RunResult) {
@@ -500,7 +579,7 @@ fn cmd_compare(opts: &Options) -> ExitCode {
             }
         }
     } else {
-        run_policy_reports(&opts.cfg, &opts.mix, &specs, llc, window)
+        run_policy_reports_io(&opts.cfg, &opts.mix, &specs, llc, window, &opts.io)
     };
     // One MIN-oracle replay covers every policy: the oracle sees the same
     // reference stream whatever the hierarchy does with it.
@@ -509,6 +588,7 @@ fn cmd_compare(opts: &Options) -> ExitCode {
     let mut reports = Vec::new();
     for (spec, (r, report)) in specs.iter().zip(results) {
         print_result(&spec.name, &r);
+        print_io_result(&r);
         let tp = r.throughput();
         let base = *baseline.get_or_insert(tp);
         let gap = gap_to_opt(r.llc_misses(), opt.misses);
@@ -546,13 +626,14 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
     // stream), so a window exists with or without --json.
     let window = opts.window.unwrap_or(DEFAULT_WINDOW);
     let opt = optimal_llc(&opts.cfg, &opts.mix, llc);
-    let results = run_policy_reports_analyzed(
+    let results = run_policy_reports_analyzed_io(
         &opts.cfg,
         &opts.mix,
         &specs,
         llc,
         Some(window),
         opts.sample_every,
+        &opts.io,
     );
     println!(
         "MIN oracle (demand-fetch, LLC geometry): {} accesses, {} hits, {} misses",
@@ -565,7 +646,8 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
              negative. Use --no-prefetch for a true lower bound."
         );
     }
-    let mut table = Table::new(&[
+    let with_io = !opts.io.is_trivial();
+    let mut headers = vec![
         "policy",
         "LLC misses",
         "opt misses",
@@ -573,14 +655,18 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
         "victim rate",
         "reuse p50",
         "reuse p90",
-    ]);
+    ];
+    if with_io {
+        headers.push("io victims");
+    }
+    let mut table = Table::new(&headers);
     let pct = |p: Option<u64>| p.map_or_else(|| "-".into(), |v| v.to_string());
     let mut reports = Vec::new();
     for (r, mut report) in results {
         report.opt_misses = Some(opt.misses);
         report.gap_to_opt = Some(gap_to_opt(r.llc_misses(), opt.misses));
         let reuse = report.reuse.as_ref().expect("analyzed runs carry reuse");
-        table.add_row(vec![
+        let mut row = vec![
             r.spec_name.clone(),
             r.llc_misses().to_string(),
             opt.misses.to_string(),
@@ -591,7 +677,14 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
             ),
             pct(reuse.global.percentile(50.0)),
             pct(reuse.global.percentile(90.0)),
-        ]);
+        ];
+        if with_io {
+            row.push(
+                r.io.as_ref()
+                    .map_or_else(|| "-".into(), |(s, _)| s.victim_misses_io.to_string()),
+            );
+        }
+        table.add_row(row);
         reports.push(report);
     }
     print!("{table}");
@@ -600,6 +693,139 @@ fn cmd_analyze(opts: &Options) -> ExitCode {
          log-bucket upper bounds in lines",
         opts.sample_every
     );
+    if let Some(path) = &opts.json {
+        let doc = JsonValue::array(reports.iter().map(RunReport::to_json));
+        return write_json(path, &doc.to_pretty());
+    }
+    ExitCode::SUCCESS
+}
+
+/// The policy axis of `io-sweep`: the inclusive LRU baseline plus the
+/// paper's three management families (TLH, ECI, QBS), so the sweep shows
+/// whether temporal-locality awareness recovers what device injection
+/// costs the apps.
+fn io_sweep_specs() -> [PolicySpec; 4] {
+    [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+    ]
+}
+
+/// The device axis of `io-sweep`. The full grid walks from no I/O through
+/// each agent alone, both together, and then reins the leaky-DMA stream in
+/// with an injection-way limit, with partitioning, and with the NIC riding
+/// along; `--smoke` keeps the three-point subset CI diffs across engines.
+fn io_sweep_scenarios(smoke: bool) -> Vec<IoMixConfig> {
+    let nic = || IoAgentSpec::nic().period(3).lines(512);
+    let dma = || IoAgentSpec::dma().period(2);
+    if smoke {
+        return vec![
+            IoMixConfig::none(),
+            IoMixConfig::none().agent(dma()),
+            IoMixConfig::none().agent(dma()).inject_ways(2),
+        ];
+    }
+    vec![
+        IoMixConfig::none(),
+        IoMixConfig::none().agent(nic()),
+        IoMixConfig::none().agent(dma()),
+        IoMixConfig::none().agent(nic()).agent(dma()),
+        IoMixConfig::none().agent(dma()).inject_ways(2),
+        IoMixConfig::none()
+            .agent(dma())
+            .inject_ways(2)
+            .partition(true),
+        IoMixConfig::none().agent(nic()).agent(dma()).inject_ways(2),
+    ]
+}
+
+fn cmd_io_sweep(opts: &Options) -> ExitCode {
+    if !opts.io.is_trivial() {
+        eprintln!("io-sweep: the sweep supplies its own device scenarios; drop --io/--io-ways");
+        return ExitCode::FAILURE;
+    }
+    if opts.warm_start || opts.warm_cache.is_some() {
+        eprintln!(
+            "io-sweep: --warm-start/--warm-cache are not supported \
+             (checkpoints do not cover device I/O agents)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let mix = if opts.mix.is_empty() {
+        vec![SpecApp::Sjeng]
+    } else {
+        opts.mix.clone()
+    };
+    let cfg = if opts.smoke {
+        // CI mode: tiny quotas, the point is exercising the whole grid
+        // deterministically, not producing publishable numbers.
+        opts.cfg.clone().warmup(20_000).instructions(60_000)
+    } else {
+        opts.cfg.clone()
+    };
+    let specs = io_sweep_specs();
+    let scenarios = io_sweep_scenarios(opts.smoke);
+    let llc = opts.llc_mb.map(|mb| mb * 1024 * 1024);
+    let window = opts
+        .json
+        .as_ref()
+        .map(|_| opts.window.unwrap_or(DEFAULT_WINDOW));
+    // One MIN-oracle replay covers the whole grid: device traffic never
+    // changes the app reference stream, so the optimum is I/O-invariant
+    // and gap-to-opt directly measures I/O-induced damage.
+    let opt = optimal_llc(&cfg, &mix, llc);
+    let mix_label = mix
+        .iter()
+        .map(|a| a.short_name())
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "app-vs-I/O sweep: mix {mix_label}, {} device scenarios x {} policies \
+         (MIN oracle: {} misses)",
+        scenarios.len(),
+        specs.len(),
+        opt.misses
+    );
+    let mut table = Table::new(&[
+        "io",
+        "policy",
+        "LLC misses",
+        "gap-to-opt",
+        "victim rate",
+        "io victims",
+        "injections",
+        "throughput",
+    ]);
+    let mut reports = Vec::new();
+    for io in &scenarios {
+        let results = run_policy_reports_io(&cfg, &mix, &specs, llc, window, io);
+        for (spec, (r, report)) in specs.iter().zip(results) {
+            let gap = gap_to_opt(r.llc_misses(), opt.misses);
+            let (io_victims, injections) = r.io.as_ref().map_or_else(
+                || ("-".to_string(), "-".to_string()),
+                |(s, _)| (s.victim_misses_io.to_string(), s.injections.to_string()),
+            );
+            table.add_row(vec![
+                io.label(),
+                spec.name.clone(),
+                r.llc_misses().to_string(),
+                format!("{:+.1}%", gap * 100.0),
+                format!("{:.2}%", victim_rate(&r) * 100.0),
+                io_victims,
+                injections,
+                format!("{:.3}", r.throughput()),
+            ]);
+            if let Some(mut report) = report {
+                report.opt_misses = Some(opt.misses);
+                report.gap_to_opt = Some(gap);
+                report.inclusion_victim_rate = Some(report.measured_victim_rate());
+                reports.push(report);
+            }
+        }
+    }
+    print!("{table}");
     if let Some(path) = &opts.json {
         let doc = JsonValue::array(reports.iter().map(RunReport::to_json));
         return write_json(path, &doc.to_pretty());
@@ -620,10 +846,12 @@ const KV_BENCH_CAPACITY: usize = 16_384;
 /// treats them uniformly.
 #[derive(Clone)]
 enum BenchJob {
-    /// A full hierarchy simulation of `apps` under `spec`.
+    /// A full hierarchy simulation of `apps` under `spec`, optionally
+    /// with device I/O agents injecting alongside (the `io/*` entries).
     Sim {
         apps: Vec<SpecApp>,
         spec: PolicySpec,
+        io: IoMixConfig,
     },
     /// A multi-threaded load run against a fresh [`ShardedKv`].
     Kv {
@@ -646,8 +874,8 @@ impl BenchJob {
     /// construction.
     fn accesses(&self, cfg: &SimConfig) -> u64 {
         match self {
-            BenchJob::Sim { apps, spec } => {
-                let r = MixRun::new(cfg, apps).spec(spec).run();
+            BenchJob::Sim { apps, spec, io } => {
+                let r = MixRun::new(cfg, apps).spec(spec).io(io.clone()).run();
                 r.threads
                     .iter()
                     .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
@@ -660,8 +888,8 @@ impl BenchJob {
     /// Executes the job once, discarding results (timing-loop body).
     fn run_once(&self, cfg: &SimConfig) {
         match self {
-            BenchJob::Sim { apps, spec } => {
-                let _ = MixRun::new(cfg, apps).spec(spec).run();
+            BenchJob::Sim { apps, spec, io } => {
+                let _ = MixRun::new(cfg, apps).spec(spec).io(io.clone()).run();
             }
             BenchJob::Kv {
                 policy,
@@ -690,7 +918,7 @@ impl BenchJob {
 /// path the scratch-buffer rewrite targets; the 8-core mix stresses
 /// scheduler-heap and sharer-bitmap scaling), plus the `kv/*` service
 /// entries that time the sharded concurrent cache under load-generator
-/// threads.
+/// threads and the `io/*` entries that time the device-injection path.
 fn bench_matrix() -> Vec<(String, BenchJob)> {
     use SpecApp::{Libquantum, Mcf};
     let mixes: [(&str, Vec<SpecApp>); 4] = [
@@ -718,6 +946,7 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
                 BenchJob::Sim {
                     apps: apps.clone(),
                     spec: spec.clone(),
+                    io: IoMixConfig::none(),
                 },
             ));
         }
@@ -731,6 +960,28 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
         BenchJob::Sim {
             apps: vec![Mcf],
             spec: PolicySpec::victim_cache(128),
+            io: IoMixConfig::none(),
+        },
+    ));
+    // Injection-path entries: a period-2 leaky-DMA agent keeps the
+    // io_inject fast path (device fills, way-masked victim search,
+    // IoInjection back-invalidates) hot alongside two demand-heavy cores
+    // — once under plain LRU, once under the way-limited DDIO model.
+    let dma = IoMixConfig::none().agent(IoAgentSpec::dma().period(2));
+    matrix.push((
+        "io/2core-dma/baseline".to_string(),
+        BenchJob::Sim {
+            apps: vec![Mcf, Libquantum],
+            spec: PolicySpec::baseline(),
+            io: dma.clone(),
+        },
+    ));
+    matrix.push((
+        "io/2core-dma-w2/baseline".to_string(),
+        BenchJob::Sim {
+            apps: vec![Mcf, Libquantum],
+            spec: PolicySpec::baseline(),
+            io: dma.inject_ways(2),
         },
     ));
     // Service entries: zipf scaling across thread counts under Clock (the
@@ -1077,8 +1328,13 @@ struct KvBenchOptions {
     put_permille: u32,
     seed: u64,
     json: Option<String>,
+    window: Option<u64>,
     smoke: bool,
 }
+
+/// Default per-shard series window (ops per shard) when `kv-bench --json`
+/// runs without an explicit `--window`.
+const KV_BENCH_WINDOW: u64 = 8_192;
 
 fn parse_kv_bench_options(args: &[String]) -> Result<KvBenchOptions, String> {
     let mut opts = KvBenchOptions {
@@ -1093,6 +1349,7 @@ fn parse_kv_bench_options(args: &[String]) -> Result<KvBenchOptions, String> {
         put_permille: 50,
         seed: 1,
         json: None,
+        window: None,
         smoke: false,
     };
     let mut it = args.iter();
@@ -1162,11 +1419,23 @@ fn parse_kv_bench_options(args: &[String]) -> Result<KvBenchOptions, String> {
             "--json" => {
                 opts.json = Some(value("--json")?);
             }
+            "--window" => {
+                let v: u64 = value("--window")?.parse().map_err(|e| format!("{e}"))?;
+                opts.window = Some(positive("--window", v)?);
+            }
             "--smoke" => {
                 opts.smoke = true;
             }
             other => return Err(format!("unknown kv-bench option '{other}'")),
         }
+    }
+    if opts.window.is_some() && opts.json.is_none() {
+        return Err("--window only makes sense with --json".into());
+    }
+    // The series rides in the JSON report, so --json opts into it with
+    // the default window unless --window chose one.
+    if opts.json.is_some() {
+        opts.window = Some(opts.window.unwrap_or(KV_BENCH_WINDOW));
     }
     if opts.smoke {
         // CI mode: small, fast, every policy, the scan-burst mix (it
@@ -1246,6 +1515,7 @@ fn cmd_kv_bench(args: &[String]) -> ExitCode {
             ways: opts.ways,
             policy,
             seed: opts.seed,
+            window: opts.window,
         };
         let kv = match ShardedKv::new(cfg) {
             Ok(kv) => kv,
@@ -1328,6 +1598,10 @@ fn cmd_snapshot_save(opts: &Options) -> ExitCode {
         eprintln!("snapshot save: --out <path> is required");
         return ExitCode::FAILURE;
     };
+    if !opts.io.is_trivial() {
+        eprintln!("snapshot save: checkpoints do not cover device I/O agents; drop --io");
+        return ExitCode::FAILURE;
+    }
     let spec = opts.policy.clone().unwrap_or_else(PolicySpec::baseline);
     let mut run = MixRun::new(&opts.cfg, &opts.mix).spec(&spec);
     if let Some(mb) = opts.llc_mb {
@@ -1596,6 +1870,10 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    if opts.smoke && cmd != "io-sweep" {
+        eprintln!("error: --smoke only applies to io-sweep (kv-bench has its own)");
+        return usage();
+    }
     match cmd.as_str() {
         "list" => cmd_list(),
         "table1" => cmd_table1(&opts),
@@ -1603,6 +1881,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(&opts),
         "analyze" => cmd_analyze(&opts),
         "bench" => cmd_bench(&opts),
+        "io-sweep" => cmd_io_sweep(&opts),
         _ => usage(),
     }
 }
@@ -1711,6 +1990,40 @@ mod tests {
     }
 
     #[test]
+    fn io_options_parse() {
+        let parse = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v)
+        };
+        let o = parse(&["--io", "dma:2,nic:4:512", "--io-ways", "2"]).unwrap();
+        assert_eq!(o.io.agents.len(), 2);
+        assert_eq!(o.io.label(), "dma:2+nic:4:512/w2");
+        assert_eq!(o.io.inject_ways, Some(2));
+        assert!(!o.io.partition);
+        let o = parse(&["--io", "dma", "--io-ways", "4", "--io-partition"]).unwrap();
+        assert!(o.io.partition);
+        // No --io at all stays trivial, so non-io output is byte-identical.
+        let o = parse(&[]).unwrap();
+        assert!(o.io.is_trivial());
+        assert!(!o.smoke);
+        let o = parse(&["--smoke"]).unwrap();
+        assert!(o.smoke);
+    }
+
+    #[test]
+    fn io_options_validate() {
+        let bad = |args: &[&str]| {
+            let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            parse_options(&v).unwrap_err()
+        };
+        assert!(bad(&["--io", "tape:3"]).contains("--io"));
+        assert!(bad(&["--io-ways", "0"]).contains("positive"));
+        assert!(bad(&["--io-partition"]).contains("requires --io-ways"));
+        assert!(bad(&["--io", "dma", "--warm-start"]).contains("warm-start"));
+        assert!(bad(&["--io", "dma", "--warm-cache", "d"]).contains("warm"));
+    }
+
+    #[test]
     fn jobs_option_parses() {
         let args: Vec<String> = ["--jobs", "4"].iter().map(|s| s.to_string()).collect();
         let o = parse_options(&args).unwrap();
@@ -1795,18 +2108,34 @@ mod tests {
         let matrix = bench_matrix();
         assert_eq!(
             matrix.len(),
-            21,
-            "4 policies x 4 core counts + the probe-heavy vc128 entry + 4 kv entries"
+            23,
+            "4 policies x 4 core counts + the probe-heavy vc128 entry \
+             + 2 io injection entries + 4 kv entries"
         );
         // Names are unique (the gate matches entries by name).
         let mut names: Vec<&str> = matrix.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21);
+        assert_eq!(names.len(), 23);
         // The probe-heavy entry runs a 128-entry victim cache on one core.
         assert!(matrix.iter().any(|(n, job)| n == "1core-vc128/vc128"
-            && matches!(job, BenchJob::Sim { apps, spec }
+            && matches!(job, BenchJob::Sim { apps, spec, .. }
                 if apps.len() == 1 && spec.victim_cache == Some(128))));
+        // The io entries time the device-injection path: the same 2-core
+        // mix with a leaky-DMA agent, unlimited and way-limited.
+        assert!(matrix.iter().any(|(n, job)| n == "io/2core-dma/baseline"
+            && matches!(job, BenchJob::Sim { io, .. }
+                if io.agents.len() == 1 && io.inject_ways.is_none())));
+        assert!(matrix.iter().any(|(n, job)| n == "io/2core-dma-w2/baseline"
+            && matches!(job, BenchJob::Sim { io, .. }
+                if io.agents.len() == 1 && io.inject_ways == Some(2))));
+        // Every non-io sim entry stays device-free, so bench numbers for
+        // the classic entries are comparable against pre-io baselines.
+        for (n, job) in &matrix {
+            if let BenchJob::Sim { io, .. } = job {
+                assert_eq!(!io.is_trivial(), n.starts_with("io/"), "{n}");
+            }
+        }
         // The headline LLC-miss-heavy workload is present at 4 cores.
         assert!(matrix
             .iter()
@@ -1899,6 +2228,15 @@ mod tests {
         assert_eq!((o.capacity, o.shards, o.ways), (256, 2, 4));
         assert_eq!((o.put_permille, o.seed), (200, 9));
         assert_eq!(o.json.as_deref(), Some("kv.json"));
+        // --json opts into the series with the default window.
+        assert_eq!(o.window, Some(KV_BENCH_WINDOW));
+        let o = parse(&["--json", "kv.json", "--window", "500"]).unwrap();
+        assert_eq!(o.window, Some(500));
+        // Without --json there is no report to carry the series.
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.window, None);
+        assert!(parse(&["--window", "500"]).is_err());
+        assert!(parse(&["--json", "kv.json", "--window", "0"]).is_err());
         let o = parse(&["--policy", "all"]).unwrap();
         assert_eq!(o.policies.len(), 4);
         // Smoke pins a small fixed sweep whatever else was asked for.

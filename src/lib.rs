@@ -16,6 +16,9 @@
 //!   ([`tla_cpu`]).
 //! * [`workloads`] — synthetic SPEC CPU2006-like benchmarks and the paper's
 //!   workload mixes ([`tla_workloads`]).
+//! * [`io`] — DDIO-style device I/O agents (NIC rings, leaky-DMA streams)
+//!   that inject directly into the LLC, with injection-way limit and
+//!   way-partitioning configuration ([`tla_io`]).
 //! * [`sim`] — the CMP simulator, metrics and experiment runner
 //!   ([`tla_sim`]).
 //! * [`telemetry`] — event sinks, windowed time series and machine-readable
@@ -48,6 +51,7 @@ pub use tla_bench as bench;
 pub use tla_cache as cache;
 pub use tla_core as core;
 pub use tla_cpu as cpu;
+pub use tla_io as io;
 pub use tla_kv as kv;
 pub use tla_pool as pool;
 pub use tla_rng as rng;

@@ -1,0 +1,66 @@
+//! Differential pin: a disabled device-I/O config is invisible.
+//!
+//! With zero I/O agents and an unlimited injection-way budget, the whole
+//! `tla-io` layer must be presence-gated out of the simulation: the JSON
+//! `compare --json` writes is byte-identical to the pre-io golden
+//! (`tests/golden/compare_pr3.json`), under both execution engines. The
+//! scalar-kernel variant lives in `io_differential_scalar.rs` (kernel
+//! selection is per-process sticky, so it needs its own process); the
+//! two files together cover both engines x both probe kernels.
+
+use std::path::Path;
+
+use tla::io::IoMixConfig;
+use tla::sim::{EngineMode, MixRun, PolicySpec, SimConfig};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::SpecApp;
+
+/// The golden matrix of `tests/golden.rs`, run with an explicit engine
+/// and a *trivial* io config attached to every run: no agents, and an
+/// injection-way budget that constrains nobody because there are no
+/// injections and no partition.
+pub fn rendered_with_trivial_io(mode: EngineMode) -> String {
+    let cfg = SimConfig::scaled_down().instructions(25_000).seed(42);
+    let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+    let io = IoMixConfig::none().inject_ways(16);
+    assert!(io.is_trivial(), "no agents + no partition = trivial");
+    let doc = JsonValue::array(specs.iter().map(|spec| {
+        let (_, report) = MixRun::new(&cfg, &mix)
+            .spec(spec)
+            .engine_mode(mode)
+            .io(io.clone())
+            .run_report(Some(5_000));
+        report.to_json()
+    }));
+    doc.to_pretty()
+}
+
+/// Reads the golden file the pre-io pipeline blessed.
+pub fn golden() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compare_pr3.json");
+    std::fs::read_to_string(&path)
+        .expect("golden file missing — run TLA_BLESS=1 cargo test --test golden")
+}
+
+#[test]
+fn trivial_io_compare_json_is_byte_identical_to_pre_io_golden() {
+    let golden = golden();
+    assert_eq!(
+        rendered_with_trivial_io(EngineMode::Batched),
+        golden,
+        "batched engine: a trivial --io config leaked into compare --json"
+    );
+    assert_eq!(
+        rendered_with_trivial_io(EngineMode::Serial),
+        golden,
+        "serial engine: a trivial --io config leaked into compare --json"
+    );
+}

@@ -1,0 +1,61 @@
+//! The trivial-io differential pin again, with SIMD dispatch disabled.
+//!
+//! Same contract as `io_differential.rs` — zero I/O agents plus an
+//! unlimited injection-way budget must leave `compare --json` output
+//! byte-identical to the pre-io golden, on both engines — but run under
+//! the portable probe kernel. A separate process is required because
+//! kernel selection is per-process sticky (see `golden_scalar.rs`).
+
+use std::path::Path;
+
+use tla::io::IoMixConfig;
+use tla::sim::{EngineMode, MixRun, PolicySpec, SimConfig};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::SpecApp;
+
+fn rendered_with_trivial_io(mode: EngineMode) -> String {
+    let cfg = SimConfig::scaled_down().instructions(25_000).seed(42);
+    let mix = [SpecApp::Libquantum, SpecApp::Sjeng];
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::tlh_l1(),
+        PolicySpec::eci(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+        PolicySpec::exclusive(),
+    ];
+    let io = IoMixConfig::none().inject_ways(16);
+    let doc = JsonValue::array(specs.iter().map(|spec| {
+        let (_, report) = MixRun::new(&cfg, &mix)
+            .spec(spec)
+            .engine_mode(mode)
+            .io(io.clone())
+            .run_report(Some(5_000));
+        report.to_json()
+    }));
+    doc.to_pretty()
+}
+
+#[test]
+fn trivial_io_scalar_kernel_matches_pre_io_golden() {
+    // Before any cache is built: kernel selection is per-process sticky.
+    std::env::set_var("TLA_FORCE_SCALAR", "1");
+    assert_eq!(
+        tla::cache::kernel_name(),
+        "scalar4",
+        "TLA_FORCE_SCALAR must pin the portable kernel"
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/compare_pr3.json");
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run TLA_BLESS=1 cargo test --test golden");
+    assert_eq!(
+        rendered_with_trivial_io(EngineMode::Batched),
+        golden,
+        "scalar kernel, batched engine: trivial --io drifted from the golden"
+    );
+    assert_eq!(
+        rendered_with_trivial_io(EngineMode::Serial),
+        golden,
+        "scalar kernel, serial engine: trivial --io drifted from the golden"
+    );
+}
