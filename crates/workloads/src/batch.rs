@@ -10,31 +10,47 @@
 //! Buffering generates *ahead* of the committed position — the underlying
 //! generator's RNG has already advanced past instructions nobody has
 //! consumed yet. That would break checkpoint byte-compatibility, so the
-//! batcher keeps `base`, a clone of the generator taken at the last refill
-//! (i.e. at the committed boundary). Serialization clones `base`, replays
-//! exactly the consumed prefix of the buffer, and snapshots *that* state:
-//! the bytes are identical to an unbatched generator that stopped at the
-//! same committed instruction.
+//! batcher keeps, for every in-flight chunk, a clone of the generator
+//! taken at that chunk's start (a committed boundary). Serialization
+//! clones the front chunk's base, replays exactly the consumed prefix of
+//! that chunk, and snapshots *that* state: the bytes are identical to an
+//! unbatched generator that stopped at the same committed instruction.
+//!
+//! The chunk chain exists for the parallel engine's epoch pre-generation
+//! ([`BatchedTrace::prefill`]): a worker thread can stack up a bounded
+//! number of chunks ahead of the committed position, the commit loop
+//! drains them front-first, and the snapshot replay cost stays bounded by
+//! one chunk regardless of how far generation ran ahead.
 
 use crate::trace::{Instruction, TraceSource};
+use std::collections::VecDeque;
 use tla_snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
 
 /// Default instructions generated per refill burst.
 pub const DEFAULT_BATCH: usize = 64;
+
+/// One generated-ahead burst: the instructions plus the generator state
+/// at the burst's first instruction (the replay anchor for snapshots).
+#[derive(Debug, Clone)]
+struct Chunk<T> {
+    base: T,
+    buf: Vec<Instruction>,
+}
 
 /// A buffering adapter around any [`TraceSource`]: generates instructions
 /// in bursts, hands them out one by one, and serializes as if it had never
 /// buffered at all (see the module docs for the replay argument).
 #[derive(Debug, Clone)]
 pub struct BatchedTrace<T> {
-    /// The generator, advanced through the end of the current buffer.
+    /// The generator, advanced through the end of the last chunk.
     inner: T,
-    /// Clone of the generator at the last refill — the committed boundary.
-    base: T,
-    buf: Vec<Instruction>,
-    /// Instructions of `buf` already handed out (the committed prefix).
+    /// Generated-ahead chunks, oldest (partially consumed) first.
+    chunks: VecDeque<Chunk<T>>,
+    /// Instructions of the front chunk already handed out.
     pos: usize,
     batch: usize,
+    /// Retired chunks recycled to keep the hot path allocation-free.
+    spare: Vec<Chunk<T>>,
 }
 
 impl<T: TraceSource + Clone> BatchedTrace<T> {
@@ -50,55 +66,88 @@ impl<T: TraceSource + Clone> BatchedTrace<T> {
     /// Panics if `batch` is zero.
     pub fn with_batch(inner: T, batch: usize) -> Self {
         assert!(batch > 0, "batch size must be positive");
-        let base = inner.clone();
         BatchedTrace {
             inner,
-            base,
-            buf: Vec::with_capacity(batch),
+            chunks: VecDeque::new(),
             pos: 0,
             batch,
+            spare: Vec::new(),
         }
     }
 
+    /// Generates one more chunk at the back of the chain.
     #[cold]
-    fn refill(&mut self) {
-        self.base.clone_from(&self.inner);
-        self.buf.clear();
+    fn generate_chunk(&mut self) {
+        let mut chunk = self.spare.pop().unwrap_or_else(|| Chunk {
+            base: self.inner.clone(),
+            buf: Vec::with_capacity(self.batch),
+        });
+        chunk.base.clone_from(&self.inner);
+        chunk.buf.clear();
         for _ in 0..self.batch {
-            self.buf.push(self.inner.next_instruction());
+            chunk.buf.push(self.inner.next_instruction());
         }
-        self.pos = 0;
+        self.chunks.push_back(chunk);
+    }
+
+    /// Unconsumed instructions currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.chunks.iter().map(|c| c.buf.len()).sum::<usize>() - self.pos
+    }
+
+    /// Generates ahead until at least `n` unconsumed instructions are
+    /// buffered. Generation is a pure function of the generator state —
+    /// it never looks at simulated time — so prefilling any amount from
+    /// any thread leaves the consumed stream (and the snapshot bytes,
+    /// which replay only the committed prefix) bit-identical.
+    pub fn prefill(&mut self, n: usize) {
+        while self.buffered() < n {
+            self.generate_chunk();
+        }
     }
 }
 
 impl<T: TraceSource + Clone> TraceSource for BatchedTrace<T> {
     #[inline]
     fn next_instruction(&mut self) -> Instruction {
-        if self.pos == self.buf.len() {
-            self.refill();
+        loop {
+            if let Some(front) = self.chunks.front() {
+                if self.pos < front.buf.len() {
+                    let instr = front.buf[self.pos];
+                    self.pos += 1;
+                    return instr;
+                }
+                let retired = self.chunks.pop_front().expect("front chunk exists");
+                self.spare.push(retired);
+                self.pos = 0;
+            } else {
+                self.generate_chunk();
+            }
         }
-        let instr = self.buf[self.pos];
-        self.pos += 1;
-        instr
     }
 }
 
 impl<T: TraceSource + Clone + Snapshot> Snapshot for BatchedTrace<T> {
     fn write_state(&self, w: &mut SnapshotWriter) {
-        // Replay the committed prefix onto the refill-boundary clone; the
-        // result is the exact generator state an unbatched run would hold
-        // here, so the wire bytes carry no trace of the batching.
-        let mut committed = self.base.clone();
-        for _ in 0..self.pos {
-            committed.next_instruction();
+        // Replay the committed prefix onto the front chunk's start-of-burst
+        // clone; the result is the exact generator state an unbatched run
+        // would hold here, so the wire bytes carry no trace of the batching
+        // (or of any chunks generated ahead by the parallel engine).
+        match self.chunks.front() {
+            Some(front) => {
+                let mut committed = front.base.clone();
+                for _ in 0..self.pos {
+                    committed.next_instruction();
+                }
+                committed.write_state(w);
+            }
+            None => self.inner.write_state(w),
         }
-        committed.write_state(w);
     }
 
     fn read_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
         self.inner.read_state(r)?;
-        self.base.clone_from(&self.inner);
-        self.buf.clear();
+        self.spare.extend(self.chunks.drain(..));
         self.pos = 0;
         Ok(())
     }
@@ -137,12 +186,54 @@ mod tests {
     }
 
     #[test]
+    fn prefilled_stream_equals_unbatched_stream() {
+        // Generating far ahead (as the parallel engine's epoch workers do)
+        // must not perturb the consumed stream, whatever the prefill
+        // depth/consumption interleaving.
+        let mut plain = SyntheticTrace::new(&params(), 0, 7);
+        let mut batched = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 0, 7), 16);
+        for round in 0..20 {
+            batched.prefill(37 + 13 * (round % 5));
+            assert!(batched.buffered() >= 37);
+            for n in 0..50 {
+                assert_eq!(
+                    batched.next_instruction(),
+                    plain.next_instruction(),
+                    "round {round} diverges at instruction {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn snapshot_hides_the_buffer() {
         // At every commit offset across several refill boundaries, the
         // batcher's bytes must equal an unbatched generator's bytes.
         let mut plain = SyntheticTrace::new(&params(), 1, 9);
         let mut batched = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 1, 9), 16);
         for n in 0..100 {
+            let mut wp = SnapshotWriter::new();
+            plain.write_state(&mut wp);
+            let mut wb = SnapshotWriter::new();
+            batched.write_state(&mut wb);
+            assert_eq!(
+                wp.finish(),
+                wb.finish(),
+                "snapshot bytes diverge after {n} commits"
+            );
+            assert_eq!(plain.next_instruction(), batched.next_instruction());
+        }
+    }
+
+    #[test]
+    fn snapshot_hides_prefilled_chunks_too() {
+        // Same bar with a deep prefilled chain: snapshot bytes track the
+        // *committed* position only, and replay cost stays within one
+        // chunk however far generation ran ahead.
+        let mut plain = SyntheticTrace::new(&params(), 1, 9);
+        let mut batched = BatchedTrace::with_batch(SyntheticTrace::new(&params(), 1, 9), 16);
+        batched.prefill(400);
+        for n in 0..300 {
             let mut wp = SnapshotWriter::new();
             plain.write_state(&mut wp);
             let mut wb = SnapshotWriter::new();

@@ -15,8 +15,9 @@
 //!
 //! options: --scale <1|2|4|8>  --measure <n>  --warmup <n>  --seed <n>
 //!          --llc-mb <n>  --no-prefetch  --json <path>  --window <n>
-//!          --jobs <n>  --shard-jobs <n>  --baseline <path>  --gate <pct>
-//!          --target-ms <n>  --out <path>  --warm-start  --sample-every <n>
+//!          --jobs <n>  --shard-jobs <n>  --engine-jobs <n>
+//!          --baseline <path>  --gate <pct>  --target-ms <n>  --out <path>
+//!          --warm-start  --warm-image <path>  --sample-every <n>
 //!          --io <agents>  --io-ways <n>  --io-partition  --smoke
 //! ```
 
@@ -25,8 +26,8 @@ use tla::io::{IoAgentSpec, IoMixConfig};
 use tla::kv::{report_json, run_load, KvConfig, KvPolicy, LoadSpec, ShardedKv};
 use tla::sim::{
     mpki_table, optimal_llc, run_policy_reports_analyzed_io, run_policy_reports_io,
-    run_policy_reports_warm_start_cached, Checkpoint, MixRun, PolicySpec, RunReport, RunResult,
-    SimConfig, Table, WarmCache,
+    run_policy_reports_warm_start_cached, Checkpoint, EngineMode, MixRun, PolicySpec, RunReport,
+    RunResult, SimConfig, Table, WarmCache,
 };
 use tla::telemetry::json::JsonValue;
 use tla::telemetry::DEFAULT_SAMPLE_EVERY;
@@ -90,6 +91,11 @@ fn usage() -> ExitCode {
          \x20                         inside one run (the Belady oracle;\n\
          \x20                         default 1, 0 = all cores; results are\n\
          \x20                         bit-identical for any value)\n\
+         \x20 --engine-jobs <n>       worker threads for the parallel\n\
+         \x20                         timing engine's epoch pre-generation\n\
+         \x20                         (TLA_ENGINE=parallel; 0 = all cores,\n\
+         \x20                         the default; results are bit-identical\n\
+         \x20                         for any value and any engine)\n\
          \x20 --out <path>            checkpoint file for snapshot save\n\
          \x20 --warm-start            share one warm-up across compare's\n\
          \x20                         policies via an in-memory checkpoint\n\
@@ -124,6 +130,14 @@ fn usage() -> ExitCode {
          \x20                         before failing (default 10)\n\
          \x20 --target-ms <n>         wall-clock budget per matrix entry\n\
          \x20                         (default 800)\n\
+         \x20 --warm-image <f.tlas>   warm matching sim entries from a\n\
+         \x20                         frozen committed checkpoint (made\n\
+         \x20                         with `snapshot save`) instead of a\n\
+         \x20                         cold run, so regressions stay\n\
+         \x20                         bisectable across binary revisions\n\
+         \x20                         with identical warm state; entries\n\
+         \x20                         whose config does not match the\n\
+         \x20                         image fall back to cold runs\n\
          \n\
          kv-bench options:\n\
          \x20 --policy <p|all>        lru, fifo, clock, s3fifo or all\n\
@@ -163,6 +177,7 @@ struct Options {
     out: Option<String>,
     warm_start: bool,
     warm_cache: Option<String>,
+    warm_image: Option<String>,
     sample_every: u32,
     io: IoMixConfig,
     smoke: bool,
@@ -225,6 +240,7 @@ fn parse_options(
         out: None,
         warm_start: false,
         warm_cache: None,
+        warm_image: None,
         sample_every: DEFAULT_SAMPLE_EVERY,
         io: IoMixConfig::none(),
         smoke: false,
@@ -291,6 +307,13 @@ fn parse_options(
                 // 0 is meaningful here: auto-detect the core count.
                 opts.cfg = opts.cfg.shard_jobs(v);
             }
+            "--engine-jobs" => {
+                let v: usize = value("--engine-jobs")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                // 0 is meaningful here: auto-detect the core count.
+                opts.cfg = opts.cfg.engine_jobs(v);
+            }
             "--baseline" => {
                 opts.baseline = Some(value("--baseline")?);
             }
@@ -319,6 +342,9 @@ fn parse_options(
                 // A persistent cache only makes sense on the warm-once
                 // path, so asking for one opts into it.
                 opts.warm_start = true;
+            }
+            "--warm-image" => {
+                opts.warm_image = Some(value("--warm-image")?);
             }
             "--sample-every" => {
                 let v: u32 = value("--sample-every")?
@@ -847,11 +873,14 @@ const KV_BENCH_CAPACITY: usize = 16_384;
 #[derive(Clone)]
 enum BenchJob {
     /// A full hierarchy simulation of `apps` under `spec`, optionally
-    /// with device I/O agents injecting alongside (the `io/*` entries).
+    /// with device I/O agents injecting alongside (the `io/*` entries)
+    /// and optionally pinned to an engine mode + worker count (the
+    /// `par/*` entries; `None` uses the process default).
     Sim {
         apps: Vec<SpecApp>,
         spec: PolicySpec,
         io: IoMixConfig,
+        engine: Option<(EngineMode, usize)>,
     },
     /// A multi-threaded load run against a fresh [`ShardedKv`].
     Kv {
@@ -869,27 +898,84 @@ impl BenchJob {
         }
     }
 
-    /// Work units of one run. For simulator entries this costs one untimed
-    /// run (which doubles as warm-up); kv entries issue a fixed op count by
-    /// construction.
-    fn accesses(&self, cfg: &SimConfig) -> u64 {
+    /// The engine pin of a `par/*` entry, if any.
+    fn engine(&self) -> Option<(EngineMode, usize)> {
         match self {
-            BenchJob::Sim { apps, spec, io } => {
-                let r = MixRun::new(cfg, apps).spec(spec).io(io.clone()).run();
-                r.threads
+            BenchJob::Sim { engine, .. } => *engine,
+            BenchJob::Kv { .. } => None,
+        }
+    }
+
+    /// Runs a simulator entry to its result: resumed from the warm image
+    /// when one is given and this entry's configuration matches it
+    /// (policy and engine are free axes of a checkpoint, so every
+    /// matching entry times the measured phase over identical warm
+    /// state), cold otherwise. The bool reports whether the image was
+    /// used.
+    fn sim_result(
+        cfg: &SimConfig,
+        apps: &[SpecApp],
+        spec: &PolicySpec,
+        io: &IoMixConfig,
+        engine: Option<(EngineMode, usize)>,
+        warm: Option<&Checkpoint>,
+    ) -> (RunResult, bool) {
+        let cfg = match engine {
+            Some((_, jobs)) => cfg.clone().engine_jobs(jobs),
+            None => cfg.clone(),
+        };
+        let build = || {
+            let mut run = MixRun::new(&cfg, apps).spec(spec).io(io.clone());
+            if let Some((mode, _)) = engine {
+                run = run.engine_mode(mode);
+            }
+            run
+        };
+        if let Some(ck) = warm {
+            // Checkpoints never cover I/O mixes, so io entries go cold
+            // without even asking.
+            if io.is_trivial() {
+                if let Ok(r) = build().resume(ck) {
+                    return (r, true);
+                }
+            }
+        }
+        (build().run(), false)
+    }
+
+    /// Work units of one run, plus whether the warm image was used. For
+    /// simulator entries this costs one untimed run (which doubles as
+    /// warm-up); kv entries issue a fixed op count by construction.
+    fn accesses(&self, cfg: &SimConfig, warm: Option<&Checkpoint>) -> (u64, bool) {
+        match self {
+            BenchJob::Sim {
+                apps,
+                spec,
+                io,
+                engine,
+            } => {
+                let (r, warmed) = Self::sim_result(cfg, apps, spec, io, *engine, warm);
+                let accesses = r
+                    .threads
                     .iter()
                     .map(|t| t.stats.l1i_accesses + t.stats.l1d_accesses)
-                    .sum()
+                    .sum();
+                (accesses, warmed)
             }
-            BenchJob::Kv { threads, .. } => KV_BENCH_OPS_PER_THREAD * *threads as u64,
+            BenchJob::Kv { threads, .. } => (KV_BENCH_OPS_PER_THREAD * *threads as u64, false),
         }
     }
 
     /// Executes the job once, discarding results (timing-loop body).
-    fn run_once(&self, cfg: &SimConfig) {
+    fn run_once(&self, cfg: &SimConfig, warm: Option<&Checkpoint>) {
         match self {
-            BenchJob::Sim { apps, spec, io } => {
-                let _ = MixRun::new(cfg, apps).spec(spec).io(io.clone()).run();
+            BenchJob::Sim {
+                apps,
+                spec,
+                io,
+                engine,
+            } => {
+                let _ = Self::sim_result(cfg, apps, spec, io, *engine, warm);
             }
             BenchJob::Kv {
                 policy,
@@ -947,6 +1033,7 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
                     apps: apps.clone(),
                     spec: spec.clone(),
                     io: IoMixConfig::none(),
+                    engine: None,
                 },
             ));
         }
@@ -961,6 +1048,7 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
             apps: vec![Mcf],
             spec: PolicySpec::victim_cache(128),
             io: IoMixConfig::none(),
+            engine: None,
         },
     ));
     // Injection-path entries: a period-2 leaky-DMA agent keeps the
@@ -974,6 +1062,7 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
             apps: vec![Mcf, Libquantum],
             spec: PolicySpec::baseline(),
             io: dma.clone(),
+            engine: None,
         },
     ));
     matrix.push((
@@ -981,7 +1070,43 @@ fn bench_matrix() -> Vec<(String, BenchJob)> {
         BenchJob::Sim {
             apps: vec![Mcf, Libquantum],
             spec: PolicySpec::baseline(),
-            io: dma.inject_ways(2),
+            io: dma.clone().inject_ways(2),
+            engine: None,
+        },
+    ));
+    // Parallel-engine entries: the same multi-core mixes (and one
+    // injection mix) under the epoch pipeline, pinned to as many epoch
+    // workers as simulated cores, so the engine's speedup — or lack of
+    // it on a starved host — is a gated number tracked per revision
+    // rather than a claim made once. Output is byte-identical to the
+    // default engine; only wall-clock may differ.
+    matrix.push((
+        "par/4core-llcmiss/baseline".to_string(),
+        BenchJob::Sim {
+            apps: vec![Mcf, Mcf, Libquantum, Libquantum],
+            spec: PolicySpec::baseline(),
+            io: IoMixConfig::none(),
+            engine: Some((EngineMode::Parallel, 4)),
+        },
+    ));
+    matrix.push((
+        "par/8core/baseline".to_string(),
+        BenchJob::Sim {
+            apps: vec![
+                Mcf, Libquantum, Mcf, Libquantum, Mcf, Libquantum, Mcf, Libquantum,
+            ],
+            spec: PolicySpec::baseline(),
+            io: IoMixConfig::none(),
+            engine: Some((EngineMode::Parallel, 8)),
+        },
+    ));
+    matrix.push((
+        "par/io/2core-dma/baseline".to_string(),
+        BenchJob::Sim {
+            apps: vec![Mcf, Libquantum],
+            spec: PolicySpec::baseline(),
+            io: dma,
+            engine: Some((EngineMode::Parallel, 2)),
         },
     ));
     // Service entries: zipf scaling across thread counts under Clock (the
@@ -1037,11 +1162,17 @@ struct BenchEntry {
     /// Probe kernel the run dispatched to (`avx2`, `scalar4`, ...), so a
     /// committed baseline records which kernel produced its numbers.
     kernel: &'static str,
+    /// Execution engine the entry was pinned to (`par/*` entries) and its
+    /// worker count; `None` means the process-default engine.
+    engine: Option<(EngineMode, usize)>,
+    /// Whether the entry timed resumes from a `--warm-image` checkpoint
+    /// instead of cold runs (only meaningful when one was given).
+    warmed_from_image: bool,
 }
 
 impl BenchEntry {
     fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut pairs = vec![
             ("name", JsonValue::Str(self.name.clone())),
             ("cores", JsonValue::Int(self.cores as u64)),
             ("accesses", JsonValue::Int(self.accesses)),
@@ -1054,7 +1185,15 @@ impl BenchEntry {
             ),
             ("calibration_ratio", JsonValue::Num(self.calibration_ratio)),
             ("kernel", JsonValue::Str(self.kernel.into())),
-        ])
+        ];
+        if let Some((mode, jobs)) = self.engine {
+            pairs.push(("engine", JsonValue::Str(mode.label().into())));
+            pairs.push(("engine_jobs", JsonValue::Int(jobs as u64)));
+        }
+        if self.warmed_from_image {
+            pairs.push(("warmed_from_image", JsonValue::Bool(true)));
+        }
+        JsonValue::object(pairs)
     }
 }
 
@@ -1178,9 +1317,43 @@ fn cmd_bench(opts: &Options) -> ExitCode {
     let t_total = std::time::Instant::now();
     let matrix = bench_matrix();
 
-    // One untimed run per entry pins the deterministic access count and
-    // doubles as warm-up before the timed rounds.
-    let accesses: Vec<u64> = matrix.iter().map(|(_, job)| job.accesses(cfg)).collect();
+    // The optional frozen warm image: loaded once, resumed by every
+    // matching sim entry (the whole point — identical warm state across
+    // binary revisions, so relative regressions are bisectable).
+    let warm_image = match &opts.warm_image {
+        Some(path) => match Checkpoint::load(path) {
+            Ok(ck) => Some(ck),
+            Err(e) => {
+                eprintln!("error: cannot load --warm-image {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let warm = warm_image.as_ref();
+
+    // One untimed run per entry pins the deterministic access count,
+    // doubles as warm-up before the timed rounds, and decides whether the
+    // warm image covers the entry.
+    let mut warmed = Vec::with_capacity(matrix.len());
+    let accesses: Vec<u64> = matrix
+        .iter()
+        .map(|(name, job)| {
+            let (accesses, from_image) = job.accesses(cfg, warm);
+            if warm.is_some() {
+                eprintln!(
+                    "bench: {name}: {}",
+                    if from_image {
+                        "warmed from image"
+                    } else {
+                        "cold (image does not cover this entry)"
+                    }
+                );
+            }
+            warmed.push(from_image);
+            accesses
+        })
+        .collect();
 
     // The timing budget is split into rounds interleaved across the whole
     // matrix rather than spent contiguously per entry, and inside each
@@ -1213,10 +1386,10 @@ fn cmd_bench(opts: &Options) -> ExitCode {
             let mut pairs = 0u32;
             loop {
                 let t0 = std::time::Instant::now();
-                cal_job.run_once(cfg);
+                cal_job.run_once(cfg, warm);
                 best_cal = best_cal.min(t0.elapsed().as_nanos());
                 let t0 = std::time::Instant::now();
-                job.run_once(cfg);
+                job.run_once(cfg, warm);
                 let entry_nanos = t0.elapsed().as_nanos();
                 best_entry = best_entry.min(entry_nanos);
                 iters[i] += 1;
@@ -1264,6 +1437,8 @@ fn cmd_bench(opts: &Options) -> ExitCode {
             accesses_per_sec_mean,
             calibration_ratio,
             kernel: tla::cache::kernel_name(),
+            engine: job.engine(),
+            warmed_from_image: warmed[i],
         });
     }
     print!("{table}");
@@ -1292,6 +1467,12 @@ fn cmd_bench(opts: &Options) -> ExitCode {
                     ("seed", JsonValue::Int(cfg.seed_value())),
                     ("scale", JsonValue::Int(cfg.scale())),
                     ("target_ms", JsonValue::Int(opts.target_ms)),
+                    (
+                        "warm_image",
+                        opts.warm_image
+                            .as_deref()
+                            .map_or(JsonValue::Null, |p| JsonValue::Str(p.into())),
+                    ),
                 ]),
             ),
             ("rounds", JsonValue::Int(rounds)),
@@ -1841,6 +2022,14 @@ fn cmd_snapshot(rest: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Validate TLA_ENGINE before dispatching anything: a typo must be a
+    // hard error up front, not a silent fall-through to the default
+    // engine halfway into a run (the library would only panic once a
+    // simulation actually starts).
+    if let Err(e) = EngineMode::from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();
@@ -2108,15 +2297,15 @@ mod tests {
         let matrix = bench_matrix();
         assert_eq!(
             matrix.len(),
-            23,
+            26,
             "4 policies x 4 core counts + the probe-heavy vc128 entry \
-             + 2 io injection entries + 4 kv entries"
+             + 2 io injection entries + 3 parallel-engine entries + 4 kv entries"
         );
         // Names are unique (the gate matches entries by name).
         let mut names: Vec<&str> = matrix.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23);
+        assert_eq!(names.len(), 26);
         // The probe-heavy entry runs a 128-entry victim cache on one core.
         assert!(matrix.iter().any(|(n, job)| n == "1core-vc128/vc128"
             && matches!(job, BenchJob::Sim { apps, spec, .. }
@@ -2133,9 +2322,30 @@ mod tests {
         // the classic entries are comparable against pre-io baselines.
         for (n, job) in &matrix {
             if let BenchJob::Sim { io, .. } = job {
-                assert_eq!(!io.is_trivial(), n.starts_with("io/"), "{n}");
+                assert_eq!(!io.is_trivial(), n.contains("io/"), "{n}");
             }
         }
+        // The parallel-engine entries pin the engine and its worker count
+        // (and only they do — the classic entries stay engine-default so
+        // their numbers are comparable against pre-parallel baselines).
+        for (n, job) in &matrix {
+            if let BenchJob::Sim { .. } = job {
+                assert_eq!(job.engine().is_some(), n.starts_with("par/"), "{n}");
+            }
+        }
+        assert!(matrix
+            .iter()
+            .any(|(n, job)| n == "par/4core-llcmiss/baseline"
+                && job.cores() == 4
+                && job.engine() == Some((EngineMode::Parallel, 4))));
+        assert!(matrix.iter().any(|(n, job)| n == "par/8core/baseline"
+            && job.cores() == 8
+            && job.engine() == Some((EngineMode::Parallel, 8))));
+        assert!(matrix
+            .iter()
+            .any(|(n, job)| n == "par/io/2core-dma/baseline"
+                && matches!(job, BenchJob::Sim { io, .. } if io.agents.len() == 1)
+                && job.engine() == Some((EngineMode::Parallel, 2))));
         // The headline LLC-miss-heavy workload is present at 4 cores.
         assert!(matrix
             .iter()
@@ -2171,7 +2381,7 @@ mod tests {
         for (n, job) in &matrix {
             if let BenchJob::Kv { threads, .. } = job {
                 assert_eq!(
-                    job.accesses(&cfg),
+                    job.accesses(&cfg, None).0,
                     KV_BENCH_OPS_PER_THREAD * *threads as u64,
                     "{n}"
                 );
@@ -2293,6 +2503,8 @@ mod tests {
             accesses_per_sec_mean: aps,
             calibration_ratio: ratio,
             kernel: "scalar4",
+            engine: None,
+            warmed_from_image: false,
         };
         let p = path.to_str().unwrap();
         // Same ratio passes, whatever the absolute numbers did: a 3x faster
@@ -2374,6 +2586,8 @@ mod tests {
             accesses_per_sec_mean: 1.0,
             calibration_ratio: 0.5,
             kernel: "scalar4",
+            engine: None,
+            warmed_from_image: false,
         };
         let write = |file: &str, schema: Option<&str>| {
             let mut fields = Vec::new();

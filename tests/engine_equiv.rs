@@ -1,0 +1,196 @@
+//! Engine equivalence matrix: the serial reference loop, the batched
+//! run-extraction engine and the parallel epoch pipeline (at every
+//! tested `engine_jobs` count) produce byte-identical artifacts —
+//! `compare --json`, `analyze --json`, io-mix reports, and checkpoint
+//! bytes, including save→resume across engine modes.
+//!
+//! The parallel engine only moves trace *generation* onto worker
+//! threads and chops commit time into epochs; commits still always pick
+//! the globally minimal `(clock, core)` heap entry, so nothing
+//! observable may change by a byte (DESIGN §4l). CI reruns this suite
+//! under `TLA_FORCE_SCALAR=1`, which pins the portable probe kernels —
+//! the equivalence must hold on either dispatch path.
+
+use tla::io::{IoAgentSpec, IoMixConfig};
+use tla::sim::{optimal_llc, EngineMode, MixRun, PolicySpec, SimConfig};
+use tla::telemetry::json::JsonValue;
+use tla::workloads::SpecApp;
+
+/// Worker counts the parallel engine is pinned against. The serial and
+/// batched engines never touch the worker pool, so they are rendered
+/// once each; parallel must match them at every count.
+const JOB_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick() -> SimConfig {
+    SimConfig::scaled_down().instructions(10_000)
+}
+
+fn mix() -> [SpecApp; 2] {
+    [SpecApp::Libquantum, SpecApp::Sjeng]
+}
+
+/// `(mode, engine_jobs)` pairs spanning the whole matrix.
+fn matrix() -> Vec<(EngineMode, usize)> {
+    let mut m = vec![(EngineMode::Serial, 1), (EngineMode::Batched, 1)];
+    m.extend(JOB_COUNTS.map(|jobs| (EngineMode::Parallel, jobs)));
+    m
+}
+
+/// Renders the exact `tla-cli compare --json` artifact with every run
+/// pinned to the given engine and worker count.
+fn render_compare(mode: EngineMode, jobs: usize) -> String {
+    let specs = [
+        PolicySpec::baseline(),
+        PolicySpec::qbs(),
+        PolicySpec::non_inclusive(),
+    ];
+    let cfg = quick().engine_jobs(jobs);
+    let reports: Vec<JsonValue> = specs
+        .iter()
+        .map(|spec| {
+            let (_, report) = MixRun::new(&cfg, &mix())
+                .spec(spec)
+                .engine_mode(mode)
+                .run_report(Some(2_500));
+            report.to_json()
+        })
+        .collect();
+    JsonValue::array(reports).to_pretty()
+}
+
+#[test]
+fn compare_json_is_byte_identical_across_engines_and_job_counts() {
+    let reference = render_compare(EngineMode::Serial, 1);
+    assert!(!reference.is_empty());
+    for (mode, jobs) in matrix() {
+        assert_eq!(
+            render_compare(mode, jobs),
+            reference,
+            "compare --json diverged under {} engine with {jobs} jobs",
+            mode.label()
+        );
+    }
+}
+
+/// Renders the `tla-cli analyze --json` artifact (reports plus the
+/// oracle-derived fields) under one engine/job-count pin. The policy
+/// fan-out helper resolves the engine from `TLA_ENGINE` per run, so the
+/// suite is rebuilt per report here with an explicit pin instead.
+fn render_analyze(mode: EngineMode, jobs: usize) -> String {
+    let specs = [PolicySpec::baseline(), PolicySpec::qbs()];
+    let cfg = quick().engine_jobs(jobs);
+    let opt = optimal_llc(&cfg, &mix(), None);
+    let docs: Vec<JsonValue> = specs
+        .iter()
+        .map(|spec| {
+            let (r, mut report) = MixRun::new(&cfg, &mix())
+                .spec(spec)
+                .engine_mode(mode)
+                .run_report_analyzed(Some(2_500), 4);
+            report.opt_misses = Some(opt.misses);
+            report.gap_to_opt =
+                Some((r.llc_misses() as f64 - opt.misses as f64) / (opt.misses.max(1) as f64));
+            report.to_json()
+        })
+        .collect();
+    JsonValue::array(docs).to_pretty()
+}
+
+#[test]
+fn analyze_json_is_byte_identical_across_engines_and_job_counts() {
+    let reference = render_analyze(EngineMode::Serial, 1);
+    assert!(reference.contains("opt_misses"));
+    assert!(reference.contains("reuse"));
+    for (mode, jobs) in matrix() {
+        assert_eq!(
+            render_analyze(mode, jobs),
+            reference,
+            "analyze --json diverged under {} engine with {jobs} jobs",
+            mode.label()
+        );
+    }
+}
+
+/// Renders an `io-sweep`-style report: a device mix (ring-buffer NIC +
+/// leaky DMA, way-limited) under two policies, with the per-agent
+/// breakdown that `io-sweep --json` carries.
+fn render_io(mode: EngineMode, jobs: usize) -> String {
+    let io = IoMixConfig::none()
+        .agent(IoAgentSpec::nic().period(3).lines(256))
+        .agent(IoAgentSpec::dma().period(5))
+        .inject_ways(2);
+    let cfg = quick().engine_jobs(jobs);
+    let reports: Vec<JsonValue> = [PolicySpec::baseline(), PolicySpec::tlh_l1()]
+        .iter()
+        .map(|spec| {
+            let (_, report) = MixRun::new(&cfg, &mix())
+                .spec(spec)
+                .io(io.clone())
+                .engine_mode(mode)
+                .run_report(Some(2_500));
+            report.to_json()
+        })
+        .collect();
+    JsonValue::array(reports).to_pretty()
+}
+
+#[test]
+fn io_sweep_json_is_byte_identical_across_engines_and_job_counts() {
+    let reference = render_io(EngineMode::Serial, 1);
+    assert!(
+        reference.contains("\"io\""),
+        "io report key missing from the reference artifact"
+    );
+    for (mode, jobs) in matrix() {
+        assert_eq!(
+            render_io(mode, jobs),
+            reference,
+            "io report diverged under {} engine with {jobs} jobs",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn checkpoints_save_and_resume_across_engine_modes() {
+    // Warm images must carry no trace of the engine that wrote them, and
+    // any engine must finish any engine's image identically.
+    let cfg = SimConfig::scaled_down().warmup(15_000).instructions(10_000);
+    let mix = [SpecApp::Sjeng, SpecApp::Mcf];
+    let reference = MixRun::new(&cfg, &mix)
+        .engine_mode(EngineMode::Serial)
+        .warm_checkpoint_instrumented(Some(5_000));
+    let straight = {
+        let (_, report) = MixRun::new(&cfg, &mix)
+            .engine_mode(EngineMode::Serial)
+            .spec(&PolicySpec::qbs())
+            .run_report(Some(5_000));
+        report.to_json_string()
+    };
+    for (mode, jobs) in matrix() {
+        let cfg = cfg.clone().engine_jobs(jobs);
+        let ck = MixRun::new(&cfg, &mix)
+            .engine_mode(mode)
+            .warm_checkpoint_instrumented(Some(5_000));
+        assert_eq!(
+            ck.as_bytes(),
+            reference.as_bytes(),
+            "{} engine with {jobs} jobs leaked into checkpoint bytes",
+            mode.label()
+        );
+        // Resume the serially-written image under this engine (and this
+        // engine's image is identical anyway): the finished report must
+        // match the straight-through run byte-for-byte.
+        let (_, report) = MixRun::new(&cfg, &mix)
+            .engine_mode(mode)
+            .spec(&PolicySpec::qbs())
+            .resume_report(&reference, Some(5_000))
+            .unwrap();
+        assert_eq!(
+            report.to_json_string(),
+            straight,
+            "resume under {} engine with {jobs} jobs diverged",
+            mode.label()
+        );
+    }
+}
